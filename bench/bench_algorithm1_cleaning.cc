@@ -1,0 +1,92 @@
+// Algorithm 1 — database cleaning by iterated winnow (§2.2, Prop. 1).
+//
+// The paper presents Algorithm 1 as the constructive end of the framework:
+// with a total priority it computes the unique clean database. This bench
+// measures its scaling (and the batched total-priority fast path) plus the
+// eager one-pass cleaning baseline of src/cleaning, on key-group workloads
+// with a total source-style ranking priority.
+
+#include "bench_common.h"
+#include "cleaning/cleaning.h"
+
+namespace prefrep::bench {
+namespace {
+
+void BM_Algorithm1_Sequential(benchmark::State& state) {
+  int groups = static_cast<int>(state.range(0));
+  BenchSetup setup =
+      MakeSetup(MakeKeyGroupsInstance(groups, 8), /*seed=*/13, 1.0);
+  DynamicBitset result(setup.problem->tuple_count());
+  for (auto _ : state) {
+    result = CleanDatabase(setup.problem->graph(), *setup.priority);
+    benchmark::DoNotOptimize(&result);
+  }
+  CHECK(setup.problem->IsRepair(result));
+  state.counters["tuples"] = 8.0 * groups;
+  state.counters["tuples_per_sec"] = benchmark::Counter(
+      8.0 * groups, benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_Algorithm1_Sequential)
+    ->RangeMultiplier(4)
+    ->Range(4, 1024)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_Algorithm1_TotalBatch(benchmark::State& state) {
+  int groups = static_cast<int>(state.range(0));
+  BenchSetup setup =
+      MakeSetup(MakeKeyGroupsInstance(groups, 8), /*seed=*/13, 1.0);
+  DynamicBitset result(setup.problem->tuple_count());
+  for (auto _ : state) {
+    result = CleanDatabaseTotal(setup.problem->graph(), *setup.priority);
+    benchmark::DoNotOptimize(&result);
+  }
+  CHECK(setup.problem->IsRepair(result));
+  CHECK(result == CleanDatabase(setup.problem->graph(), *setup.priority));
+  state.counters["tuples"] = 8.0 * groups;
+  state.counters["tuples_per_sec"] = benchmark::Counter(
+      8.0 * groups, benchmark::Counter::kIsIterationInvariantRate);
+  state.SetLabel("batched winnow rounds (Prop. 1 fast path)");
+}
+BENCHMARK(BM_Algorithm1_TotalBatch)
+    ->RangeMultiplier(4)
+    ->Range(4, 1024)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_EagerCleaningBaseline(benchmark::State& state) {
+  int groups = static_cast<int>(state.range(0));
+  BenchSetup setup =
+      MakeSetup(MakeKeyGroupsInstance(groups, 8), /*seed=*/13, 1.0);
+  for (auto _ : state) {
+    CleaningReport report = CleanWithPolicy(
+        *setup.problem, *setup.priority, UnresolvedConflictPolicy::kKeep);
+    benchmark::DoNotOptimize(report.kept.Count());
+  }
+  state.counters["tuples"] = 8.0 * groups;
+  state.SetLabel("eager one-pass cleaning (non-maximal)");
+}
+BENCHMARK(BM_EagerCleaningBaseline)
+    ->RangeMultiplier(4)
+    ->Range(4, 1024)
+    ->Unit(benchmark::kMicrosecond);
+
+// Winnow itself: the inner operator of Algorithm 1.
+void BM_WinnowOperator(benchmark::State& state) {
+  int groups = static_cast<int>(state.range(0));
+  BenchSetup setup =
+      MakeSetup(MakeKeyGroupsInstance(groups, 8), /*seed=*/13, 1.0);
+  DynamicBitset all = DynamicBitset::AllSet(setup.problem->tuple_count());
+  for (auto _ : state) {
+    DynamicBitset w = Winnow(*setup.priority, all);
+    benchmark::DoNotOptimize(w.Count());
+  }
+  state.counters["tuples"] = 8.0 * groups;
+}
+BENCHMARK(BM_WinnowOperator)
+    ->RangeMultiplier(4)
+    ->Range(4, 1024)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace prefrep::bench
+
+BENCHMARK_MAIN();

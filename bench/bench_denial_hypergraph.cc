@@ -1,0 +1,127 @@
+// EXT-1 — §6 future work: denial constraints on conflict hypergraphs.
+//
+// The paper closes by generalizing conflict graphs to hypergraphs for
+// denial constraints. This bench exercises our implementation of that
+// extension: hyperedge detection cost for a unary range constraint plus a
+// binary key constraint, hypergraph repair enumeration, and the
+// polynomial ground-query prover on hypergraphs.
+
+#include "bench_common.h"
+#include "denial/denial.h"
+
+namespace prefrep::bench {
+namespace {
+
+// Readings(Sensor:number, Value:number): `groups` sensors with 3 readings
+// each (key violations) and every third reading out of range (unary
+// violations).
+struct DenialSetup {
+  std::unique_ptr<Database> db;
+  std::vector<DenialConstraint> constraints;
+  std::unique_ptr<ConflictHypergraph> graph;
+};
+
+DenialSetup MakeDenialSetup(int groups, bool build_graph) {
+  DenialSetup setup;
+  setup.db = std::make_unique<Database>();
+  Schema schema = *Schema::Create(
+      "Readings", {Attribute{"Sensor", ValueType::kNumber},
+                   Attribute{"Value", ValueType::kNumber}});
+  CHECK(setup.db->AddRelation(schema).ok());
+  for (int g = 0; g < groups; ++g) {
+    for (int j = 0; j < 3; ++j) {
+      int value = 10 * j + (j == 2 ? 1000 : 0);  // third reading: too big
+      CHECK(setup.db
+                ->Insert("Readings", Tuple::Of(Value::Number(g),
+                                               Value::Number(value)))
+                .ok());
+    }
+  }
+  auto range = DenialConstraint::Create(
+      *setup.db, {"Readings"},
+      {DcComparison{ComparisonOp::kGt, DcOperand::Attr(0, 1),
+                    DcOperand::Const(Value::Number(100))}});
+  auto key = DenialConstraint::Create(
+      *setup.db, {"Readings", "Readings"},
+      {DcComparison{ComparisonOp::kEq, DcOperand::Attr(0, 0),
+                    DcOperand::Attr(1, 0)},
+       DcComparison{ComparisonOp::kNe, DcOperand::Attr(0, 1),
+                    DcOperand::Attr(1, 1)}});
+  CHECK(range.ok() && key.ok());
+  setup.constraints = {*range, *key};
+  if (build_graph) {
+    auto edges = FindHyperedges(*setup.db, setup.constraints);
+    CHECK(edges.ok());
+    setup.graph = std::make_unique<ConflictHypergraph>(
+        setup.db->tuple_count(), *edges);
+  }
+  return setup;
+}
+
+void BM_Denial_HyperedgeDetection(benchmark::State& state) {
+  int groups = static_cast<int>(state.range(0));
+  DenialSetup setup = MakeDenialSetup(groups, /*build_graph=*/false);
+  size_t edges = 0;
+  for (auto _ : state) {
+    auto result = FindHyperedges(*setup.db, setup.constraints);
+    CHECK(result.ok());
+    edges = result->size();
+    benchmark::DoNotOptimize(edges);
+  }
+  state.counters["tuples"] = 3.0 * groups;
+  state.counters["hyperedges"] = static_cast<double>(edges);
+}
+BENCHMARK(BM_Denial_HyperedgeDetection)
+    ->RangeMultiplier(2)
+    ->Range(4, 64)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_Denial_RepairEnumeration(benchmark::State& state) {
+  int groups = static_cast<int>(state.range(0));
+  DenialSetup setup = MakeDenialSetup(groups, /*build_graph=*/true);
+  size_t repairs = 0;
+  for (auto _ : state) {
+    repairs = 0;
+    EnumerateHypergraphRepairs(*setup.graph,
+                               [&repairs](const DynamicBitset&) {
+                                 ++repairs;
+                                 return true;
+                               });
+    benchmark::DoNotOptimize(repairs);
+  }
+  // Each sensor keeps exactly one in-range reading: 2 choices per group.
+  CHECK_EQ(repairs, size_t{1} << groups);
+  state.counters["repairs"] = static_cast<double>(repairs);
+}
+BENCHMARK(BM_Denial_RepairEnumeration)
+    ->DenseRange(2, 10, 2)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Denial_GroundCqa(benchmark::State& state) {
+  int groups = static_cast<int>(state.range(0));
+  DenialSetup setup = MakeDenialSetup(groups, /*build_graph=*/true);
+  // "Sensor 0 reads 0 or 10" holds in every repair; the out-of-range
+  // reading 1010 never survives.
+  std::unique_ptr<Query> query = MustParse(
+      "(Readings(0, 0) or Readings(0, 10)) and not Readings(0, 1010)");
+  bool answer = false;
+  for (auto _ : state) {
+    auto result = GroundConsistentAnswerDenial(*setup.db, *setup.graph,
+                                               *query);
+    CHECK(result.ok());
+    answer = *result;
+    benchmark::DoNotOptimize(answer);
+  }
+  CHECK(answer);
+  state.counters["tuples"] = 3.0 * groups;
+  state.SetLabel("polynomial hypergraph prover");
+}
+BENCHMARK(BM_Denial_GroundCqa)
+    ->RangeMultiplier(2)
+    ->Range(4, 64)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace prefrep::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,110 @@
+// Data cleaning vs preferred consistent query answers on a sensor-fusion
+// scenario with timestamps: several stations report readings for the same
+// sensors; newer reports are preferred, but some conflicts have no
+// timestamp information. Eager cleaning either stays inconsistent or
+// loses data; C-Rep/G-Rep answers degrade gracefully.
+//
+// Run: ./data_cleaning
+
+#include <cstdio>
+#include <string>
+
+#include "cleaning/cleaning.h"
+#include "cqa/cqa.h"
+#include "query/parser.h"
+#include "repair/repair.h"
+
+using namespace prefrep;
+
+int main() {
+  Database db;
+  Schema schema = *Schema::Create(
+      "Reading", {Attribute{"Sensor", ValueType::kName},
+                  Attribute{"Value", ValueType::kNumber}});
+  CHECK(db.AddRelation(schema).ok());
+
+  auto insert = [&](const char* sensor, int64_t value, int64_t ts) {
+    auto id = db.Insert("Reading",
+                        Tuple::Of(Value::Name(sensor), Value::Number(value)),
+                        TupleMeta{TupleMeta::kNoSource, ts});
+    CHECK(id.ok()) << id.status().ToString();
+  };
+  // Sensor A: three conflicting readings with increasing timestamps.
+  insert("A", 10, 100);
+  insert("A", 12, 200);
+  insert("A", 15, 300);
+  // Sensor B: two conflicting readings, no timestamps available.
+  insert("B", 70, TupleMeta::kNoTimestamp);
+  insert("B", 75, TupleMeta::kNoTimestamp);
+  // Sensor C: a single clean reading.
+  insert("C", 42, 400);
+
+  std::vector<FunctionalDependency> fds = {
+      *FunctionalDependency::Parse(schema, "Sensor -> Value")};
+  auto problem = RepairProblem::Create(&db, fds);
+  CHECK(problem.ok());
+
+  std::printf("readings:\n");
+  for (TupleId id = 0; id < db.tuple_count(); ++id) {
+    std::printf("  %s\n", db.DescribeTuple(id).c_str());
+  }
+  std::printf("conflicts: %d, repairs: %s\n\n",
+              problem->graph().edge_count(),
+              problem->CountRepairs().ToString().c_str());
+
+  Priority newest = PriorityFromTimestamps(*problem, /*newer_wins=*/true);
+  std::printf("timestamp priority (newer wins): %s\n\n",
+              newest.ToString().c_str());
+
+  std::printf("-- eager cleaning, keep-unresolved --\n");
+  CleaningReport keep =
+      CleanWithPolicy(*problem, newest, UnresolvedConflictPolicy::kKeep);
+  std::printf("%s\n", keep.Summary(db).c_str());
+
+  std::printf("-- eager cleaning, remove-unresolved --\n");
+  CleaningReport remove =
+      CleanWithPolicy(*problem, newest, UnresolvedConflictPolicy::kRemove);
+  std::printf("%s\n", remove.Summary(db).c_str());
+  std::printf("note: sensor B disappears entirely under remove-unresolved "
+              "(information loss),\nwhile keep-unresolved leaves %d live "
+              "conflict(s).\n\n",
+              keep.residual_conflicts);
+
+  // Preferred CQA keeps B's disjunctive information queryable.
+  struct NamedQuery {
+    const char* label;
+    const char* text;
+  } queries[] = {
+      {"A reads 15", "Reading('A', 15)"},
+      {"A reads at least 12", "exists v . Reading('A', v) and v >= 12"},
+      {"B reads something in [70, 75]",
+       "exists v . Reading('B', v) and v >= 70 and v <= 75"},
+      {"B reads exactly 75", "Reading('B', 75)"},
+      {"C reads 42", "Reading('C', 42)"},
+  };
+  std::printf("-- preferred consistent answers (C-Rep, timestamp "
+              "priority) --\n");
+  for (const NamedQuery& nq : queries) {
+    auto query = ParseQuery(nq.text);
+    CHECK(query.ok()) << query.status().ToString();
+    auto verdict = PreferredConsistentAnswer(*problem, newest,
+                                             RepairFamily::kCommon, **query);
+    CHECK(verdict.ok());
+    std::printf("  %-32s %s\n", nq.label,
+                std::string(CqaVerdictName(*verdict)).c_str());
+  }
+
+  std::printf("\n-- same queries under plain Rep (no preferences) --\n");
+  Priority empty = Priority::Empty(problem->graph());
+  for (const NamedQuery& nq : queries) {
+    auto query = ParseQuery(nq.text);
+    auto verdict = PreferredConsistentAnswer(*problem, empty,
+                                             RepairFamily::kAll, **query);
+    std::printf("  %-32s %s\n", nq.label,
+                std::string(CqaVerdictName(*verdict)).c_str());
+  }
+  std::printf("\nthe timestamp preference upgrades A's answers from "
+              "undetermined to certain,\nwhile B's honest uncertainty is "
+              "preserved instead of being cleaned away.\n");
+  return 0;
+}

@@ -1,0 +1,388 @@
+// query_shell: a small interactive shell over the library.
+//
+// Commands (one per line; '#' starts a comment):
+//   relation <Name> <attr>:<name|number> ...   declare a relation
+//   insert <Name> v1,v2,...[,@source,@ts]      insert a tuple (with
+//                                              optional provenance)
+//   load <Name> <csv-file> [withmeta]          bulk load CSV
+//   fd <Name> <A B -> C D>                     add a functional dependency
+//   priority source r0,r1,...                  rank sources (higher wins)
+//   priority timestamp [oldest]                newer (or oldest) wins
+//   priority edge <winner_id> <loser_id>       orient one conflict
+//   family rep|l|s|g|c                         pick the repair family
+//   conflicts                                  show conflict edges
+//   repairs [limit]                            list (preferred) repairs
+//   ask <first-order query>                    closed-query verdict
+//   answers <first-order query>                open-query certain answers
+//   sql <SELECT ...>                           SQL certain answers
+//   show                                       dump the database
+//   quit
+//
+// Example session:
+//   relation Mgr Name:name Dept:name Salary:number Reports:number
+//   insert Mgr Mary,R&D,40000,3,@1,@-1
+//   ...
+//   fd Mgr Dept -> Name Salary Reports
+//   ask exists x,y,z . Mgr(Mary,x,y,z)
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "base/strings.h"
+#include "cleaning/cleaning.h"
+#include "cqa/cqa.h"
+#include "graph/dot.h"
+#include "query/parser.h"
+#include "relational/csv.h"
+#include "repair/metrics.h"
+#include "sql/sql.h"
+
+using namespace prefrep;
+
+namespace {
+
+class Shell {
+ public:
+  int Run() {
+    std::string line;
+    std::printf("prefrep shell — type 'help' for commands\n");
+    while (true) {
+      std::printf("> ");
+      std::fflush(stdout);
+      if (!std::getline(std::cin, line)) break;
+      std::string_view trimmed = StripWhitespace(line);
+      if (trimmed.empty() || trimmed[0] == '#') continue;
+      if (trimmed == "quit" || trimmed == "exit") break;
+      Status status = Dispatch(std::string(trimmed));
+      if (!status.ok()) {
+        std::printf("error: %s\n", status.ToString().c_str());
+      }
+    }
+    return 0;
+  }
+
+ private:
+  Status Dispatch(const std::string& line) {
+    std::istringstream in(line);
+    std::string command;
+    in >> command;
+    std::string rest;
+    std::getline(in, rest);
+    std::string args(StripWhitespace(rest));
+
+    if (command == "help") return Help();
+    if (command == "relation") return DeclareRelation(args);
+    if (command == "insert") return Insert(args);
+    if (command == "load") return Load(args);
+    if (command == "fd") return AddFd(args);
+    if (command == "priority") return SetPriority(args);
+    if (command == "family") return SetFamily(args);
+    if (command == "conflicts") return ShowConflicts();
+    if (command == "stats") return ShowStats();
+    if (command == "dot") return ShowDot();
+    if (command == "repairs") return ShowRepairs(args);
+    if (command == "ask") return Ask(args);
+    if (command == "answers") return Answers(args);
+    if (command == "sql") return Sql(args);
+    if (command == "show") {
+      std::printf("%s", db_.ToString().c_str());
+      return Status::Ok();
+    }
+    return Status::InvalidArgument("unknown command '" + command +
+                                   "' (try 'help')");
+  }
+
+  Status Help() {
+    std::printf(
+        "relation <Name> <attr:type> ...    declare relation\n"
+        "insert <Name> v1,v2,...            insert tuple "
+        "(append ,@src,@ts for provenance)\n"
+        "load <Name> <file> [withmeta]      load CSV file\n"
+        "fd <Name> <A B -> C>               add FD\n"
+        "priority source r0,r1,...          source ranks (higher wins)\n"
+        "priority timestamp [oldest]        timestamp priority\n"
+        "priority edge <winner> <loser>     orient one conflict edge\n"
+        "family rep|l|s|g|c                 choose repair family\n"
+        "conflicts | stats | dot | repairs [n] | show\n"
+        "ask <query> | answers <query> | sql <select>\n"
+        "quit\n");
+    return Status::Ok();
+  }
+
+  Status DeclareRelation(const std::string& args) {
+    std::istringstream in(args);
+    std::string name;
+    in >> name;
+    std::vector<Attribute> attributes;
+    std::string spec;
+    while (in >> spec) {
+      size_t colon = spec.find(':');
+      if (colon == std::string::npos) {
+        return Status::InvalidArgument("attribute spec needs name:type");
+      }
+      std::string type = spec.substr(colon + 1);
+      if (type != "name" && type != "number") {
+        return Status::InvalidArgument("type must be 'name' or 'number'");
+      }
+      attributes.push_back(Attribute{
+          spec.substr(0, colon),
+          type == "name" ? ValueType::kName : ValueType::kNumber});
+    }
+    PREFREP_ASSIGN_OR_RETURN(Schema schema,
+                             Schema::Create(name, std::move(attributes)));
+    PREFREP_RETURN_IF_ERROR(db_.AddRelation(schema));
+    dirty_ = true;
+    std::printf("declared %s\n", schema.ToString().c_str());
+    return Status::Ok();
+  }
+
+  Status Insert(const std::string& args) {
+    std::istringstream in(args);
+    std::string name;
+    in >> name;
+    std::string csv;
+    std::getline(in, csv);
+    PREFREP_ASSIGN_OR_RETURN(const Relation* rel, db_.relation(name));
+    const Schema& schema = rel->schema();
+
+    std::vector<std::string> fields(StrSplit(StripWhitespace(csv), ','));
+    TupleMeta meta;
+    // Optional trailing @source, @ts fields.
+    while (!fields.empty() && !fields.back().empty() &&
+           StripWhitespace(fields.back())[0] == '@') {
+      std::string_view field = StripWhitespace(fields.back());
+      PREFREP_ASSIGN_OR_RETURN(int64_t v, ParseInt64(field.substr(1)));
+      if (meta.timestamp == TupleMeta::kNoTimestamp &&
+          fields.size() == static_cast<size_t>(schema.arity()) + 2) {
+        meta.timestamp = v;
+      } else {
+        meta.source_id = static_cast<int>(v);
+      }
+      fields.pop_back();
+    }
+    if (static_cast<int>(fields.size()) != schema.arity()) {
+      return Status::InvalidArgument("expected " +
+                                     std::to_string(schema.arity()) +
+                                     " values");
+    }
+    std::vector<Value> values;
+    for (int i = 0; i < schema.arity(); ++i) {
+      std::string_view field = StripWhitespace(fields[i]);
+      if (schema.attribute(i).type == ValueType::kNumber) {
+        PREFREP_ASSIGN_OR_RETURN(int64_t v, ParseInt64(field));
+        values.push_back(Value::Number(v));
+      } else {
+        values.push_back(Value::Name(std::string(field)));
+      }
+    }
+    PREFREP_ASSIGN_OR_RETURN(TupleId id,
+                             db_.Insert(name, Tuple(std::move(values)), meta));
+    dirty_ = true;
+    std::printf("inserted tuple %d\n", id);
+    return Status::Ok();
+  }
+
+  Status Load(const std::string& args) {
+    std::istringstream in(args);
+    std::string name, path, mode;
+    in >> name >> path >> mode;
+    std::ifstream file(path);
+    if (!file) return Status::NotFound("cannot open '" + path + "'");
+    std::stringstream buffer;
+    buffer << file.rdbuf();
+    CsvOptions options;
+    options.with_provenance = (mode == "withmeta");
+    PREFREP_ASSIGN_OR_RETURN(int count,
+                             LoadCsv(db_, name, buffer.str(), options));
+    dirty_ = true;
+    std::printf("loaded %d tuple(s)\n", count);
+    return Status::Ok();
+  }
+
+  Status AddFd(const std::string& args) {
+    std::istringstream in(args);
+    std::string name;
+    in >> name;
+    std::string text;
+    std::getline(in, text);
+    PREFREP_ASSIGN_OR_RETURN(const Relation* rel, db_.relation(name));
+    PREFREP_ASSIGN_OR_RETURN(
+        FunctionalDependency fd,
+        FunctionalDependency::Parse(rel->schema(), StripWhitespace(text)));
+    fds_.push_back(fd);
+    dirty_ = true;
+    std::printf("added FD %s on %s\n",
+                fd.ToString(rel->schema()).c_str(), name.c_str());
+    return Status::Ok();
+  }
+
+  Status Refresh() {
+    if (!dirty_ && problem_ != nullptr) return Status::Ok();
+    PREFREP_ASSIGN_OR_RETURN(RepairProblem problem,
+                             RepairProblem::Create(&db_, fds_));
+    problem_ = std::make_unique<RepairProblem>(std::move(problem));
+    priority_ =
+        std::make_unique<Priority>(Priority::Empty(problem_->graph()));
+    dirty_ = false;
+    std::printf("(rebuilt conflict graph: %d conflicts; priority reset)\n",
+                problem_->graph().edge_count());
+    return Status::Ok();
+  }
+
+  Status SetPriority(const std::string& args) {
+    PREFREP_RETURN_IF_ERROR(Refresh());
+    std::istringstream in(args);
+    std::string kind;
+    in >> kind;
+    if (kind == "source") {
+      std::string csv;
+      in >> csv;
+      std::vector<int64_t> ranks;
+      for (const std::string& part : StrSplit(csv, ',')) {
+        PREFREP_ASSIGN_OR_RETURN(int64_t r, ParseInt64(StripWhitespace(part)));
+        ranks.push_back(r);
+      }
+      PREFREP_ASSIGN_OR_RETURN(Priority p,
+                               PriorityFromSourceReliability(*problem_,
+                                                             ranks));
+      *priority_ = std::move(p);
+    } else if (kind == "timestamp") {
+      std::string mode;
+      in >> mode;
+      *priority_ = PriorityFromTimestamps(*problem_, mode != "oldest");
+    } else if (kind == "edge") {
+      int winner = 0, loser = 0;
+      if (!(in >> winner >> loser)) {
+        return Status::InvalidArgument("usage: priority edge <w> <l>");
+      }
+      PREFREP_ASSIGN_OR_RETURN(
+          Priority p, priority_->Extend(problem_->graph(),
+                                        {{winner, loser}}));
+      *priority_ = std::move(p);
+    } else {
+      return Status::InvalidArgument("usage: priority source|timestamp|edge");
+    }
+    std::printf("priority = %s\n", priority_->ToString().c_str());
+    return Status::Ok();
+  }
+
+  Status SetFamily(const std::string& args) {
+    if (args == "rep") {
+      family_ = RepairFamily::kAll;
+    } else if (args == "l") {
+      family_ = RepairFamily::kLocal;
+    } else if (args == "s") {
+      family_ = RepairFamily::kSemiGlobal;
+    } else if (args == "g") {
+      family_ = RepairFamily::kGlobal;
+    } else if (args == "c") {
+      family_ = RepairFamily::kCommon;
+    } else {
+      return Status::InvalidArgument("family must be rep|l|s|g|c");
+    }
+    std::printf("family = %s\n",
+                std::string(RepairFamilyName(family_)).c_str());
+    return Status::Ok();
+  }
+
+  Status ShowConflicts() {
+    PREFREP_RETURN_IF_ERROR(Refresh());
+    for (auto [u, v] : problem_->graph().edges()) {
+      std::printf("  %d: %s  <->  %d: %s\n", u,
+                  db_.DescribeTuple(u).c_str(), v,
+                  db_.DescribeTuple(v).c_str());
+    }
+    return Status::Ok();
+  }
+
+  Status ShowStats() {
+    PREFREP_RETURN_IF_ERROR(Refresh());
+    RepairSpaceMetrics metrics =
+        ComputeRepairSpaceMetrics(*problem_, priority_.get());
+    std::printf("%s", metrics.ToString().c_str());
+    return Status::Ok();
+  }
+
+  Status ShowDot() {
+    PREFREP_RETURN_IF_ERROR(Refresh());
+    std::printf("%s", ToDot(problem_->graph(), priority_.get(), [&](int id) {
+                  return db_.TupleOf(id).ToString();
+                }).c_str());
+    return Status::Ok();
+  }
+
+  Status ShowRepairs(const std::string& args) {
+    PREFREP_RETURN_IF_ERROR(Refresh());
+    size_t limit = 20;
+    if (!args.empty()) {
+      PREFREP_ASSIGN_OR_RETURN(int64_t v, ParseInt64(args));
+      limit = static_cast<size_t>(v);
+    }
+    size_t shown = 0;
+    EnumeratePreferredRepairs(problem_->graph(), *priority_, family_,
+                              [&](const DynamicBitset& repair) {
+                                std::printf("  %s\n",
+                                            repair.ToString().c_str());
+                                return ++shown < limit;
+                              });
+    std::printf("(%zu %s repair(s) shown, limit %zu)\n", shown,
+                std::string(RepairFamilyName(family_)).c_str(), limit);
+    return Status::Ok();
+  }
+
+  Status Ask(const std::string& args) {
+    PREFREP_RETURN_IF_ERROR(Refresh());
+    PREFREP_ASSIGN_OR_RETURN(std::unique_ptr<Query> query, ParseQuery(args));
+    PREFREP_ASSIGN_OR_RETURN(
+        CqaVerdict verdict,
+        PreferredConsistentAnswer(*problem_, *priority_, family_, *query));
+    std::printf("%s under %s\n", std::string(CqaVerdictName(verdict)).c_str(),
+                std::string(RepairFamilyName(family_)).c_str());
+    return Status::Ok();
+  }
+
+  Status Answers(const std::string& args) {
+    PREFREP_RETURN_IF_ERROR(Refresh());
+    PREFREP_ASSIGN_OR_RETURN(std::unique_ptr<Query> query, ParseQuery(args));
+    PREFREP_ASSIGN_OR_RETURN(
+        OpenAnswer answer,
+        PreferredConsistentAnswers(*problem_, *priority_, family_, *query));
+    std::printf("certain answers (%s):\n",
+                StrJoin(answer.variables, ", ").c_str());
+    for (const Tuple& row : answer.rows) {
+      std::printf("  %s\n", row.ToString().c_str());
+    }
+    std::printf("(%zu row(s))\n", answer.rows.size());
+    return Status::Ok();
+  }
+
+  Status Sql(const std::string& args) {
+    PREFREP_RETURN_IF_ERROR(Refresh());
+    PREFREP_ASSIGN_OR_RETURN(std::unique_ptr<Query> query,
+                             ParseSql(db_, args));
+    PREFREP_ASSIGN_OR_RETURN(
+        OpenAnswer answer,
+        PreferredConsistentAnswers(*problem_, *priority_, family_, *query));
+    std::printf("certain answers (%s):\n",
+                StrJoin(answer.variables, ", ").c_str());
+    for (const Tuple& row : answer.rows) {
+      std::printf("  %s\n", row.ToString().c_str());
+    }
+    std::printf("(%zu row(s))\n", answer.rows.size());
+    return Status::Ok();
+  }
+
+  Database db_;
+  std::vector<FunctionalDependency> fds_;
+  std::unique_ptr<RepairProblem> problem_;
+  std::unique_ptr<Priority> priority_;
+  RepairFamily family_ = RepairFamily::kGlobal;
+  bool dirty_ = true;
+};
+
+}  // namespace
+
+int main() { return Shell().Run(); }

@@ -1,0 +1,110 @@
+#include "base/biguint.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace prefrep {
+
+BigUint::BigUint(uint64_t v) {
+  while (v != 0) {
+    limbs_.push_back(static_cast<uint32_t>(v % kBase));
+    v /= kBase;
+  }
+}
+
+BigUint BigUint::PowerOfTwo(int exponent) {
+  return Pow(BigUint(2), static_cast<uint64_t>(exponent));
+}
+
+BigUint BigUint::Pow(const BigUint& base, uint64_t exponent) {
+  BigUint result = One();
+  BigUint acc = base;
+  while (exponent > 0) {
+    if (exponent & 1) result *= acc;
+    exponent >>= 1;
+    if (exponent > 0) acc *= acc;
+  }
+  return result;
+}
+
+void BigUint::Normalize() {
+  while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+}
+
+BigUint& BigUint::operator+=(const BigUint& o) {
+  size_t n = std::max(limbs_.size(), o.limbs_.size());
+  limbs_.resize(n, 0);
+  uint64_t carry = 0;
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t sum = carry + limbs_[i] + (i < o.limbs_.size() ? o.limbs_[i] : 0);
+    limbs_[i] = static_cast<uint32_t>(sum % kBase);
+    carry = sum / kBase;
+  }
+  if (carry != 0) limbs_.push_back(static_cast<uint32_t>(carry));
+  return *this;
+}
+
+BigUint& BigUint::operator*=(const BigUint& o) {
+  if (IsZero() || o.IsZero()) {
+    limbs_.clear();
+    return *this;
+  }
+  std::vector<uint32_t> out(limbs_.size() + o.limbs_.size(), 0);
+  for (size_t i = 0; i < limbs_.size(); ++i) {
+    uint64_t carry = 0;
+    for (size_t j = 0; j < o.limbs_.size() || carry != 0; ++j) {
+      uint64_t cur = out[i + j] + carry;
+      if (j < o.limbs_.size()) {
+        cur += static_cast<uint64_t>(limbs_[i]) * o.limbs_[j];
+      }
+      out[i + j] = static_cast<uint32_t>(cur % kBase);
+      carry = cur / kBase;
+    }
+  }
+  limbs_ = std::move(out);
+  Normalize();
+  return *this;
+}
+
+bool operator<(const BigUint& a, const BigUint& b) {
+  if (a.limbs_.size() != b.limbs_.size()) {
+    return a.limbs_.size() < b.limbs_.size();
+  }
+  for (size_t i = a.limbs_.size(); i-- > 0;) {
+    if (a.limbs_[i] != b.limbs_[i]) return a.limbs_[i] < b.limbs_[i];
+  }
+  return false;
+}
+
+bool BigUint::ToUint64(uint64_t* out) const {
+  uint64_t value = 0;
+  for (size_t i = limbs_.size(); i-- > 0;) {
+    // value * kBase + limb, with overflow detection.
+    if (value > (~uint64_t{0}) / kBase) return false;
+    value *= kBase;
+    if (value > ~uint64_t{0} - limbs_[i]) return false;
+    value += limbs_[i];
+  }
+  *out = value;
+  return true;
+}
+
+double BigUint::ToDouble() const {
+  double value = 0;
+  for (size_t i = limbs_.size(); i-- > 0;) {
+    value = value * kBase + limbs_[i];
+  }
+  return value;
+}
+
+std::string BigUint::ToString() const {
+  if (IsZero()) return "0";
+  std::string out = std::to_string(limbs_.back());
+  for (size_t i = limbs_.size() - 1; i-- > 0;) {
+    std::string part = std::to_string(limbs_[i]);
+    out += std::string(9 - part.size(), '0') + part;
+  }
+  return out;
+}
+
+}  // namespace prefrep

@@ -1,0 +1,70 @@
+// BigUint: arbitrary-precision unsigned integers for exact repair counts.
+//
+// Example 4 of the paper exhibits instances with 2^n repairs; counting them
+// exactly for n > 63 requires more than a machine word. Only the operations
+// needed by repair counting are provided: addition, multiplication,
+// exponentiation by squaring, comparison and decimal conversion.
+
+#ifndef PREFREP_BASE_BIGUINT_H_
+#define PREFREP_BASE_BIGUINT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace prefrep {
+
+class BigUint {
+ public:
+  // Zero.
+  BigUint() = default;
+  // From a machine word.
+  explicit BigUint(uint64_t v);
+
+  static BigUint Zero() { return BigUint(); }
+  static BigUint One() { return BigUint(1); }
+  // 2^exponent.
+  static BigUint PowerOfTwo(int exponent);
+  // base^exponent (0^0 == 1).
+  static BigUint Pow(const BigUint& base, uint64_t exponent);
+
+  bool IsZero() const { return limbs_.empty(); }
+
+  BigUint& operator+=(const BigUint& o);
+  BigUint& operator*=(const BigUint& o);
+
+  friend BigUint operator+(BigUint a, const BigUint& b) {
+    a += b;
+    return a;
+  }
+  friend BigUint operator*(BigUint a, const BigUint& b) {
+    a *= b;
+    return a;
+  }
+
+  friend bool operator==(const BigUint& a, const BigUint& b) {
+    return a.limbs_ == b.limbs_;
+  }
+  friend bool operator<(const BigUint& a, const BigUint& b);
+  friend bool operator<=(const BigUint& a, const BigUint& b) {
+    return a == b || a < b;
+  }
+
+  // Exact value if it fits in uint64_t, otherwise false.
+  bool ToUint64(uint64_t* out) const;
+  // Approximate magnitude (inf if enormous); used only for reporting.
+  double ToDouble() const;
+  // Exact decimal representation.
+  std::string ToString() const;
+
+ private:
+  // Base-1e9 limbs, little-endian, no trailing zero limbs ("zero" == empty).
+  static constexpr uint32_t kBase = 1000000000;
+  void Normalize();
+
+  std::vector<uint32_t> limbs_;
+};
+
+}  // namespace prefrep
+
+#endif  // PREFREP_BASE_BIGUINT_H_

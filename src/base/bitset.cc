@@ -1,0 +1,129 @@
+#include "base/bitset.h"
+
+#include <bit>
+
+namespace prefrep {
+
+int DynamicBitset::Count() const {
+  int total = 0;
+  for (uint64_t w : words_) total += std::popcount(w);
+  return total;
+}
+
+bool DynamicBitset::Any() const {
+  for (uint64_t w : words_) {
+    if (w != 0) return true;
+  }
+  return false;
+}
+
+DynamicBitset& DynamicBitset::operator|=(const DynamicBitset& o) {
+  CHECK_EQ(size_, o.size_);
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] |= o.words_[i];
+  return *this;
+}
+
+DynamicBitset& DynamicBitset::operator&=(const DynamicBitset& o) {
+  CHECK_EQ(size_, o.size_);
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] &= o.words_[i];
+  return *this;
+}
+
+DynamicBitset& DynamicBitset::operator^=(const DynamicBitset& o) {
+  CHECK_EQ(size_, o.size_);
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] ^= o.words_[i];
+  return *this;
+}
+
+DynamicBitset& DynamicBitset::Subtract(const DynamicBitset& o) {
+  CHECK_EQ(size_, o.size_);
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] &= ~o.words_[i];
+  return *this;
+}
+
+DynamicBitset DynamicBitset::Complement() const {
+  DynamicBitset out(size_);
+  for (size_t i = 0; i < words_.size(); ++i) out.words_[i] = ~words_[i];
+  out.ClearPadding();
+  return out;
+}
+
+bool DynamicBitset::IsSubsetOf(const DynamicBitset& o) const {
+  CHECK_EQ(size_, o.size_);
+  for (size_t i = 0; i < words_.size(); ++i) {
+    if ((words_[i] & ~o.words_[i]) != 0) return false;
+  }
+  return true;
+}
+
+bool DynamicBitset::Intersects(const DynamicBitset& o) const {
+  CHECK_EQ(size_, o.size_);
+  for (size_t i = 0; i < words_.size(); ++i) {
+    if ((words_[i] & o.words_[i]) != 0) return true;
+  }
+  return false;
+}
+
+int DynamicBitset::IntersectionCount(const DynamicBitset& o) const {
+  CHECK_EQ(size_, o.size_);
+  int total = 0;
+  for (size_t i = 0; i < words_.size(); ++i) {
+    total += std::popcount(words_[i] & o.words_[i]);
+  }
+  return total;
+}
+
+int DynamicBitset::NextSetBit(int from) const {
+  if (from < 0) from = 0;
+  if (from >= size_) return -1;
+  size_t word = static_cast<size_t>(from) >> 6;
+  uint64_t cur = words_[word] & (~uint64_t{0} << (from & 63));
+  while (true) {
+    if (cur != 0) {
+      int bit = static_cast<int>(word * 64 + std::countr_zero(cur));
+      return bit < size_ ? bit : -1;
+    }
+    if (++word >= words_.size()) return -1;
+    cur = words_[word];
+  }
+}
+
+int DynamicBitset::SoleElement() const {
+  int first = FirstSetBit();
+  CHECK_GE(first, 0) << "SoleElement of empty set";
+  CHECK_EQ(NextSetBit(first + 1), -1) << "SoleElement of non-singleton";
+  return first;
+}
+
+std::vector<int> DynamicBitset::ToVector() const {
+  std::vector<int> out;
+  out.reserve(Count());
+  ForEachSetBit(*this, [&out](int i) { out.push_back(i); });
+  return out;
+}
+
+std::string DynamicBitset::ToString() const {
+  std::string out = "{";
+  bool first = true;
+  ForEachSetBit(*this, [&](int i) {
+    if (!first) out += ", ";
+    first = false;
+    out += std::to_string(i);
+  });
+  out += "}";
+  return out;
+}
+
+size_t DynamicBitset::Hash::operator()(const DynamicBitset& s) const {
+  // FNV-1a over the words.
+  uint64_t h = 1469598103934665603ull;
+  for (uint64_t w : s.words_) {
+    h ^= w;
+    h *= 1099511628211ull;
+  }
+  h ^= static_cast<uint64_t>(s.size_);
+  h *= 1099511628211ull;
+  return static_cast<size_t>(h);
+}
+
+}  // namespace prefrep

@@ -1,0 +1,147 @@
+// DynamicBitset: a fixed-universe bit set used throughout the library to
+// represent sets of tuples (repairs, winnow results, neighborhoods).
+//
+// All set-algebra operations used by the repair-optimality checks (subset
+// test, intersection emptiness, difference) are word-parallel.
+
+#ifndef PREFREP_BASE_BITSET_H_
+#define PREFREP_BASE_BITSET_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "base/logging.h"
+
+namespace prefrep {
+
+class DynamicBitset {
+ public:
+  DynamicBitset() : size_(0) {}
+
+  // A bitset over the universe {0, ..., size-1}, initially empty.
+  explicit DynamicBitset(int size) : size_(size), words_((size + 63) / 64, 0) {
+    CHECK_GE(size, 0);
+  }
+
+  // A bitset over {0, ..., size-1} containing exactly `bits`.
+  static DynamicBitset FromIndices(int size, std::initializer_list<int> bits) {
+    DynamicBitset s(size);
+    for (int b : bits) s.Set(b);
+    return s;
+  }
+  static DynamicBitset FromIndices(int size, const std::vector<int>& bits) {
+    DynamicBitset s(size);
+    for (int b : bits) s.Set(b);
+    return s;
+  }
+
+  // The full universe {0, ..., size-1}.
+  static DynamicBitset AllSet(int size) {
+    DynamicBitset s(size);
+    for (auto& w : s.words_) w = ~uint64_t{0};
+    s.ClearPadding();
+    return s;
+  }
+
+  int size() const { return size_; }
+
+  bool Test(int i) const {
+    DCHECK(InRange(i));
+    return (words_[i >> 6] >> (i & 63)) & 1;
+  }
+  void Set(int i) {
+    DCHECK(InRange(i));
+    words_[i >> 6] |= uint64_t{1} << (i & 63);
+  }
+  void Reset(int i) {
+    DCHECK(InRange(i));
+    words_[i >> 6] &= ~(uint64_t{1} << (i & 63));
+  }
+  void Assign(int i, bool value) { value ? Set(i) : Reset(i); }
+
+  // Number of set bits.
+  int Count() const;
+  bool Any() const;
+  bool None() const { return !Any(); }
+
+  void Clear() {
+    for (auto& w : words_) w = 0;
+  }
+
+  // In-place set algebra. Operands must share the same universe size.
+  DynamicBitset& operator|=(const DynamicBitset& o);
+  DynamicBitset& operator&=(const DynamicBitset& o);
+  DynamicBitset& operator^=(const DynamicBitset& o);
+  // Set difference: removes every element of `o`.
+  DynamicBitset& Subtract(const DynamicBitset& o);
+
+  friend DynamicBitset operator|(DynamicBitset a, const DynamicBitset& b) {
+    a |= b;
+    return a;
+  }
+  friend DynamicBitset operator&(DynamicBitset a, const DynamicBitset& b) {
+    a &= b;
+    return a;
+  }
+  // a \ b.
+  friend DynamicBitset Difference(DynamicBitset a, const DynamicBitset& b) {
+    a.Subtract(b);
+    return a;
+  }
+
+  // Complement within the universe.
+  DynamicBitset Complement() const;
+
+  bool IsSubsetOf(const DynamicBitset& o) const;
+  bool Intersects(const DynamicBitset& o) const;
+  int IntersectionCount(const DynamicBitset& o) const;
+
+  // Index of the lowest set bit at position >= from, or -1 if none.
+  int NextSetBit(int from) const;
+  // Index of the lowest set bit, or -1 for the empty set.
+  int FirstSetBit() const { return NextSetBit(0); }
+  // The single element of a singleton set; CHECK-fails otherwise.
+  int SoleElement() const;
+
+  std::vector<int> ToVector() const;
+
+  // E.g. "{0, 3, 7}".
+  std::string ToString() const;
+
+  friend bool operator==(const DynamicBitset& a, const DynamicBitset& b) {
+    return a.size_ == b.size_ && a.words_ == b.words_;
+  }
+  // Lexicographic on words; a total order usable with std::set / sorting.
+  friend bool operator<(const DynamicBitset& a, const DynamicBitset& b) {
+    if (a.size_ != b.size_) return a.size_ < b.size_;
+    return a.words_ < b.words_;
+  }
+
+  struct Hash {
+    size_t operator()(const DynamicBitset& s) const;
+  };
+
+ private:
+  bool InRange(int i) const { return i >= 0 && i < size_; }
+  void ClearPadding() {
+    int tail = size_ & 63;
+    if (tail != 0 && !words_.empty()) {
+      words_.back() &= (uint64_t{1} << tail) - 1;
+    }
+  }
+
+  int size_;
+  std::vector<uint64_t> words_;
+};
+
+// Applies `fn(int)` to every element of `s` in increasing order.
+template <typename Fn>
+void ForEachSetBit(const DynamicBitset& s, Fn&& fn) {
+  for (int i = s.FirstSetBit(); i >= 0; i = s.NextSetBit(i + 1)) fn(i);
+}
+
+}  // namespace prefrep
+
+#endif  // PREFREP_BASE_BITSET_H_

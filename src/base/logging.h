@@ -1,0 +1,74 @@
+// Minimal assertion / logging macros in the spirit of glog's CHECK family.
+//
+// The library does not use exceptions (Google C++ style); recoverable errors
+// are reported through base/status.h, while programming errors (violated
+// invariants, out-of-contract calls) abort through CHECK.
+
+#ifndef PREFREP_BASE_LOGGING_H_
+#define PREFREP_BASE_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace prefrep {
+namespace internal_logging {
+
+// Accumulates a failure message and aborts the process when destroyed.
+class CheckFailureStream {
+ public:
+  CheckFailureStream(const char* condition, const char* file, int line) {
+    stream_ << "CHECK failed: " << condition << " at " << file << ":" << line
+            << " ";
+  }
+
+  [[noreturn]] ~CheckFailureStream() {
+    std::fputs(stream_.str().c_str(), stderr);
+    std::fputc('\n', stderr);
+    std::fflush(stderr);
+    std::abort();
+  }
+
+  template <typename T>
+  CheckFailureStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+// Lowers a streamed CheckFailureStream expression to void so it can sit in
+// the else-branch of the ternary in CHECK ('&' binds looser than '<<').
+struct Voidify {
+  void operator&(CheckFailureStream&) const {}
+  void operator&(CheckFailureStream&&) const {}
+};
+
+}  // namespace internal_logging
+}  // namespace prefrep
+
+// CHECK(cond) aborts with a diagnostic when `cond` is false. Additional
+// context may be streamed: CHECK(x > 0) << "x was " << x;
+#define CHECK(condition)                                                \
+  (condition) ? (void)0                                                 \
+              : ::prefrep::internal_logging::Voidify() &                \
+                    ::prefrep::internal_logging::CheckFailureStream(    \
+                        #condition, __FILE__, __LINE__)
+
+#define CHECK_EQ(a, b) CHECK((a) == (b))
+#define CHECK_NE(a, b) CHECK((a) != (b))
+#define CHECK_LT(a, b) CHECK((a) < (b))
+#define CHECK_LE(a, b) CHECK((a) <= (b))
+#define CHECK_GT(a, b) CHECK((a) > (b))
+#define CHECK_GE(a, b) CHECK((a) >= (b))
+
+#ifndef NDEBUG
+#define DCHECK(condition) CHECK(condition)
+#else
+#define DCHECK(condition) CHECK(true || (condition))
+#endif
+
+#endif  // PREFREP_BASE_LOGGING_H_

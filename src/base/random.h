@@ -1,0 +1,56 @@
+// Deterministic pseudo-random generator for workload synthesis.
+//
+// All randomized generators in src/workload take an explicit seed so that
+// tests and benchmarks are exactly reproducible across runs and machines
+// (std::mt19937 distributions are not portable across standard libraries;
+// we implement the distributions ourselves).
+
+#ifndef PREFREP_BASE_RANDOM_H_
+#define PREFREP_BASE_RANDOM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "base/logging.h"
+
+namespace prefrep {
+
+// xoshiro256** seeded via SplitMix64.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  // Uniform over all 64-bit values.
+  uint64_t Next();
+
+  // Uniform over [0, bound) via rejection sampling; bound > 0.
+  uint64_t UniformInt(uint64_t bound);
+
+  // Uniform over [lo, hi] inclusive.
+  int64_t UniformRange(int64_t lo, int64_t hi);
+
+  // Uniform over [0, 1).
+  double UniformDouble();
+
+  // True with probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  // Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& items) {
+    for (size_t i = items.size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(UniformInt(i));
+      std::swap(items[i - 1], items[j]);
+    }
+  }
+
+  // A uniformly random permutation of {0, ..., n-1}.
+  std::vector<int> Permutation(int n);
+
+ private:
+  uint64_t state_[4];
+};
+
+}  // namespace prefrep
+
+#endif  // PREFREP_BASE_RANDOM_H_

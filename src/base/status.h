@@ -1,0 +1,162 @@
+// Status / Result<T>: exception-free error propagation (RocksDB/Arrow idiom).
+//
+// Fallible public APIs return Status (no payload) or Result<T> (payload or
+// error). Both carry a StatusCode and a human-readable message.
+
+#ifndef PREFREP_BASE_STATUS_H_
+#define PREFREP_BASE_STATUS_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+#include "base/logging.h"
+
+namespace prefrep {
+
+// Broad error classification, modeled on absl::StatusCode.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kOutOfRange,
+  kUnimplemented,
+  kResourceExhausted,
+  kInternal,
+  kParseError,
+};
+
+// Returns a stable lower-case name for `code` (e.g. "invalid_argument").
+std::string_view StatusCodeName(StatusCode code);
+
+// Value-type result of an operation that can fail. Cheap to copy when OK.
+class Status {
+ public:
+  // Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {
+    CHECK(code != StatusCode::kOk) << "error status requires non-OK code";
+  }
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "ok" or "<code>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+// Holds either a value of type T or an error Status. Accessing the value of
+// an errored Result is a checked programming error.
+template <typename T>
+class Result {
+ public:
+  // Intentionally implicit so functions can `return value;` / `return status;`.
+  Result(T value) : payload_(std::in_place_index<0>, std::move(value)) {}
+  Result(Status status) : payload_(std::in_place_index<1>, std::move(status)) {
+    CHECK(!std::get<1>(payload_).ok())
+        << "Result constructed from OK status but no value";
+  }
+
+  bool ok() const { return payload_.index() == 0; }
+
+  // Error status; Status::Ok() when a value is held.
+  Status status() const {
+    if (ok()) return Status::Ok();
+    return std::get<1>(payload_);
+  }
+
+  const T& value() const& {
+    CHECK(ok()) << "Result::value() on error: " << status().ToString();
+    return std::get<0>(payload_);
+  }
+  T& value() & {
+    CHECK(ok()) << "Result::value() on error: " << status().ToString();
+    return std::get<0>(payload_);
+  }
+  T&& value() && {
+    CHECK(ok()) << "Result::value() on error: " << status().ToString();
+    return std::get<0>(std::move(payload_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  T value_or(T fallback) const {
+    if (ok()) return std::get<0>(payload_);
+    return fallback;
+  }
+
+ private:
+  std::variant<T, Status> payload_;
+};
+
+}  // namespace prefrep
+
+// Propagates an error Status from an expression, RocksDB-style.
+#define PREFREP_RETURN_IF_ERROR(expr)                 \
+  do {                                                \
+    ::prefrep::Status _st = (expr);                   \
+    if (!_st.ok()) return _st;                        \
+  } while (false)
+
+// Evaluates a Result expression; on error returns its Status, otherwise
+// assigns the value to `lhs` (declare the variable in `lhs`).
+#define PREFREP_ASSIGN_OR_RETURN(lhs, expr)           \
+  PREFREP_ASSIGN_OR_RETURN_IMPL(                      \
+      PREFREP_STATUS_CONCAT(_result_tmp_, __LINE__), lhs, expr)
+
+#define PREFREP_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                  \
+  if (!tmp.ok()) return tmp.status();                 \
+  lhs = std::move(tmp).value()
+
+#define PREFREP_STATUS_CONCAT(a, b) PREFREP_STATUS_CONCAT_IMPL(a, b)
+#define PREFREP_STATUS_CONCAT_IMPL(a, b) a##b
+
+#endif  // PREFREP_BASE_STATUS_H_

@@ -1,0 +1,87 @@
+#include "base/strings.h"
+
+#include <cctype>
+
+namespace prefrep {
+
+std::vector<std::string> StrSplit(std::string_view text, char sep) {
+  std::vector<std::string> parts;
+  size_t start = 0;
+  while (true) {
+    size_t pos = text.find(sep, start);
+    if (pos == std::string_view::npos) {
+      parts.emplace_back(text.substr(start));
+      return parts;
+    }
+    parts.emplace_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::string StrJoin(const std::vector<std::string>& parts,
+                    std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string_view StripWhitespace(std::string_view text) {
+  size_t begin = 0;
+  while (begin < text.size() &&
+         std::isspace(static_cast<unsigned char>(text[begin]))) {
+    ++begin;
+  }
+  size_t end = text.size();
+  while (end > begin &&
+         std::isspace(static_cast<unsigned char>(text[end - 1]))) {
+    --end;
+  }
+  return text.substr(begin, end - begin);
+}
+
+Result<int64_t> ParseInt64(std::string_view text) {
+  if (text.empty()) return Status::ParseError("empty integer");
+  bool negative = false;
+  size_t i = 0;
+  if (text[0] == '-') {
+    negative = true;
+    i = 1;
+    if (text.size() == 1) return Status::ParseError("lone '-'");
+  }
+  uint64_t magnitude = 0;
+  constexpr uint64_t kMax = uint64_t{1} << 63;  // |INT64_MIN|
+  for (; i < text.size(); ++i) {
+    char c = text[i];
+    if (c < '0' || c > '9') {
+      return Status::ParseError("invalid integer: '" + std::string(text) +
+                                "'");
+    }
+    uint64_t digit = static_cast<uint64_t>(c - '0');
+    if (magnitude > (kMax - digit) / 10) {
+      return Status::ParseError("integer overflow: '" + std::string(text) +
+                                "'");
+    }
+    magnitude = magnitude * 10 + digit;
+  }
+  if (!negative && magnitude >= kMax) {
+    return Status::ParseError("integer overflow: '" + std::string(text) + "'");
+  }
+  if (negative) return static_cast<int64_t>(~magnitude + 1);
+  return static_cast<int64_t>(magnitude);
+}
+
+bool IsIdentifier(std::string_view text) {
+  if (text.empty()) return false;
+  auto head = static_cast<unsigned char>(text[0]);
+  if (!std::isalpha(head) && text[0] != '_') return false;
+  for (char c : text.substr(1)) {
+    auto u = static_cast<unsigned char>(c);
+    if (!std::isalnum(u) && c != '_') return false;
+  }
+  return true;
+}
+
+}  // namespace prefrep

@@ -1,0 +1,34 @@
+// Small string helpers shared by the parsers and pretty-printers.
+
+#ifndef PREFREP_BASE_STRINGS_H_
+#define PREFREP_BASE_STRINGS_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/status.h"
+
+namespace prefrep {
+
+// Splits on `sep`; empty fields are preserved ("a,,b" -> {"a","","b"}).
+std::vector<std::string> StrSplit(std::string_view text, char sep);
+
+// Joins with `sep`.
+std::string StrJoin(const std::vector<std::string>& parts,
+                    std::string_view sep);
+
+// Removes leading/trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view text);
+
+// Parses a decimal (optionally negative) 64-bit integer; the whole string
+// must be consumed.
+Result<int64_t> ParseInt64(std::string_view text);
+
+// True if `text` is a valid identifier: [A-Za-z_][A-Za-z0-9_]*.
+bool IsIdentifier(std::string_view text);
+
+}  // namespace prefrep
+
+#endif  // PREFREP_BASE_STRINGS_H_

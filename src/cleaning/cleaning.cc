@@ -1,0 +1,112 @@
+#include "cleaning/cleaning.h"
+
+namespace prefrep {
+
+std::string CleaningReport::Summary(const Database& db) const {
+  std::string out;
+  out += "kept " + std::to_string(kept.Count()) + " tuple(s), removed " +
+         std::to_string(removed_dominated.Count()) +
+         " dominated tuple(s), " + std::to_string(contingency.Count()) +
+         " in unresolved conflicts, " + std::to_string(residual_conflicts) +
+         " residual conflict(s)\n";
+  ForEachSetBit(kept, [&](int id) {
+    out += "  kept       " + db.DescribeTuple(id) + "\n";
+  });
+  ForEachSetBit(removed_dominated, [&](int id) {
+    out += "  dominated  " + db.DescribeTuple(id) + "\n";
+  });
+  ForEachSetBit(contingency, [&](int id) {
+    out += "  unresolved " + db.DescribeTuple(id) + "\n";
+  });
+  return out;
+}
+
+Result<Priority> PriorityFromSourceReliability(
+    const RepairProblem& problem, const std::vector<int64_t>& source_ranks) {
+  int n = problem.tuple_count();
+  std::vector<int64_t> tuple_ranks(n, 0);
+  std::vector<bool> known(n, false);
+  for (TupleId id = 0; id < n; ++id) {
+    int source = problem.db().MetaOf(id).source_id;
+    if (source == TupleMeta::kNoSource) continue;
+    if (source < 0 || source >= static_cast<int>(source_ranks.size())) {
+      return Status::OutOfRange("tuple " + std::to_string(id) +
+                                " has source " + std::to_string(source) +
+                                " outside the rank table");
+    }
+    tuple_ranks[id] = source_ranks[source];
+    known[id] = true;
+  }
+  std::vector<std::pair<int, int>> arcs;
+  for (auto [u, v] : problem.graph().edges()) {
+    if (!known[u] || !known[v] || tuple_ranks[u] == tuple_ranks[v]) continue;
+    if (tuple_ranks[u] > tuple_ranks[v]) {
+      arcs.emplace_back(u, v);
+    } else {
+      arcs.emplace_back(v, u);
+    }
+  }
+  return Priority::Create(problem.graph(), std::move(arcs));
+}
+
+Priority PriorityFromTimestamps(const RepairProblem& problem,
+                                bool newer_wins) {
+  int n = problem.tuple_count();
+  std::vector<std::pair<int, int>> arcs;
+  for (auto [u, v] : problem.graph().edges()) {
+    int64_t tu = problem.db().MetaOf(u).timestamp;
+    int64_t tv = problem.db().MetaOf(v).timestamp;
+    if (tu == TupleMeta::kNoTimestamp || tv == TupleMeta::kNoTimestamp ||
+        tu == tv) {
+      continue;
+    }
+    bool u_wins = newer_wins ? tu > tv : tu < tv;
+    if (u_wins) {
+      arcs.emplace_back(u, v);
+    } else {
+      arcs.emplace_back(v, u);
+    }
+  }
+  auto priority = Priority::Create(problem.graph(), std::move(arcs));
+  CHECK(priority.ok()) << priority.status().ToString();
+  return *std::move(priority);
+}
+
+CleaningReport CleanWithPolicy(const RepairProblem& problem,
+                               const Priority& priority,
+                               UnresolvedConflictPolicy policy) {
+  const ConflictGraph& graph = problem.graph();
+  int n = graph.vertex_count();
+  CleaningReport report;
+  report.kept = DynamicBitset::AllSet(n);
+  report.removed_dominated = DynamicBitset(n);
+  report.contingency = DynamicBitset(n);
+
+  // Pass 1: every tuple that loses some oriented conflict is removed.
+  for (auto [u, v] : graph.edges()) {
+    if (priority.Dominates(u, v)) report.removed_dominated.Set(v);
+    if (priority.Dominates(v, u)) report.removed_dominated.Set(u);
+  }
+  report.kept.Subtract(report.removed_dominated);
+
+  // Pass 2: conflicts among survivors are unresolved by the priority.
+  for (auto [u, v] : graph.edges()) {
+    if (report.kept.Test(u) && report.kept.Test(v)) {
+      report.contingency.Set(u);
+      report.contingency.Set(v);
+    }
+  }
+  if (policy == UnresolvedConflictPolicy::kRemove) {
+    report.kept.Subtract(report.contingency);
+    report.residual_conflicts = 0;
+  } else {
+    int residual = 0;
+    for (auto [u, v] : graph.edges()) {
+      if (report.kept.Test(u) && report.kept.Test(v)) ++residual;
+    }
+    report.residual_conflicts = residual;
+  }
+  return report;
+}
+
+}  // namespace prefrep

@@ -1,0 +1,71 @@
+// Data cleaning: the baseline the paper's introduction argues against.
+//
+// A cleaning pass resolves conflicts using provenance-derived priorities
+// (source reliability or timestamps) and applies one of the standard
+// actions to tuples in unresolved conflicts (§1: remove the tuple, leave
+// the tuple, or report it to a contingency table). The report quantifies
+// exactly the shortcomings the paper lists: with incomplete preference
+// information the "cleaned" database may stay inconsistent (keep policy)
+// or lose information (remove policy) — which is what preferred consistent
+// query answers avoid.
+
+#ifndef PREFREP_CLEANING_CLEANING_H_
+#define PREFREP_CLEANING_CLEANING_H_
+
+#include <string>
+#include <vector>
+
+#include "base/bitset.h"
+#include "base/status.h"
+#include "priority/priority.h"
+#include "repair/repair.h"
+
+namespace prefrep {
+
+// What to do with tuples involved in conflicts the priority cannot resolve.
+enum class UnresolvedConflictPolicy {
+  kKeep,    // leave both tuples (result may remain inconsistent)
+  kRemove,  // drop both tuples (loses information; result is consistent)
+};
+
+struct CleaningReport {
+  // Tuples surviving the cleaning pass.
+  DynamicBitset kept;
+  // Tuples removed because a dominating tuple won their conflict.
+  DynamicBitset removed_dominated;
+  // Tuples removed (kRemove) or flagged (kKeep) due to unresolved
+  // conflicts; this doubles as the contingency table (§1).
+  DynamicBitset contingency;
+  // Number of conflicts remaining among `kept` (0 under kRemove).
+  int residual_conflicts = 0;
+
+  std::string Summary(const Database& db) const;
+};
+
+// Derives a priority from per-source reliability ranks (Example 3): in a
+// conflict, the tuple from the more reliable source dominates. Tuples with
+// unknown sources never dominate nor get dominated.
+Result<Priority> PriorityFromSourceReliability(
+    const RepairProblem& problem, const std::vector<int64_t>& source_ranks);
+
+// Derives a priority from tuple timestamps: the newer tuple dominates
+// (set `newer_wins` false for "first write wins"). Tuples without
+// timestamps participate in no domination.
+Priority PriorityFromTimestamps(const RepairProblem& problem,
+                                bool newer_wins = true);
+
+// One-shot cleaning: eagerly removes every tuple dominated in some
+// conflict, then applies `policy` to tuples left in unresolved conflicts.
+// This is deliberately the eager industry-style pass (cf. Grosof-style
+// prioritized conflict handling discussed in §5), *not* Algorithm 1: it
+// reproduces Example 3's "cleaned" database r' = {Mary-R&D, John-R&D}
+// under kKeep — still inconsistent — and under kRemove it may return a
+// non-maximal set (information loss). Both shortcomings motivate the
+// paper's preferred-repair semantics.
+CleaningReport CleanWithPolicy(const RepairProblem& problem,
+                               const Priority& priority,
+                               UnresolvedConflictPolicy policy);
+
+}  // namespace prefrep
+
+#endif  // PREFREP_CLEANING_CLEANING_H_

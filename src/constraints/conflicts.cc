@@ -1,0 +1,99 @@
+#include "constraints/conflicts.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace prefrep {
+
+namespace {
+
+// Hash of the projection of `t` onto attribute positions `attrs`.
+size_t ProjectionHash(const Tuple& t, const std::vector<int>& attrs) {
+  Value::Hash vh;
+  size_t h = 1469598103934665603ull;
+  for (int a : attrs) {
+    h ^= vh(t.value(a));
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+void SortAndDedup(std::vector<ConflictEdge>& edges) {
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+}
+
+// Looks up the relation an FD refers to, with a uniform error.
+Result<int> RelationIndexFor(const Database& db,
+                             const FunctionalDependency& fd) {
+  for (int i = 0; i < db.relation_count(); ++i) {
+    if (db.relations()[i].schema().relation_name() == fd.relation_name()) {
+      return i;
+    }
+  }
+  return Status::NotFound("FD references unknown relation '" +
+                          fd.relation_name() + "'");
+}
+
+}  // namespace
+
+Result<std::vector<ConflictEdge>> FindConflicts(
+    const Database& db, const std::vector<FunctionalDependency>& fds) {
+  std::vector<ConflictEdge> edges;
+  for (const FunctionalDependency& fd : fds) {
+    PREFREP_ASSIGN_OR_RETURN(int rel_idx, RelationIndexFor(db, fd));
+    const Relation& rel = db.relations()[rel_idx];
+
+    // Partition rows by LHS-projection hash; verify agreement inside
+    // buckets to be safe against hash collisions.
+    std::unordered_map<size_t, std::vector<int>> buckets;
+    for (int row = 0; row < rel.size(); ++row) {
+      buckets[ProjectionHash(rel.tuple(row), fd.lhs())].push_back(row);
+    }
+    for (const auto& [hash, rows] : buckets) {
+      (void)hash;
+      for (size_t i = 0; i < rows.size(); ++i) {
+        for (size_t j = i + 1; j < rows.size(); ++j) {
+          const Tuple& t1 = rel.tuple(rows[i]);
+          const Tuple& t2 = rel.tuple(rows[j]);
+          if (fd.Conflicts(t1, t2)) {
+            TupleId a = db.GlobalId(rel_idx, rows[i]);
+            TupleId b = db.GlobalId(rel_idx, rows[j]);
+            edges.emplace_back(std::min(a, b), std::max(a, b));
+          }
+        }
+      }
+    }
+  }
+  SortAndDedup(edges);
+  return edges;
+}
+
+Result<std::vector<ConflictEdge>> FindConflictsNaive(
+    const Database& db, const std::vector<FunctionalDependency>& fds) {
+  std::vector<ConflictEdge> edges;
+  for (const FunctionalDependency& fd : fds) {
+    PREFREP_ASSIGN_OR_RETURN(int rel_idx, RelationIndexFor(db, fd));
+    const Relation& rel = db.relations()[rel_idx];
+    for (int i = 0; i < rel.size(); ++i) {
+      for (int j = i + 1; j < rel.size(); ++j) {
+        if (fd.Conflicts(rel.tuple(i), rel.tuple(j))) {
+          TupleId a = db.GlobalId(rel_idx, i);
+          TupleId b = db.GlobalId(rel_idx, j);
+          edges.emplace_back(std::min(a, b), std::max(a, b));
+        }
+      }
+    }
+  }
+  SortAndDedup(edges);
+  return edges;
+}
+
+Result<bool> IsConsistent(const Database& db,
+                          const std::vector<FunctionalDependency>& fds) {
+  PREFREP_ASSIGN_OR_RETURN(std::vector<ConflictEdge> edges,
+                           FindConflicts(db, fds));
+  return edges.empty();
+}
+
+}  // namespace prefrep

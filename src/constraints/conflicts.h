@@ -1,0 +1,40 @@
+// Conflict detection: computes the edges of the conflict graph (§2.1).
+//
+// For each FD X -> Y over relation R, tuples are hash-partitioned on their
+// X-projection; only tuples within the same partition can conflict, which
+// avoids the naive O(n^2) all-pairs scan when partitions are small (the
+// naive detector is kept for the ABL-3 ablation benchmark).
+
+#ifndef PREFREP_CONSTRAINTS_CONFLICTS_H_
+#define PREFREP_CONSTRAINTS_CONFLICTS_H_
+
+#include <utility>
+#include <vector>
+
+#include "base/status.h"
+#include "constraints/fd.h"
+#include "relational/database.h"
+
+namespace prefrep {
+
+// An unordered pair of conflicting global tuple ids; first < second.
+using ConflictEdge = std::pair<TupleId, TupleId>;
+
+// Finds all conflicting pairs in `db` w.r.t. `fds` (hash-partitioned).
+// Each FD must reference a relation present in `db`. The result is
+// deduplicated (a pair conflicting under several FDs appears once) and
+// sorted.
+Result<std::vector<ConflictEdge>> FindConflicts(
+    const Database& db, const std::vector<FunctionalDependency>& fds);
+
+// Reference implementation: all-pairs scan. Same contract as FindConflicts.
+Result<std::vector<ConflictEdge>> FindConflictsNaive(
+    const Database& db, const std::vector<FunctionalDependency>& fds);
+
+// True iff `db` contains no conflicting pair w.r.t. `fds`.
+Result<bool> IsConsistent(const Database& db,
+                          const std::vector<FunctionalDependency>& fds);
+
+}  // namespace prefrep
+
+#endif  // PREFREP_CONSTRAINTS_CONFLICTS_H_

@@ -1,0 +1,130 @@
+#include "constraints/fd.h"
+
+#include <algorithm>
+
+#include "base/strings.h"
+
+namespace prefrep {
+
+namespace {
+
+Status ValidateSide(const Schema& schema, const std::vector<int>& side,
+                    const char* which) {
+  if (side.empty()) {
+    return Status::InvalidArgument(std::string("empty ") + which +
+                                   " in functional dependency");
+  }
+  for (size_t i = 0; i < side.size(); ++i) {
+    if (side[i] < 0 || side[i] >= schema.arity()) {
+      return Status::OutOfRange("attribute index " + std::to_string(side[i]) +
+                                " out of range for " + schema.ToString());
+    }
+    for (size_t j = 0; j < i; ++j) {
+      if (side[i] == side[j]) {
+        return Status::InvalidArgument(
+            std::string("duplicate attribute in FD ") + which);
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<FunctionalDependency> FunctionalDependency::Create(
+    const Schema& schema, std::vector<int> lhs, std::vector<int> rhs) {
+  PREFREP_RETURN_IF_ERROR(ValidateSide(schema, lhs, "LHS"));
+  PREFREP_RETURN_IF_ERROR(ValidateSide(schema, rhs, "RHS"));
+  FunctionalDependency fd;
+  fd.relation_name_ = schema.relation_name();
+  fd.lhs_ = std::move(lhs);
+  fd.rhs_ = std::move(rhs);
+  std::sort(fd.lhs_.begin(), fd.lhs_.end());
+  std::sort(fd.rhs_.begin(), fd.rhs_.end());
+  return fd;
+}
+
+Result<FunctionalDependency> FunctionalDependency::CreateByName(
+    const Schema& schema, const std::vector<std::string>& lhs,
+    const std::vector<std::string>& rhs) {
+  std::vector<int> lhs_idx, rhs_idx;
+  for (const std::string& name : lhs) {
+    PREFREP_ASSIGN_OR_RETURN(int idx, schema.AttributeIndex(name));
+    lhs_idx.push_back(idx);
+  }
+  for (const std::string& name : rhs) {
+    PREFREP_ASSIGN_OR_RETURN(int idx, schema.AttributeIndex(name));
+    rhs_idx.push_back(idx);
+  }
+  return Create(schema, std::move(lhs_idx), std::move(rhs_idx));
+}
+
+Result<FunctionalDependency> FunctionalDependency::Parse(
+    const Schema& schema, std::string_view text) {
+  size_t arrow = text.find("->");
+  if (arrow == std::string_view::npos) {
+    return Status::ParseError("missing '->' in FD: '" + std::string(text) +
+                              "'");
+  }
+  auto parse_side =
+      [&](std::string_view side) -> Result<std::vector<std::string>> {
+    std::vector<std::string> names;
+    std::string normalized(side);
+    std::replace(normalized.begin(), normalized.end(), ',', ' ');
+    for (const std::string& part : StrSplit(normalized, ' ')) {
+      std::string_view name = StripWhitespace(part);
+      if (name.empty()) continue;
+      if (!IsIdentifier(name)) {
+        return Status::ParseError("bad attribute name '" + std::string(name) +
+                                  "' in FD");
+      }
+      names.emplace_back(name);
+    }
+    return names;
+  };
+  PREFREP_ASSIGN_OR_RETURN(std::vector<std::string> lhs,
+                           parse_side(text.substr(0, arrow)));
+  PREFREP_ASSIGN_OR_RETURN(std::vector<std::string> rhs,
+                           parse_side(text.substr(arrow + 2)));
+  return CreateByName(schema, lhs, rhs);
+}
+
+bool FunctionalDependency::AgreeOnLhs(const Tuple& t1, const Tuple& t2) const {
+  for (int a : lhs_) {
+    if (t1.value(a) != t2.value(a)) return false;
+  }
+  return true;
+}
+
+bool FunctionalDependency::Conflicts(const Tuple& t1, const Tuple& t2) const {
+  if (!AgreeOnLhs(t1, t2)) return false;
+  for (int b : rhs_) {
+    if (t1.value(b) != t2.value(b)) return true;
+  }
+  return false;
+}
+
+bool FunctionalDependency::IsKeyDependencyFor(const Schema& schema) const {
+  // LHS -> every attribute outside the LHS.
+  std::vector<bool> covered(schema.arity(), false);
+  for (int a : lhs_) covered[a] = true;
+  for (int b : rhs_) covered[b] = true;
+  return std::all_of(covered.begin(), covered.end(),
+                     [](bool c) { return c; });
+}
+
+std::string FunctionalDependency::ToString(const Schema& schema) const {
+  std::string out;
+  for (size_t i = 0; i < lhs_.size(); ++i) {
+    if (i > 0) out += " ";
+    out += schema.attribute(lhs_[i]).name;
+  }
+  out += " -> ";
+  for (size_t i = 0; i < rhs_.size(); ++i) {
+    if (i > 0) out += " ";
+    out += schema.attribute(rhs_[i]).name;
+  }
+  return out;
+}
+
+}  // namespace prefrep

@@ -1,0 +1,75 @@
+// Functional dependencies (the paper's §2.1 class of integrity constraints).
+//
+// An FD "X -> Y" over relation R states that any two tuples agreeing on all
+// attributes of X also agree on all attributes of Y. Two tuples are
+// *conflicting* w.r.t. X -> Y when they agree on X and differ on some
+// attribute of Y.
+
+#ifndef PREFREP_CONSTRAINTS_FD_H_
+#define PREFREP_CONSTRAINTS_FD_H_
+
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "relational/schema.h"
+#include "relational/tuple.h"
+
+namespace prefrep {
+
+class FunctionalDependency {
+ public:
+  FunctionalDependency() = default;
+
+  // Attribute positions are indices into the relation's schema.
+  // Validates: non-empty sides, indices in range, no duplicates within a side.
+  static Result<FunctionalDependency> Create(const Schema& schema,
+                                             std::vector<int> lhs,
+                                             std::vector<int> rhs);
+
+  // By attribute names, e.g. ({"Dept"}, {"Name", "Salary", "Reports"}).
+  static Result<FunctionalDependency> CreateByName(
+      const Schema& schema, const std::vector<std::string>& lhs,
+      const std::vector<std::string>& rhs);
+
+  // Parses "Dept -> Name Salary Reports" (attributes may also be separated
+  // by commas).
+  static Result<FunctionalDependency> Parse(const Schema& schema,
+                                            std::string_view text);
+
+  const std::string& relation_name() const { return relation_name_; }
+  const std::vector<int>& lhs() const { return lhs_; }
+  const std::vector<int>& rhs() const { return rhs_; }
+
+  // True iff t1, t2 agree on every LHS attribute.
+  bool AgreeOnLhs(const Tuple& t1, const Tuple& t2) const;
+  // True iff t1, t2 are conflicting w.r.t. this FD: they agree on the LHS
+  // and differ on some RHS attribute.
+  bool Conflicts(const Tuple& t1, const Tuple& t2) const;
+  // True iff the pair does not violate the FD.
+  bool SatisfiedBy(const Tuple& t1, const Tuple& t2) const {
+    return !Conflicts(t1, t2);
+  }
+
+  // True iff this FD is a key dependency for `schema`: LHS -> all other
+  // attributes (used for the paper's Prop. 3 "one key dependency" case).
+  bool IsKeyDependencyFor(const Schema& schema) const;
+
+  // E.g. "Dept -> Name Salary Reports".
+  std::string ToString(const Schema& schema) const;
+
+  friend bool operator==(const FunctionalDependency& a,
+                         const FunctionalDependency& b) {
+    return a.relation_name_ == b.relation_name_ && a.lhs_ == b.lhs_ &&
+           a.rhs_ == b.rhs_;
+  }
+
+ private:
+  std::string relation_name_;
+  std::vector<int> lhs_;
+  std::vector<int> rhs_;
+};
+
+}  // namespace prefrep
+
+#endif  // PREFREP_CONSTRAINTS_FD_H_

@@ -1,0 +1,153 @@
+#include "constraints/fd_theory.h"
+
+#include <algorithm>
+
+namespace prefrep {
+
+namespace {
+
+AttributeSet ToSet(int arity, const std::vector<int>& attrs) {
+  return AttributeSet::FromIndices(arity, attrs);
+}
+
+}  // namespace
+
+AttributeSet AttributeClosure(const Schema& schema,
+                              const std::vector<FunctionalDependency>& fds,
+                              const AttributeSet& attrs) {
+  CHECK_EQ(attrs.size(), schema.arity());
+  AttributeSet closure = attrs;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const FunctionalDependency& fd : fds) {
+      AttributeSet lhs = ToSet(schema.arity(), fd.lhs());
+      if (!lhs.IsSubsetOf(closure)) continue;
+      for (int b : fd.rhs()) {
+        if (!closure.Test(b)) {
+          closure.Set(b);
+          changed = true;
+        }
+      }
+    }
+  }
+  return closure;
+}
+
+bool Implies(const Schema& schema,
+             const std::vector<FunctionalDependency>& fds,
+             const FunctionalDependency& fd) {
+  AttributeSet closure =
+      AttributeClosure(schema, fds, ToSet(schema.arity(), fd.lhs()));
+  return ToSet(schema.arity(), fd.rhs()).IsSubsetOf(closure);
+}
+
+bool IsSuperkey(const Schema& schema,
+                const std::vector<FunctionalDependency>& fds,
+                const AttributeSet& attrs) {
+  return AttributeClosure(schema, fds, attrs).Count() == schema.arity();
+}
+
+std::vector<AttributeSet> CandidateKeys(
+    const Schema& schema, const std::vector<FunctionalDependency>& fds) {
+  int n = schema.arity();
+  CHECK_LE(n, 20) << "CandidateKeys enumerates subsets; arity too large";
+  std::vector<AttributeSet> keys;
+  // Enumerate subsets in order of increasing size so minimality can be
+  // checked against previously found keys.
+  std::vector<uint32_t> subsets;
+  subsets.reserve(1u << n);
+  for (uint32_t mask = 0; mask < (1u << n); ++mask) subsets.push_back(mask);
+  std::sort(subsets.begin(), subsets.end(), [](uint32_t a, uint32_t b) {
+    int pa = __builtin_popcount(a), pb = __builtin_popcount(b);
+    return pa != pb ? pa < pb : a < b;
+  });
+  for (uint32_t mask : subsets) {
+    AttributeSet attrs(n);
+    for (int i = 0; i < n; ++i) {
+      if (mask & (1u << i)) attrs.Set(i);
+    }
+    bool contains_key = std::any_of(
+        keys.begin(), keys.end(),
+        [&](const AttributeSet& key) { return key.IsSubsetOf(attrs); });
+    if (contains_key) continue;
+    if (IsSuperkey(schema, fds, attrs)) keys.push_back(attrs);
+  }
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+bool IsBcnf(const Schema& schema,
+            const std::vector<FunctionalDependency>& fds) {
+  for (const FunctionalDependency& fd : fds) {
+    AttributeSet lhs = ToSet(schema.arity(), fd.lhs());
+    AttributeSet rhs = ToSet(schema.arity(), fd.rhs());
+    // Trivial FD: RHS ⊆ LHS.
+    if (rhs.IsSubsetOf(lhs)) continue;
+    if (!IsSuperkey(schema, fds, lhs)) return false;
+  }
+  return true;
+}
+
+std::vector<FunctionalDependency> MinimalCover(
+    const Schema& schema, const std::vector<FunctionalDependency>& fds) {
+  // Step 1: split RHS into singletons.
+  std::vector<FunctionalDependency> cover;
+  for (const FunctionalDependency& fd : fds) {
+    for (int b : fd.rhs()) {
+      auto single = FunctionalDependency::Create(schema, fd.lhs(), {b});
+      CHECK(single.ok());
+      cover.push_back(*single);
+    }
+  }
+
+  // Step 2: remove extraneous LHS attributes.
+  for (auto& fd : cover) {
+    bool reduced = true;
+    while (reduced && fd.lhs().size() > 1) {
+      reduced = false;
+      for (size_t i = 0; i < fd.lhs().size(); ++i) {
+        std::vector<int> smaller = fd.lhs();
+        smaller.erase(smaller.begin() + static_cast<long>(i));
+        auto candidate = FunctionalDependency::Create(schema, smaller,
+                                                      fd.rhs());
+        CHECK(candidate.ok());
+        if (Implies(schema, cover, *candidate)) {
+          fd = *candidate;
+          reduced = true;
+          break;
+        }
+      }
+    }
+  }
+
+  // Step 3: drop redundant FDs.
+  for (size_t i = 0; i < cover.size();) {
+    std::vector<FunctionalDependency> rest;
+    for (size_t j = 0; j < cover.size(); ++j) {
+      if (j != i) rest.push_back(cover[j]);
+    }
+    if (Implies(schema, rest, cover[i])) {
+      cover = std::move(rest);
+    } else {
+      ++i;
+    }
+  }
+
+  // Deduplicate identical FDs (can arise from step 1).
+  std::vector<FunctionalDependency> unique;
+  for (const auto& fd : cover) {
+    if (std::find(unique.begin(), unique.end(), fd) == unique.end()) {
+      unique.push_back(fd);
+    }
+  }
+  return unique;
+}
+
+bool IsSingleKeyDependency(const Schema& schema,
+                           const std::vector<FunctionalDependency>& fds) {
+  if (fds.size() != 1) return false;
+  return fds[0].IsKeyDependencyFor(schema);
+}
+
+}  // namespace prefrep

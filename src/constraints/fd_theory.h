@@ -1,0 +1,60 @@
+// Classical FD theory: attribute closure, implication, keys, BCNF,
+// minimal cover.
+//
+// The paper's future work (§6) suggests studying the complexity results
+// under the assumption that the FD set conforms to BCNF (following [2]);
+// this module provides the machinery to state and test that condition, and
+// general FD tooling a downstream user of the library expects.
+
+#ifndef PREFREP_CONSTRAINTS_FD_THEORY_H_
+#define PREFREP_CONSTRAINTS_FD_THEORY_H_
+
+#include <vector>
+
+#include "base/bitset.h"
+#include "base/status.h"
+#include "constraints/fd.h"
+#include "relational/schema.h"
+
+namespace prefrep {
+
+// Attribute sets are bitsets over [0, schema.arity()).
+using AttributeSet = DynamicBitset;
+
+// X+ : the closure of `attrs` under `fds` (all FDs must be over `schema`).
+AttributeSet AttributeClosure(const Schema& schema,
+                              const std::vector<FunctionalDependency>& fds,
+                              const AttributeSet& attrs);
+
+// True iff `fds` logically implies `fd` (via closure).
+bool Implies(const Schema& schema, const std::vector<FunctionalDependency>& fds,
+             const FunctionalDependency& fd);
+
+// True iff `attrs` functionally determines every attribute (a superkey).
+bool IsSuperkey(const Schema& schema,
+                const std::vector<FunctionalDependency>& fds,
+                const AttributeSet& attrs);
+
+// All minimal keys (candidate keys), ordered by bitset order.
+// Exponential in arity; intended for the small schemas of this domain.
+std::vector<AttributeSet> CandidateKeys(
+    const Schema& schema, const std::vector<FunctionalDependency>& fds);
+
+// True iff every non-trivial FD implied by `fds` has a superkey LHS.
+// It suffices to check the given FDs (standard BCNF characterization).
+bool IsBcnf(const Schema& schema,
+            const std::vector<FunctionalDependency>& fds);
+
+// A minimal cover: singleton RHS, no redundant LHS attributes, no redundant
+// FDs. Deterministic for a given input order.
+std::vector<FunctionalDependency> MinimalCover(
+    const Schema& schema, const std::vector<FunctionalDependency>& fds);
+
+// True iff `fds` contains (syntactically, up to attribute-set equality)
+// exactly one FD and it is a key dependency — the paper's Prop. 3 setting.
+bool IsSingleKeyDependency(const Schema& schema,
+                           const std::vector<FunctionalDependency>& fds);
+
+}  // namespace prefrep
+
+#endif  // PREFREP_CONSTRAINTS_FD_THEORY_H_

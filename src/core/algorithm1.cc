@@ -1,0 +1,57 @@
+#include "core/algorithm1.h"
+
+#include <numeric>
+
+namespace prefrep {
+
+DynamicBitset CleanDatabase(const ConflictGraph& graph,
+                            const Priority& priority,
+                            const std::vector<int>& choice_order) {
+  int n = graph.vertex_count();
+  CHECK_EQ(static_cast<int>(choice_order.size()), n);
+  // position[v] = rank of v in the choice order (lower = preferred).
+  std::vector<int> position(n);
+  for (int i = 0; i < n; ++i) position[choice_order[i]] = i;
+
+  DynamicBitset remaining = DynamicBitset::AllSet(n);
+  DynamicBitset result(n);
+  while (true) {
+    DynamicBitset winnow = Winnow(priority, remaining);
+    if (winnow.None()) break;  // with an acyclic ≻ this means remaining = {}
+    int chosen = -1;
+    ForEachSetBit(winnow, [&](int v) {
+      if (chosen < 0 || position[v] < position[chosen]) chosen = v;
+    });
+    result.Set(chosen);
+    remaining.Subtract(graph.Vicinity(chosen));
+  }
+  return result;
+}
+
+DynamicBitset CleanDatabase(const ConflictGraph& graph,
+                            const Priority& priority) {
+  std::vector<int> identity(graph.vertex_count());
+  std::iota(identity.begin(), identity.end(), 0);
+  return CleanDatabase(graph, priority, identity);
+}
+
+DynamicBitset CleanDatabaseTotal(const ConflictGraph& graph,
+                                 const Priority& priority) {
+  CHECK(priority.IsTotalFor(graph)) << "CleanDatabaseTotal needs a total "
+                                       "priority; use CleanDatabase";
+  int n = graph.vertex_count();
+  DynamicBitset remaining = DynamicBitset::AllSet(n);
+  DynamicBitset result(n);
+  while (true) {
+    DynamicBitset winnow = Winnow(priority, remaining);
+    if (winnow.None()) break;
+    // Totality makes ω≻ independent: no conflict edge can have both
+    // endpoints undominated. Consume the whole round at once.
+    result |= winnow;
+    remaining.Subtract(winnow);
+    remaining.Subtract(graph.NeighborsOfSet(winnow));
+  }
+  return result;
+}
+
+}  // namespace prefrep

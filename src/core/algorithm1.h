@@ -1,0 +1,44 @@
+// Algorithm 1 ("Cleaning the database", §2.2): iterated winnow.
+//
+//   r' <- {}
+//   while ω≻(r) != {}:
+//     choose any x ∈ ω≻(r)
+//     r' <- r' ∪ {x};  r <- r \ ({x} ∪ n(x))
+//   return r'
+//
+// For a *total* priority the result is the unique "clean" database
+// regardless of the choices (Prop. 1). For partial priorities different
+// choice sequences may produce different repairs; the set of all outcomes
+// is exactly C-Rep (Prop. 7).
+
+#ifndef PREFREP_CORE_ALGORITHM1_H_
+#define PREFREP_CORE_ALGORITHM1_H_
+
+#include <vector>
+
+#include "base/bitset.h"
+#include "graph/conflict_graph.h"
+#include "priority/priority.h"
+
+namespace prefrep {
+
+// Runs Algorithm 1 choosing, at each step, the winnow candidate appearing
+// earliest in `choice_order` (a permutation of the vertices). The result is
+// always a repair, and always a common repair (element of C-Rep).
+DynamicBitset CleanDatabase(const ConflictGraph& graph,
+                            const Priority& priority,
+                            const std::vector<int>& choice_order);
+
+// CleanDatabase with the identity choice order (lowest tuple id first).
+DynamicBitset CleanDatabase(const ConflictGraph& graph,
+                            const Priority& priority);
+
+// Fast path for total priorities: the winnow set is independent, so every
+// round can consume it wholesale (Prop. 1 guarantees choice-independence).
+// CHECK-fails if `priority` is not total for `graph`.
+DynamicBitset CleanDatabaseTotal(const ConflictGraph& graph,
+                                 const Priority& priority);
+
+}  // namespace prefrep
+
+#endif  // PREFREP_CORE_ALGORITHM1_H_

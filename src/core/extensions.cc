@@ -1,0 +1,76 @@
+#include "core/extensions.h"
+
+#include <set>
+
+#include "core/algorithm1.h"
+#include "graph/digraph.h"
+
+namespace prefrep {
+
+namespace {
+
+class ExtensionEnumerator {
+ public:
+  ExtensionEnumerator(const ConflictGraph& graph, const Priority& priority,
+                      const std::function<bool(const Priority&)>& callback)
+      : graph_(graph), callback_(callback) {
+    arcs_ = priority.arcs();
+    for (auto [u, v] : graph.edges()) {
+      if (!priority.Dominates(u, v) && !priority.Dominates(v, u)) {
+        free_edges_.emplace_back(u, v);
+      }
+    }
+  }
+
+  bool Run() { return Visit(0); }
+
+ private:
+  bool Visit(size_t index) {
+    if (index == free_edges_.size()) {
+      auto total = Priority::Create(graph_, arcs_);
+      CHECK(total.ok()) << total.status().ToString();
+      return callback_(*total);
+    }
+    auto [u, v] = free_edges_[index];
+    for (auto arc : {std::make_pair(u, v), std::make_pair(v, u)}) {
+      arcs_.push_back(arc);
+      // Prune orientations that already created a cycle.
+      if (IsAcyclicDigraph(graph_.vertex_count(), arcs_)) {
+        if (!Visit(index + 1)) return false;
+      }
+      arcs_.pop_back();
+    }
+    return true;
+  }
+
+  const ConflictGraph& graph_;
+  const std::function<bool(const Priority&)>& callback_;
+  std::vector<std::pair<int, int>> arcs_;
+  std::vector<std::pair<int, int>> free_edges_;
+};
+
+}  // namespace
+
+bool EnumerateTotalExtensions(
+    const ConflictGraph& graph, const Priority& priority,
+    const std::function<bool(const Priority&)>& callback) {
+  ExtensionEnumerator enumerator(graph, priority, callback);
+  return enumerator.Run();
+}
+
+Result<std::vector<DynamicBitset>> ExtensionFamilyRepairs(
+    const ConflictGraph& graph, const Priority& priority, size_t limit) {
+  std::set<DynamicBitset> repairs;
+  bool complete = EnumerateTotalExtensions(
+      graph, priority, [&](const Priority& total) {
+        if (repairs.size() > limit) return false;
+        repairs.insert(CleanDatabaseTotal(graph, total));
+        return true;
+      });
+  if (!complete || repairs.size() > limit) {
+    return Status::ResourceExhausted("extension family exceeds limit");
+  }
+  return std::vector<DynamicBitset>(repairs.begin(), repairs.end());
+}
+
+}  // namespace prefrep

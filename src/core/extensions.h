@@ -1,0 +1,45 @@
+// Total-extension semantics: resolving a partial priority by considering
+// every total extension.
+//
+// The paper's related work (§5) discusses Brewka-style preferred
+// subtheories, which handle partial preference information by quantifying
+// over all extensions to total orders, "constructed in a manner analogous
+// to C-repairs". This module makes that connection executable: it
+// enumerates the total priorities extending a given one and collects the
+// unique clean database of each (Prop. 1). tests/extensions_test.cc
+// validates empirically that this family coincides with C-Rep — i.e.
+// Algorithm 1's choice nondeterminism is exactly deferred orientation of
+// the remaining conflicts.
+
+#ifndef PREFREP_CORE_EXTENSIONS_H_
+#define PREFREP_CORE_EXTENSIONS_H_
+
+#include <functional>
+#include <vector>
+
+#include "base/bitset.h"
+#include "base/status.h"
+#include "graph/conflict_graph.h"
+#include "priority/priority.h"
+
+namespace prefrep {
+
+// Visits every total priority extending `priority` (acyclic orientations
+// of the remaining conflict edges) exactly once. The callback returns
+// false to stop early; returns true iff enumeration completed. The number
+// of extensions is exponential in the unoriented edge count.
+bool EnumerateTotalExtensions(
+    const ConflictGraph& graph, const Priority& priority,
+    const std::function<bool(const Priority&)>& callback);
+
+// The repairs selected by the total-extension semantics: the set
+// { CleanDatabaseTotal(≻') : ≻' a total extension of `priority` }.
+// Deduplicated; fails with kResourceExhausted past `limit` distinct
+// repairs.
+Result<std::vector<DynamicBitset>> ExtensionFamilyRepairs(
+    const ConflictGraph& graph, const Priority& priority,
+    size_t limit = 1u << 20);
+
+}  // namespace prefrep
+
+#endif  // PREFREP_CORE_EXTENSIONS_H_

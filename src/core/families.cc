@@ -1,0 +1,136 @@
+#include "core/families.h"
+
+#include <unordered_set>
+
+#include "core/optimality.h"
+#include "graph/mis.h"
+
+namespace prefrep {
+
+namespace {
+
+// DFS over Algorithm 1 choice sequences. States are identified by the set
+// of chosen tuples (the chosen set determines the remaining set), so each
+// distinct partial output is expanded once.
+class CommonRepairEnumerator {
+ public:
+  CommonRepairEnumerator(const ConflictGraph& graph, const Priority& priority,
+                         const std::function<bool(const DynamicBitset&)>& cb)
+      : graph_(graph), priority_(priority), callback_(cb) {}
+
+  bool Run() {
+    int n = graph_.vertex_count();
+    return Visit(DynamicBitset(n), DynamicBitset::AllSet(n));
+  }
+
+ private:
+  bool Visit(const DynamicBitset& chosen, const DynamicBitset& remaining) {
+    if (!visited_.insert(chosen).second) return true;
+    DynamicBitset winnow = Winnow(priority_, remaining);
+    if (winnow.None()) {
+      // ≻ is acyclic, so an empty winnow implies an empty remaining set;
+      // `chosen` is a completed run of Algorithm 1.
+      return callback_(chosen);
+    }
+    for (int x = winnow.FirstSetBit(); x >= 0; x = winnow.NextSetBit(x + 1)) {
+      DynamicBitset next_chosen = chosen;
+      next_chosen.Set(x);
+      if (!Visit(next_chosen, Difference(remaining, graph_.Vicinity(x)))) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  const ConflictGraph& graph_;
+  const Priority& priority_;
+  const std::function<bool(const DynamicBitset&)>& callback_;
+  std::unordered_set<DynamicBitset, DynamicBitset::Hash> visited_;
+};
+
+}  // namespace
+
+std::string_view RepairFamilyName(RepairFamily family) {
+  switch (family) {
+    case RepairFamily::kAll:
+      return "Rep";
+    case RepairFamily::kLocal:
+      return "L-Rep";
+    case RepairFamily::kSemiGlobal:
+      return "S-Rep";
+    case RepairFamily::kGlobal:
+      return "G-Rep";
+    case RepairFamily::kCommon:
+      return "C-Rep";
+  }
+  return "?";
+}
+
+bool IsPreferredRepair(const ConflictGraph& graph, const Priority& priority,
+                       RepairFamily family, const DynamicBitset& repair) {
+  switch (family) {
+    case RepairFamily::kAll:
+      return graph.IsMaximalIndependent(repair);
+    case RepairFamily::kLocal:
+      return IsLocallyOptimal(graph, priority, repair);
+    case RepairFamily::kSemiGlobal:
+      return IsSemiGloballyOptimal(graph, priority, repair);
+    case RepairFamily::kGlobal:
+      return IsGloballyOptimal(graph, priority, repair);
+    case RepairFamily::kCommon:
+      return IsCommonRepair(graph, priority, repair);
+  }
+  return false;
+}
+
+bool EnumeratePreferredRepairs(
+    const ConflictGraph& graph, const Priority& priority, RepairFamily family,
+    const std::function<bool(const DynamicBitset&)>& callback) {
+  switch (family) {
+    case RepairFamily::kAll:
+      return EnumerateMaximalIndependentSets(graph, callback);
+    case RepairFamily::kLocal:
+      return EnumerateMaximalIndependentSets(
+          graph, [&](const DynamicBitset& repair) {
+            if (!IsLocallyOptimal(graph, priority, repair)) return true;
+            return callback(repair);
+          });
+    case RepairFamily::kSemiGlobal:
+      return EnumerateMaximalIndependentSets(
+          graph, [&](const DynamicBitset& repair) {
+            if (!IsSemiGloballyOptimal(graph, priority, repair)) return true;
+            return callback(repair);
+          });
+    case RepairFamily::kGlobal:
+      return EnumerateMaximalIndependentSets(
+          graph, [&](const DynamicBitset& repair) {
+            if (!IsGloballyOptimal(graph, priority, repair)) return true;
+            return callback(repair);
+          });
+    case RepairFamily::kCommon: {
+      CommonRepairEnumerator enumerator(graph, priority, callback);
+      return enumerator.Run();
+    }
+  }
+  return true;
+}
+
+Result<std::vector<DynamicBitset>> PreferredRepairs(
+    const ConflictGraph& graph, const Priority& priority, RepairFamily family,
+    size_t limit) {
+  std::vector<DynamicBitset> repairs;
+  bool complete = EnumeratePreferredRepairs(
+      graph, priority, family, [&repairs, limit](const DynamicBitset& r) {
+        if (repairs.size() >= limit) return false;
+        repairs.push_back(r);
+        return true;
+      });
+  if (!complete) {
+    return Status::ResourceExhausted("more than " + std::to_string(limit) +
+                                     " preferred repairs in family " +
+                                     std::string(RepairFamilyName(family)));
+  }
+  return repairs;
+}
+
+}  // namespace prefrep

@@ -1,0 +1,58 @@
+// The four families of preferred repairs: L-Rep, S-Rep, G-Rep, C-Rep,
+// plus the unrestricted Rep (no priorities given).
+//
+// PreferredRepairs / EnumeratePreferredRepairs select the subset of the
+// repair space a family retains under a given priority; these drive the
+// preferred-consistent-query-answer engines in src/cqa.
+
+#ifndef PREFREP_CORE_FAMILIES_H_
+#define PREFREP_CORE_FAMILIES_H_
+
+#include <functional>
+#include <string_view>
+#include <vector>
+
+#include "base/bitset.h"
+#include "base/status.h"
+#include "graph/conflict_graph.h"
+#include "priority/priority.h"
+
+namespace prefrep {
+
+enum class RepairFamily {
+  kAll,         // Rep: every repair (Arenas-Bertossi-Chomicki baseline)
+  kLocal,       // L-Rep: locally optimal repairs
+  kSemiGlobal,  // S-Rep: semi-globally optimal repairs
+  kGlobal,      // G-Rep: globally optimal repairs
+  kCommon,      // C-Rep: common repairs (all Algorithm 1 outputs)
+};
+
+// "Rep", "L-Rep", "S-Rep", "G-Rep", "C-Rep".
+std::string_view RepairFamilyName(RepairFamily family);
+
+// All five families, in the paper's order (handy for sweeps).
+inline constexpr RepairFamily kAllFamilies[] = {
+    RepairFamily::kAll, RepairFamily::kLocal, RepairFamily::kSemiGlobal,
+    RepairFamily::kGlobal, RepairFamily::kCommon};
+
+// X-repair checking (problem (i) of §4.1): is `repair` — assumed to be a
+// repair — a member of family X under `priority`?
+bool IsPreferredRepair(const ConflictGraph& graph, const Priority& priority,
+                       RepairFamily family, const DynamicBitset& repair);
+
+// Visits every repair of the family exactly once (order unspecified).
+// The callback returns false to stop early; returns true iff enumeration
+// completed. For kGlobal this runs the co-NP witness search per repair;
+// for kCommon it explores the Algorithm 1 choice tree with memoization.
+bool EnumeratePreferredRepairs(
+    const ConflictGraph& graph, const Priority& priority, RepairFamily family,
+    const std::function<bool(const DynamicBitset&)>& callback);
+
+// Materializes the family, failing with kResourceExhausted beyond `limit`.
+Result<std::vector<DynamicBitset>> PreferredRepairs(
+    const ConflictGraph& graph, const Priority& priority, RepairFamily family,
+    size_t limit = 1u << 20);
+
+}  // namespace prefrep
+
+#endif  // PREFREP_CORE_FAMILIES_H_

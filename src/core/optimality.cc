@@ -1,0 +1,97 @@
+#include "core/optimality.h"
+
+#include "graph/mis.h"
+
+namespace prefrep {
+
+bool IsPreferredOver(const Priority& priority, const DynamicBitset& r1,
+                     const DynamicBitset& r2) {
+  DynamicBitset only_r1 = Difference(r1, r2);
+  DynamicBitset only_r2 = Difference(r2, r1);
+  bool all_dominated = true;
+  ForEachSetBit(only_r1, [&](int x) {
+    if (all_dominated && !priority.DominatorsOf(x).Intersects(only_r2)) {
+      all_dominated = false;
+    }
+  });
+  return all_dominated;
+}
+
+bool IsLocallyOptimal(const ConflictGraph& graph, const Priority& priority,
+                      const DynamicBitset& repair) {
+  DCHECK(graph.IsMaximalIndependent(repair));
+  int n = graph.vertex_count();
+  for (int y = 0; y < n; ++y) {
+    if (repair.Test(y)) continue;
+    // (r' \ {x}) ∪ {y} is consistent iff y's only neighbor inside r' is x.
+    DynamicBitset inside = graph.Neighbors(y) & repair;
+    int x = inside.FirstSetBit();
+    if (x < 0) continue;  // cannot happen for maximal repairs
+    if (inside.NextSetBit(x + 1) >= 0) continue;  // more than one neighbor
+    if (priority.Dominates(y, x)) return false;
+  }
+  return true;
+}
+
+bool IsSemiGloballyOptimal(const ConflictGraph& graph,
+                           const Priority& priority,
+                           const DynamicBitset& repair) {
+  DCHECK(graph.IsMaximalIndependent(repair));
+  int n = graph.vertex_count();
+  for (int y = 0; y < n; ++y) {
+    if (repair.Test(y)) continue;
+    // X must equal n(y) ∩ r' (smaller X leaves a conflict with y; larger X
+    // adds tuples y does not conflict with, which y cannot dominate).
+    DynamicBitset inside = graph.Neighbors(y) & repair;
+    if (inside.None()) continue;
+    if (inside.IsSubsetOf(priority.DominatedBy(y))) return false;
+  }
+  return true;
+}
+
+bool IsGloballyOptimal(const ConflictGraph& graph, const Priority& priority,
+                       const DynamicBitset& repair) {
+  DCHECK(graph.IsMaximalIndependent(repair));
+  bool found_witness = false;
+  EnumerateMaximalIndependentSets(graph, [&](const DynamicBitset& other) {
+    if (other == repair) return true;
+    if (IsPreferredOver(priority, repair, other)) {
+      found_witness = true;
+      return false;  // stop enumeration
+    }
+    return true;
+  });
+  return !found_witness;
+}
+
+bool IsGloballyOptimalAmong(const Priority& priority,
+                            const DynamicBitset& repair,
+                            const std::vector<DynamicBitset>& repairs) {
+  for (const DynamicBitset& other : repairs) {
+    if (other == repair) continue;
+    if (IsPreferredOver(priority, repair, other)) return false;
+  }
+  return true;
+}
+
+bool IsCommonRepair(const ConflictGraph& graph, const Priority& priority,
+                    const DynamicBitset& repair) {
+  DCHECK(graph.IsMaximalIndependent(repair));
+  int n = graph.vertex_count();
+  DynamicBitset remaining = DynamicBitset::AllSet(n);
+  DynamicBitset to_pick = repair;
+  while (true) {
+    DynamicBitset winnow = Winnow(priority, remaining);
+    DynamicBitset picks = winnow & to_pick;
+    if (picks.None()) break;
+    // Picking any x ∈ ω≻(r) ∩ r' keeps every other such candidate valid
+    // (members of r' are pairwise non-conflicting and removals only shrink
+    // domination), so all candidates can be consumed in one batch.
+    to_pick.Subtract(picks);
+    remaining.Subtract(picks);
+    remaining.Subtract(graph.NeighborsOfSet(picks));
+  }
+  return remaining.None();
+}
+
+}  // namespace prefrep

@@ -1,0 +1,242 @@
+#include "cqa/cqa.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <set>
+
+#include "query/normal_form.h"
+
+namespace prefrep {
+
+std::string_view CqaVerdictName(CqaVerdict verdict) {
+  switch (verdict) {
+    case CqaVerdict::kCertainlyTrue:
+      return "certainly-true";
+    case CqaVerdict::kCertainlyFalse:
+      return "certainly-false";
+    case CqaVerdict::kUndetermined:
+      return "undetermined";
+  }
+  return "?";
+}
+
+Result<CqaVerdict> PreferredConsistentAnswer(const RepairProblem& problem,
+                                             const Priority& priority,
+                                             RepairFamily family,
+                                             const Query& query) {
+  PREFREP_RETURN_IF_ERROR(ValidateQuery(problem.db(), query));
+  if (!query.IsClosed()) {
+    return Status::InvalidArgument(
+        "consistent answers need a closed query; got " + query.ToString());
+  }
+  bool seen_true = false;
+  bool seen_false = false;
+  Status eval_error = Status::Ok();
+  EnumeratePreferredRepairs(
+      problem.graph(), priority, family, [&](const DynamicBitset& repair) {
+        Result<bool> holds = EvalClosed(problem.db(), &repair, query);
+        if (!holds.ok()) {
+          eval_error = holds.status();
+          return false;
+        }
+        (*holds ? seen_true : seen_false) = true;
+        return !(seen_true && seen_false);  // stop once both observed
+      });
+  PREFREP_RETURN_IF_ERROR(eval_error);
+  if (seen_true && seen_false) return CqaVerdict::kUndetermined;
+  if (seen_false) return CqaVerdict::kCertainlyFalse;
+  // All repairs satisfy Q (or the family was empty, which P1-families
+  // never are; vacuously true then).
+  return CqaVerdict::kCertainlyTrue;
+}
+
+Result<bool> IsConsistentlyTrue(const RepairProblem& problem,
+                                const Priority& priority, RepairFamily family,
+                                const Query& query) {
+  PREFREP_ASSIGN_OR_RETURN(
+      CqaVerdict verdict,
+      PreferredConsistentAnswer(problem, priority, family, query));
+  return verdict == CqaVerdict::kCertainlyTrue;
+}
+
+Result<OpenAnswer> PreferredConsistentAnswers(const RepairProblem& problem,
+                                              const Priority& priority,
+                                              RepairFamily family,
+                                              const Query& query) {
+  PREFREP_RETURN_IF_ERROR(ValidateQuery(problem.db(), query));
+  bool first = true;
+  std::set<Tuple> certain;
+  std::vector<std::string> variables;
+  Status eval_error = Status::Ok();
+  EnumeratePreferredRepairs(
+      problem.graph(), priority, family, [&](const DynamicBitset& repair) {
+        Result<OpenAnswer> answer = EvalOpen(problem.db(), &repair, query);
+        if (!answer.ok()) {
+          eval_error = answer.status();
+          return false;
+        }
+        if (first) {
+          variables = answer->variables;
+          certain.insert(answer->rows.begin(), answer->rows.end());
+          first = false;
+        } else {
+          std::set<Tuple> here(answer->rows.begin(), answer->rows.end());
+          for (auto it = certain.begin(); it != certain.end();) {
+            it = here.contains(*it) ? std::next(it) : certain.erase(it);
+          }
+        }
+        return !certain.empty() || first;  // nothing left to lose: stop
+      });
+  PREFREP_RETURN_IF_ERROR(eval_error);
+  OpenAnswer out;
+  out.variables = std::move(variables);
+  out.rows.assign(certain.begin(), certain.end());
+  return out;
+}
+
+namespace {
+
+// Decides whether some repair satisfies the ground disjunct: it must
+// contain all positive facts, avoid all negative ones, and all constant
+// comparisons must hold.
+Result<bool> DisjunctSatisfiableBySomeRepair(const RepairProblem& problem,
+                                             const GroundDisjunct& disjunct) {
+  const ConflictGraph& graph = problem.graph();
+  int n = graph.vertex_count();
+
+  DynamicBitset required(n);   // positive facts (must be in the repair)
+  std::vector<TupleId> excluded;  // facts that must be out
+
+  for (const GroundLiteral& lit : disjunct) {
+    if (!lit.is_atom) {
+      if (!lit.ComparisonHolds()) return false;
+      continue;
+    }
+    auto id = problem.db().FindTuple(lit.relation, lit.tuple);
+    if (lit.positive) {
+      // A fact not in the database is in no repair.
+      if (!id.ok()) return false;
+      required.Set(*id);
+    } else {
+      // A fact not in the database is absent from every repair: trivially
+      // satisfied.
+      if (id.ok()) excluded.push_back(*id);
+    }
+  }
+
+  // The positive part must be conflict-free.
+  if (!graph.IsIndependent(required)) return false;
+
+  // Every excluded fact must be kept out of a *maximal* independent set
+  // containing `required`, i.e. blocked by a conflicting witness in the
+  // repair. A fact both required and excluded is contradictory.
+  std::sort(excluded.begin(), excluded.end());
+  excluded.erase(std::unique(excluded.begin(), excluded.end()),
+                 excluded.end());
+  std::vector<TupleId> need_witness;
+  for (TupleId s : excluded) {
+    if (required.Test(s)) return false;
+    if (graph.Neighbors(s).Intersects(required)) continue;  // already blocked
+    need_witness.push_back(s);
+  }
+
+  // Backtracking over witness choices w_s ∈ n(s): the witnesses must be
+  // mutually consistent and consistent with the required facts, and must
+  // not be excluded facts themselves. The search depth is the number of
+  // negative literals (fixed with the query), so this is data-polynomial.
+  DynamicBitset excluded_mask(n);
+  for (TupleId s : excluded) excluded_mask.Set(s);
+
+  std::function<bool(size_t, DynamicBitset&)> search =
+      [&](size_t index, DynamicBitset& chosen) -> bool {
+    if (index == need_witness.size()) return true;
+    TupleId s = need_witness[index];
+    if (graph.Neighbors(s).Intersects(chosen)) {
+      // Already blocked by a previously chosen witness.
+      return search(index + 1, chosen);
+    }
+    DynamicBitset candidates = graph.Neighbors(s);
+    candidates.Subtract(excluded_mask);
+    for (int w = candidates.FirstSetBit(); w >= 0;
+         w = candidates.NextSetBit(w + 1)) {
+      // The witness must not conflict with anything selected so far.
+      if (graph.Neighbors(w).Intersects(chosen)) continue;
+      chosen.Set(w);
+      if (search(index + 1, chosen)) return true;
+      chosen.Reset(w);
+    }
+    return false;
+  };
+
+  DynamicBitset chosen = required;
+  return search(0, chosen);
+}
+
+}  // namespace
+
+Result<bool> GroundConsistentAnswer(const RepairProblem& problem,
+                                    const Query& query) {
+  PREFREP_RETURN_IF_ERROR(ValidateQuery(problem.db(), query));
+  if (!query.IsGround() || !query.IsQuantifierFree()) {
+    return Status::InvalidArgument(
+        "GroundConsistentAnswer handles ground quantifier-free queries; "
+        "use PreferredConsistentAnswer for " +
+        query.ToString());
+  }
+  // true is the consistent answer iff no repair satisfies ¬Q.
+  std::unique_ptr<Query> negated = Query::Not(query.Clone());
+  PREFREP_ASSIGN_OR_RETURN(std::vector<GroundDisjunct> dnf,
+                           GroundDnf(*negated));
+  for (const GroundDisjunct& disjunct : dnf) {
+    PREFREP_ASSIGN_OR_RETURN(
+        bool satisfiable, DisjunctSatisfiableBySomeRepair(problem, disjunct));
+    if (satisfiable) return false;
+  }
+  return true;
+}
+
+Result<OpenAnswer> GroundConsistentOpenAnswers(const RepairProblem& problem,
+                                               const Query& query) {
+  if (!query.IsQuantifierFree()) {
+    return Status::InvalidArgument(
+        "GroundConsistentOpenAnswers needs a quantifier-free query");
+  }
+  if (!IsNegationFree(query)) {
+    return Status::InvalidArgument(
+        "GroundConsistentOpenAnswers needs a negation-free (monotone) "
+        "query; use PreferredConsistentAnswers");
+  }
+  // Candidates: answers over the full database (a superset of every
+  // repair's answers, by monotonicity).
+  PREFREP_ASSIGN_OR_RETURN(OpenAnswer candidates,
+                           EvalOpen(problem.db(), nullptr, query));
+  OpenAnswer certain;
+  certain.variables = candidates.variables;
+  for (const Tuple& row : candidates.rows) {
+    std::map<std::string, Value> bindings;
+    for (size_t i = 0; i < certain.variables.size(); ++i) {
+      bindings.emplace(certain.variables[i],
+                       row.value(static_cast<int>(i)));
+    }
+    std::unique_ptr<Query> ground = SubstituteVariables(query, bindings);
+    PREFREP_ASSIGN_OR_RETURN(bool is_certain,
+                             GroundConsistentAnswer(problem, *ground));
+    if (is_certain) certain.rows.push_back(row);
+  }
+  return certain;
+}
+
+Result<CqaVerdict> GroundConsistentVerdict(const RepairProblem& problem,
+                                           const Query& query) {
+  PREFREP_ASSIGN_OR_RETURN(bool certainly_true,
+                           GroundConsistentAnswer(problem, query));
+  if (certainly_true) return CqaVerdict::kCertainlyTrue;
+  std::unique_ptr<Query> negated = Query::Not(query.Clone());
+  PREFREP_ASSIGN_OR_RETURN(bool certainly_false,
+                           GroundConsistentAnswer(problem, *negated));
+  if (certainly_false) return CqaVerdict::kCertainlyFalse;
+  return CqaVerdict::kUndetermined;
+}
+
+}  // namespace prefrep

@@ -1,0 +1,79 @@
+// Preferred consistent query answering (§2.3): the end-to-end API.
+//
+// For a closed query Q and a family X of preferred repairs, `true` is the
+// X-consistent answer iff Q holds in every repair of X-Rep. We report a
+// three-valued verdict: certainly true (holds in all), certainly false
+// (holds in none), or undetermined (differs between preferred repairs).
+//
+// The generic engine enumerates preferred repairs with two-sided
+// short-circuiting; for the family Rep and *ground quantifier-free*
+// queries, GroundConsistentAnswer implements the polynomial
+// conflict-graph algorithm (Chomicki–Marcinkowski; first row of Fig. 5).
+
+#ifndef PREFREP_CQA_CQA_H_
+#define PREFREP_CQA_CQA_H_
+
+#include <string_view>
+
+#include "base/status.h"
+#include "core/families.h"
+#include "priority/priority.h"
+#include "query/ast.h"
+#include "query/evaluator.h"
+#include "repair/repair.h"
+
+namespace prefrep {
+
+enum class CqaVerdict {
+  kCertainlyTrue,   // Q holds in every preferred repair
+  kCertainlyFalse,  // Q holds in no preferred repair
+  kUndetermined,    // Q differs between preferred repairs
+};
+
+std::string_view CqaVerdictName(CqaVerdict verdict);
+
+// Evaluates the closed query in every preferred repair of `family` under
+// `priority` (enumeration stops as soon as both a satisfying and a
+// falsifying repair have been seen).
+Result<CqaVerdict> PreferredConsistentAnswer(const RepairProblem& problem,
+                                             const Priority& priority,
+                                             RepairFamily family,
+                                             const Query& query);
+
+// Convenience: true iff `true` is the X-consistent answer (Definition 3).
+Result<bool> IsConsistentlyTrue(const RepairProblem& problem,
+                                const Priority& priority, RepairFamily family,
+                                const Query& query);
+
+// Consistent answers to an *open* query: the assignments of its free
+// variables satisfying it in every preferred repair (the intersection of
+// the per-repair answer sets).
+Result<OpenAnswer> PreferredConsistentAnswers(const RepairProblem& problem,
+                                              const Priority& priority,
+                                              RepairFamily family,
+                                              const Query& query);
+
+// Polynomial-time consistent answers for ground quantifier-free queries
+// under the plain Rep semantics: true iff the query holds in every repair.
+// Negates the query, converts to DNF, and decides per disjunct whether
+// some repair satisfies it via a bounded witness search over conflict
+// neighborhoods (data-polynomial for a fixed query).
+Result<bool> GroundConsistentAnswer(const RepairProblem& problem,
+                                    const Query& query);
+
+// Full three-valued verdict computed with two GroundConsistentAnswer
+// calls (on Q and not Q).
+Result<CqaVerdict> GroundConsistentVerdict(const RepairProblem& problem,
+                                           const Query& query);
+
+// Polynomial consistent answers for *open* negation-free quantifier-free
+// queries under plain Rep: the candidate answers are computed on the full
+// (inconsistent) database — sound because negation-free queries are
+// monotone — and each candidate's ground instantiation is certified with
+// GroundConsistentAnswer.
+Result<OpenAnswer> GroundConsistentOpenAnswers(const RepairProblem& problem,
+                                               const Query& query);
+
+}  // namespace prefrep
+
+#endif  // PREFREP_CQA_CQA_H_

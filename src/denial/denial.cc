@@ -1,0 +1,349 @@
+#include "denial/denial.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_set>
+
+#include "query/normal_form.h"
+
+namespace prefrep {
+
+namespace {
+
+Status ValidateOperand(const Database& db,
+                       const std::vector<std::string>& relations,
+                       const DcOperand& operand) {
+  if (operand.is_constant()) return Status::Ok();
+  if (operand.tuple_index < 0 ||
+      operand.tuple_index >= static_cast<int>(relations.size())) {
+    return Status::OutOfRange("operand tuple index " +
+                              std::to_string(operand.tuple_index) +
+                              " out of range");
+  }
+  PREFREP_ASSIGN_OR_RETURN(const Relation* rel,
+                           db.relation(relations[operand.tuple_index]));
+  if (operand.attribute < 0 || operand.attribute >= rel->schema().arity()) {
+    return Status::OutOfRange("operand attribute " +
+                              std::to_string(operand.attribute) +
+                              " out of range for " + rel->schema().ToString());
+  }
+  return Status::Ok();
+}
+
+Value ResolveOperand(const DcOperand& operand,
+                     const std::vector<const Tuple*>& tuples) {
+  if (operand.is_constant()) return operand.constant;
+  return tuples[operand.tuple_index]->value(operand.attribute);
+}
+
+}  // namespace
+
+Result<DenialConstraint> DenialConstraint::Create(
+    const Database& db, std::vector<std::string> relations,
+    std::vector<DcComparison> comparisons) {
+  if (relations.empty()) {
+    return Status::InvalidArgument("denial constraint quantifies no tuples");
+  }
+  for (const std::string& rel : relations) {
+    if (!db.HasRelation(rel)) {
+      return Status::NotFound("denial constraint references unknown "
+                              "relation '" + rel + "'");
+    }
+  }
+  for (const DcComparison& cmp : comparisons) {
+    PREFREP_RETURN_IF_ERROR(ValidateOperand(db, relations, cmp.lhs));
+    PREFREP_RETURN_IF_ERROR(ValidateOperand(db, relations, cmp.rhs));
+  }
+  DenialConstraint dc;
+  dc.relations_ = std::move(relations);
+  dc.comparisons_ = std::move(comparisons);
+  return dc;
+}
+
+Result<DenialConstraint> DenialConstraint::FromFd(
+    const Database& db, const FunctionalDependency& fd, int rhs_attribute) {
+  if (std::find(fd.rhs().begin(), fd.rhs().end(), rhs_attribute) ==
+      fd.rhs().end()) {
+    return Status::InvalidArgument("attribute is not on the FD's RHS");
+  }
+  std::vector<DcComparison> comparisons;
+  for (int a : fd.lhs()) {
+    comparisons.push_back(DcComparison{
+        ComparisonOp::kEq, DcOperand::Attr(0, a), DcOperand::Attr(1, a)});
+  }
+  comparisons.push_back(DcComparison{ComparisonOp::kNe,
+                                     DcOperand::Attr(0, rhs_attribute),
+                                     DcOperand::Attr(1, rhs_attribute)});
+  return Create(db, {fd.relation_name(), fd.relation_name()},
+                std::move(comparisons));
+}
+
+bool DenialConstraint::ViolatedBy(
+    const std::vector<const Tuple*>& tuples) const {
+  CHECK_EQ(static_cast<int>(tuples.size()), arity());
+  for (const DcComparison& cmp : comparisons_) {
+    if (!EvalComparison(cmp.op, ResolveOperand(cmp.lhs, tuples),
+                        ResolveOperand(cmp.rhs, tuples))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Result<std::vector<std::vector<TupleId>>> FindHyperedges(
+    const Database& db, const std::vector<DenialConstraint>& constraints) {
+  std::set<std::vector<TupleId>> candidates;
+  for (const DenialConstraint& dc : constraints) {
+    int k = dc.arity();
+    // Relation index per quantified position.
+    std::vector<int> rel_index(k);
+    for (int i = 0; i < k; ++i) {
+      bool found = false;
+      for (int r = 0; r < db.relation_count(); ++r) {
+        if (db.relations()[r].schema().relation_name() ==
+            dc.relations()[i]) {
+          rel_index[i] = r;
+          found = true;
+        }
+      }
+      if (!found) {
+        return Status::NotFound("unknown relation in denial constraint");
+      }
+    }
+    // Nested enumeration of assignments (data size ^ k; k is tiny).
+    std::vector<int> rows(k, 0);
+    std::vector<const Tuple*> tuples(k, nullptr);
+    std::function<void(int)> recurse = [&](int pos) {
+      if (pos == k) {
+        if (!dc.ViolatedBy(tuples)) return;
+        std::vector<TupleId> edge;
+        for (int i = 0; i < k; ++i) {
+          edge.push_back(db.GlobalId(rel_index[i], rows[i]));
+        }
+        std::sort(edge.begin(), edge.end());
+        edge.erase(std::unique(edge.begin(), edge.end()), edge.end());
+        candidates.insert(std::move(edge));
+        return;
+      }
+      const Relation& rel = db.relations()[rel_index[pos]];
+      for (int row = 0; row < rel.size(); ++row) {
+        rows[pos] = row;
+        tuples[pos] = &rel.tuple(row);
+        recurse(pos + 1);
+      }
+    };
+    recurse(0);
+  }
+  // Keep only minimal hyperedges (a superset of a violation is redundant).
+  std::vector<std::vector<TupleId>> minimal;
+  for (const auto& edge : candidates) {
+    bool has_subset = false;
+    for (const auto& other : candidates) {
+      if (&other == &edge || other.size() >= edge.size()) continue;
+      if (std::includes(edge.begin(), edge.end(), other.begin(),
+                        other.end())) {
+        has_subset = true;
+        break;
+      }
+    }
+    if (!has_subset) minimal.push_back(edge);
+  }
+  return minimal;
+}
+
+ConflictHypergraph::ConflictHypergraph(
+    int vertex_count, std::vector<std::vector<int>> hyperedges)
+    : vertex_count_(vertex_count), edges_(std::move(hyperedges)) {
+  incident_.assign(vertex_count, {});
+  edge_masks_.reserve(edges_.size());
+  for (size_t e = 0; e < edges_.size(); ++e) {
+    std::sort(edges_[e].begin(), edges_[e].end());
+    DynamicBitset mask(vertex_count);
+    for (int v : edges_[e]) {
+      CHECK(v >= 0 && v < vertex_count);
+      mask.Set(v);
+      incident_[v].push_back(static_cast<int>(e));
+    }
+    edge_masks_.push_back(std::move(mask));
+  }
+}
+
+bool ConflictHypergraph::IsIndependent(const DynamicBitset& s) const {
+  CHECK_EQ(s.size(), vertex_count_);
+  for (const DynamicBitset& mask : edge_masks_) {
+    if (mask.IsSubsetOf(s)) return false;
+  }
+  return true;
+}
+
+bool ConflictHypergraph::IsMaximalIndependent(const DynamicBitset& s) const {
+  if (!IsIndependent(s)) return false;
+  for (int v = 0; v < vertex_count_; ++v) {
+    if (s.Test(v)) continue;
+    // Adding v must complete some hyperedge.
+    bool blocked = false;
+    for (int e : incident_[v]) {
+      DynamicBitset rest = edge_masks_[e];
+      rest.Reset(v);
+      if (rest.IsSubsetOf(s)) {
+        blocked = true;
+        break;
+      }
+    }
+    if (!blocked) return false;
+  }
+  return true;
+}
+
+bool EnumerateHypergraphRepairs(
+    const ConflictHypergraph& graph,
+    const std::function<bool(const DynamicBitset&)>& callback) {
+  // Branch on a violated hyperedge: remove one of its vertices. Leaves are
+  // independent but possibly non-maximal; dedupe, filter, then emit.
+  std::unordered_set<DynamicBitset, DynamicBitset::Hash> visited;
+  std::vector<DynamicBitset> leaves;
+  std::function<void(DynamicBitset)> recurse = [&](DynamicBitset s) {
+    if (!visited.insert(s).second) return;
+    // Find a hyperedge fully inside s.
+    const std::vector<std::vector<int>>& edges = graph.edges();
+    for (const std::vector<int>& edge : edges) {
+      bool contained = true;
+      for (int v : edge) {
+        if (!s.Test(v)) {
+          contained = false;
+          break;
+        }
+      }
+      if (!contained) continue;
+      for (int v : edge) {
+        DynamicBitset next = s;
+        next.Reset(v);
+        recurse(std::move(next));
+      }
+      return;
+    }
+    leaves.push_back(std::move(s));
+  };
+  recurse(DynamicBitset::AllSet(graph.vertex_count()));
+
+  for (const DynamicBitset& leaf : leaves) {
+    if (!graph.IsMaximalIndependent(leaf)) continue;
+    if (!callback(leaf)) return false;
+  }
+  return true;
+}
+
+Result<std::vector<DynamicBitset>> AllHypergraphRepairs(
+    const ConflictHypergraph& graph, size_t limit) {
+  std::vector<DynamicBitset> repairs;
+  bool complete = EnumerateHypergraphRepairs(
+      graph, [&repairs, limit](const DynamicBitset& r) {
+        if (repairs.size() >= limit) return false;
+        repairs.push_back(r);
+        return true;
+      });
+  if (!complete) {
+    return Status::ResourceExhausted("more than " + std::to_string(limit) +
+                                     " hypergraph repairs");
+  }
+  return repairs;
+}
+
+namespace {
+
+// Is there a hypergraph repair containing `required` and excluding every
+// member of `excluded`? (All ids refer to facts present in the database.)
+bool RepairWithConstraintsExists(const ConflictHypergraph& graph,
+                                 const DynamicBitset& required,
+                                 const std::vector<TupleId>& excluded) {
+  if (!graph.IsIndependent(required)) return false;
+  DynamicBitset excluded_mask(graph.vertex_count());
+  for (TupleId s : excluded) {
+    if (required.Test(s)) return false;
+    excluded_mask.Set(s);
+  }
+
+  // Each excluded fact s must be blocked: some hyperedge e ∋ s with
+  // e \ {s} inside the repair. Backtrack over the choice of e.
+  std::function<bool(size_t, DynamicBitset&)> search =
+      [&](size_t index, DynamicBitset& chosen) -> bool {
+    if (index == excluded.size()) return true;
+    TupleId s = excluded[index];
+    for (int e : graph.IncidentEdges(s)) {
+      DynamicBitset witness(graph.vertex_count());
+      bool usable = true;
+      for (int v : graph.edges()[e]) {
+        if (v == s) continue;
+        if (excluded_mask.Test(v)) {
+          usable = false;
+          break;
+        }
+        witness.Set(v);
+      }
+      if (!usable) continue;
+      if (witness.IsSubsetOf(chosen)) {
+        // Already blocked at no extra cost.
+        return search(index + 1, chosen);
+      }
+      DynamicBitset candidate = chosen;
+      candidate |= witness;
+      if (!graph.IsIndependent(candidate)) continue;
+      if (search(index + 1, candidate)) {
+        chosen = candidate;
+        return true;
+      }
+    }
+    return false;
+  };
+
+  DynamicBitset chosen = required;
+  return search(0, chosen);
+}
+
+}  // namespace
+
+Result<bool> GroundConsistentAnswerDenial(const Database& db,
+                                          const ConflictHypergraph& graph,
+                                          const Query& query) {
+  if (!query.IsGround() || !query.IsQuantifierFree()) {
+    return Status::InvalidArgument(
+        "GroundConsistentAnswerDenial needs a ground quantifier-free query");
+  }
+  std::unique_ptr<Query> negated = Query::Not(query.Clone());
+  PREFREP_ASSIGN_OR_RETURN(std::vector<GroundDisjunct> dnf,
+                           GroundDnf(*negated));
+  for (const GroundDisjunct& disjunct : dnf) {
+    DynamicBitset required(graph.vertex_count());
+    std::vector<TupleId> excluded;
+    bool unsat = false;
+    for (const GroundLiteral& lit : disjunct) {
+      if (!lit.is_atom) {
+        if (!lit.ComparisonHolds()) {
+          unsat = true;
+          break;
+        }
+        continue;
+      }
+      auto id = db.FindTuple(lit.relation, lit.tuple);
+      if (lit.positive) {
+        if (!id.ok()) {
+          unsat = true;
+          break;
+        }
+        required.Set(*id);
+      } else if (id.ok()) {
+        excluded.push_back(*id);
+      }
+    }
+    if (unsat) continue;
+    std::sort(excluded.begin(), excluded.end());
+    excluded.erase(std::unique(excluded.begin(), excluded.end()),
+                   excluded.end());
+    if (RepairWithConstraintsExists(graph, required, excluded)) {
+      return false;  // some repair satisfies ¬Q
+    }
+  }
+  return true;
+}
+
+}  // namespace prefrep

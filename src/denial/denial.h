@@ -1,0 +1,140 @@
+// Denial constraints and conflict hypergraphs — the paper's §6 extension.
+//
+// A denial constraint forbids the joint presence of k tuples satisfying a
+// conjunction of comparisons, e.g. "no two Emp tuples where the manager
+// earns less than the report" or "no single tuple with Salary > 100".
+// Functional dependencies are the special case k = 2 with equality
+// comparisons.
+//
+// Violations are *hyperedges* (sets of up to k tuples) and repairs are the
+// maximal independent sets of the conflict hypergraph [Chomicki &
+// Marcinkowski, Inf. & Comp. 2005]. As the paper notes, the binary notion
+// of priority has no clear meaning on hyperedges, so this module supports
+// the plain Rep semantics only: repair enumeration/checking and consistent
+// query answers (both naive and the polynomial ground-query prover).
+
+#ifndef PREFREP_DENIAL_DENIAL_H_
+#define PREFREP_DENIAL_DENIAL_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "base/biguint.h"
+#include "base/bitset.h"
+#include "base/status.h"
+#include "constraints/fd.h"
+#include "query/ast.h"
+#include "relational/database.h"
+
+namespace prefrep {
+
+// One side of a denial-constraint comparison: an attribute of the i-th
+// quantified tuple, or a constant.
+struct DcOperand {
+  static DcOperand Attr(int tuple_index, int attribute) {
+    DcOperand op;
+    op.tuple_index = tuple_index;
+    op.attribute = attribute;
+    return op;
+  }
+  static DcOperand Const(Value value) {
+    DcOperand op;
+    op.constant = std::move(value);
+    return op;
+  }
+  bool is_constant() const { return tuple_index < 0; }
+
+  int tuple_index = -1;  // index into the constraint's tuple list
+  int attribute = -1;
+  Value constant;
+};
+
+struct DcComparison {
+  ComparisonOp op = ComparisonOp::kEq;
+  DcOperand lhs, rhs;
+};
+
+// ¬∃ t_0 ∈ R_0, ..., t_{k-1} ∈ R_{k-1} . c_1 ∧ ... ∧ c_m
+class DenialConstraint {
+ public:
+  // `relations` lists the relation of each quantified tuple (k >= 1).
+  // Validates attribute indices against the schemas in `db`.
+  static Result<DenialConstraint> Create(const Database& db,
+                                         std::vector<std::string> relations,
+                                         std::vector<DcComparison> comparisons);
+
+  // Encodes an FD X -> Y as the equivalent k=2 denial constraint
+  // (agree on X, differ on some B ∈ Y; one constraint per RHS attribute
+  // would also work, this uses B fixed to `rhs_attribute`).
+  static Result<DenialConstraint> FromFd(const Database& db,
+                                         const FunctionalDependency& fd,
+                                         int rhs_attribute);
+
+  int arity() const { return static_cast<int>(relations_.size()); }
+  const std::vector<std::string>& relations() const { return relations_; }
+  const std::vector<DcComparison>& comparisons() const { return comparisons_; }
+
+  // True iff the given tuples (one per quantified position, possibly with
+  // repeats) jointly violate the constraint.
+  bool ViolatedBy(const std::vector<const Tuple*>& tuples) const;
+
+ private:
+  std::vector<std::string> relations_;
+  std::vector<DcComparison> comparisons_;
+};
+
+// All minimal violation sets ("conflict hyperedges") of `db` w.r.t. the
+// constraints: each is a sorted set of distinct TupleIds. Assignments that
+// bind two quantified positions to the same tuple are collapsed; non-
+// minimal hyperedges (supersets of others) are dropped, so independent
+// sets are exactly the consistent subsets.
+Result<std::vector<std::vector<TupleId>>> FindHyperedges(
+    const Database& db, const std::vector<DenialConstraint>& constraints);
+
+class ConflictHypergraph {
+ public:
+  ConflictHypergraph() = default;
+  ConflictHypergraph(int vertex_count,
+                     std::vector<std::vector<int>> hyperedges);
+
+  int vertex_count() const { return vertex_count_; }
+  int edge_count() const { return static_cast<int>(edges_.size()); }
+  const std::vector<std::vector<int>>& edges() const { return edges_; }
+  // Ids of hyperedges containing vertex v.
+  const std::vector<int>& IncidentEdges(int v) const { return incident_[v]; }
+
+  // True iff no hyperedge is fully contained in `s` (s is consistent).
+  bool IsIndependent(const DynamicBitset& s) const;
+  // True iff `s` is independent and no vertex can be added (a repair).
+  bool IsMaximalIndependent(const DynamicBitset& s) const;
+
+ private:
+  int vertex_count_ = 0;
+  std::vector<std::vector<int>> edges_;
+  std::vector<DynamicBitset> edge_masks_;
+  std::vector<std::vector<int>> incident_;
+};
+
+// Visits every maximal independent set of the hypergraph exactly once
+// (branch-and-dedupe; exponential worst case, as unavoidable). The
+// callback returns false to stop early; returns true iff completed.
+bool EnumerateHypergraphRepairs(
+    const ConflictHypergraph& graph,
+    const std::function<bool(const DynamicBitset&)>& callback);
+
+Result<std::vector<DynamicBitset>> AllHypergraphRepairs(
+    const ConflictHypergraph& graph, size_t limit = 1u << 20);
+
+// Consistent answer to a ground quantifier-free query under denial
+// constraints: true iff the query holds in every hypergraph repair.
+// Generalizes the conflict-graph prover: an excluded fact s needs a
+// witness hyperedge e ∋ s with e \ {s} jointly consistent with everything
+// chosen so far.
+Result<bool> GroundConsistentAnswerDenial(const Database& db,
+                                          const ConflictHypergraph& graph,
+                                          const Query& query);
+
+}  // namespace prefrep
+
+#endif  // PREFREP_DENIAL_DENIAL_H_

@@ -1,0 +1,82 @@
+#include "graph/conflict_graph.h"
+
+#include <algorithm>
+
+namespace prefrep {
+
+ConflictGraph::ConflictGraph(int vertex_count,
+                             const std::vector<std::pair<int, int>>& edges)
+    : vertex_count_(vertex_count) {
+  CHECK_GE(vertex_count, 0);
+  adjacency_.assign(vertex_count, DynamicBitset(vertex_count));
+  edges_.reserve(edges.size());
+  for (auto [u, v] : edges) {
+    CHECK(u >= 0 && u < vertex_count && v >= 0 && v < vertex_count)
+        << "edge (" << u << "," << v << ") out of range";
+    CHECK_NE(u, v) << "self-loop at vertex " << u;
+    if (u > v) std::swap(u, v);
+    edges_.emplace_back(u, v);
+  }
+  std::sort(edges_.begin(), edges_.end());
+  edges_.erase(std::unique(edges_.begin(), edges_.end()), edges_.end());
+  for (auto [u, v] : edges_) {
+    adjacency_[u].Set(v);
+    adjacency_[v].Set(u);
+  }
+}
+
+DynamicBitset ConflictGraph::Vicinity(int v) const {
+  DynamicBitset out = adjacency_[v];
+  out.Set(v);
+  return out;
+}
+
+DynamicBitset ConflictGraph::NeighborsOfSet(const DynamicBitset& s) const {
+  CHECK_EQ(s.size(), vertex_count_);
+  DynamicBitset out(vertex_count_);
+  ForEachSetBit(s, [&](int v) { out |= adjacency_[v]; });
+  return out;
+}
+
+bool ConflictGraph::IsIndependent(const DynamicBitset& s) const {
+  CHECK_EQ(s.size(), vertex_count_);
+  bool independent = true;
+  ForEachSetBit(s, [&](int v) {
+    if (independent && adjacency_[v].Intersects(s)) independent = false;
+  });
+  return independent;
+}
+
+bool ConflictGraph::IsMaximalIndependent(const DynamicBitset& s) const {
+  if (!IsIndependent(s)) return false;
+  // Every outside vertex must be blocked by (adjacent to) some member.
+  DynamicBitset covered = NeighborsOfSet(s) | s;
+  return covered.Count() == vertex_count_;
+}
+
+std::vector<std::vector<int>> ConflictGraph::ConnectedComponents() const {
+  std::vector<std::vector<int>> components;
+  std::vector<bool> visited(vertex_count_, false);
+  for (int start = 0; start < vertex_count_; ++start) {
+    if (visited[start]) continue;
+    std::vector<int> component;
+    std::vector<int> stack = {start};
+    visited[start] = true;
+    while (!stack.empty()) {
+      int v = stack.back();
+      stack.pop_back();
+      component.push_back(v);
+      ForEachSetBit(adjacency_[v], [&](int w) {
+        if (!visited[w]) {
+          visited[w] = true;
+          stack.push_back(w);
+        }
+      });
+    }
+    std::sort(component.begin(), component.end());
+    components.push_back(std::move(component));
+  }
+  return components;
+}
+
+}  // namespace prefrep

@@ -1,0 +1,62 @@
+// Conflict graph (§2.1): vertices are tuples, edges join conflicting tuples.
+//
+// The conflict graph is the compact representation of the repair space: the
+// repairs of the database are exactly the maximal independent sets of its
+// conflict graph. Vertices are global TupleIds; adjacency is stored as one
+// DynamicBitset per vertex so the optimality checks in src/core are
+// word-parallel.
+
+#ifndef PREFREP_GRAPH_CONFLICT_GRAPH_H_
+#define PREFREP_GRAPH_CONFLICT_GRAPH_H_
+
+#include <utility>
+#include <vector>
+
+#include "base/bitset.h"
+
+namespace prefrep {
+
+class ConflictGraph {
+ public:
+  ConflictGraph() = default;
+
+  // `edges` are unordered vertex pairs over [0, vertex_count); self-loops
+  // are rejected by CHECK (a tuple never conflicts with itself).
+  ConflictGraph(int vertex_count, const std::vector<std::pair<int, int>>& edges);
+
+  int vertex_count() const { return vertex_count_; }
+  int edge_count() const { return static_cast<int>(edges_.size()); }
+  // Deduplicated, each pair normalized to (min, max), sorted.
+  const std::vector<std::pair<int, int>>& edges() const { return edges_; }
+
+  // n(t): all tuples conflicting with t.
+  const DynamicBitset& Neighbors(int v) const { return adjacency_[v]; }
+  // v(t) = {t} ∪ n(t).
+  DynamicBitset Vicinity(int v) const;
+  int Degree(int v) const { return adjacency_[v].Count(); }
+  bool HasEdge(int u, int v) const {
+    return u != v && adjacency_[u].Test(v);
+  }
+
+  // Union of n(t) over all t in `s`.
+  DynamicBitset NeighborsOfSet(const DynamicBitset& s) const;
+
+  // True iff no two elements of `s` are adjacent (i.e. `s` is consistent).
+  bool IsIndependent(const DynamicBitset& s) const;
+  // True iff `s` is independent and every vertex outside `s` has a
+  // neighbor inside `s` (i.e. `s` is a repair).
+  bool IsMaximalIndependent(const DynamicBitset& s) const;
+
+  // Connected components, each sorted ascending; components ordered by
+  // smallest vertex.
+  std::vector<std::vector<int>> ConnectedComponents() const;
+
+ private:
+  int vertex_count_ = 0;
+  std::vector<std::pair<int, int>> edges_;
+  std::vector<DynamicBitset> adjacency_;
+};
+
+}  // namespace prefrep
+
+#endif  // PREFREP_GRAPH_CONFLICT_GRAPH_H_

@@ -1,0 +1,88 @@
+#include "graph/digraph.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace prefrep {
+
+Result<std::vector<int>> TopologicalOrder(
+    int n, const std::vector<std::pair<int, int>>& arcs) {
+  std::vector<std::vector<int>> out_arcs(n);
+  std::vector<int> in_degree(n, 0);
+  for (auto [u, v] : arcs) {
+    CHECK(u >= 0 && u < n && v >= 0 && v < n);
+    out_arcs[u].push_back(v);
+    ++in_degree[v];
+  }
+  std::deque<int> ready;
+  for (int v = 0; v < n; ++v) {
+    if (in_degree[v] == 0) ready.push_back(v);
+  }
+  std::vector<int> order;
+  order.reserve(n);
+  while (!ready.empty()) {
+    int v = ready.front();
+    ready.pop_front();
+    order.push_back(v);
+    for (int w : out_arcs[v]) {
+      if (--in_degree[w] == 0) ready.push_back(w);
+    }
+  }
+  if (static_cast<int>(order.size()) != n) {
+    return Status::FailedPrecondition("digraph contains a directed cycle");
+  }
+  return order;
+}
+
+bool IsAcyclicDigraph(int n, const std::vector<std::pair<int, int>>& arcs) {
+  return TopologicalOrder(n, arcs).ok();
+}
+
+bool CanExtendToCyclicOrientation(
+    const ConflictGraph& graph,
+    const std::vector<std::pair<int, int>>& oriented_arcs) {
+  int n = graph.vertex_count();
+  // allowed[u] = vertices v such that the arc u->v is consistent with the
+  // partial orientation: edge {u,v} exists and is not oriented v->u.
+  std::vector<DynamicBitset> allowed(n, DynamicBitset(n));
+  for (int v = 0; v < n; ++v) allowed[v] = graph.Neighbors(v);
+  for (auto [u, v] : oriented_arcs) {
+    CHECK(graph.HasEdge(u, v)) << "orientation of non-edge (" << u << ","
+                               << v << ")";
+    allowed[v].Reset(u);  // edge is oriented u->v; forbid v->u
+  }
+
+  // A simple directed cycle of length >= 3 exists iff for some allowed arc
+  // (u,v) there is a directed path v ~> u that does not use the arc (v,u).
+  // (Simple paths cannot reuse an undirected edge, so any such path closes
+  // a >= 3 cycle compatible with the orientation.)
+  for (int u = 0; u < n; ++u) {
+    for (int v = allowed[u].FirstSetBit(); v >= 0;
+         v = allowed[u].NextSetBit(v + 1)) {
+      // BFS from v to u, with the single arc (v,u) suppressed.
+      std::vector<bool> visited(n, false);
+      std::deque<int> queue;
+      visited[v] = true;
+      queue.push_back(v);
+      bool found = false;
+      while (!queue.empty() && !found) {
+        int x = queue.front();
+        queue.pop_front();
+        ForEachSetBit(allowed[x], [&](int y) {
+          if (x == v && y == u) return;  // would reuse edge {u,v}
+          if (visited[y]) return;
+          if (y == u) {
+            found = true;
+            return;
+          }
+          visited[y] = true;
+          queue.push_back(y);
+        });
+      }
+      if (found) return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace prefrep

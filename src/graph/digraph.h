@@ -1,0 +1,40 @@
+// Directed-graph utilities used by priorities:
+//   - acyclicity / topological order of the priority relation,
+//   - the Theorem 2 side condition: can a partial orientation of the
+//     conflict graph be extended to a *cyclic* orientation?
+
+#ifndef PREFREP_GRAPH_DIGRAPH_H_
+#define PREFREP_GRAPH_DIGRAPH_H_
+
+#include <utility>
+#include <vector>
+
+#include "base/status.h"
+#include "graph/conflict_graph.h"
+
+namespace prefrep {
+
+// True iff the digraph (vertices [0,n), arcs as ordered pairs) has no
+// directed cycle.
+bool IsAcyclicDigraph(int n, const std::vector<std::pair<int, int>>& arcs);
+
+// A topological order of the digraph, or kFailedPrecondition if cyclic.
+Result<std::vector<int>> TopologicalOrder(
+    int n, const std::vector<std::pair<int, int>>& arcs);
+
+// Theorem 2 side condition. Given the conflict graph and a partial
+// orientation of its edges (`oriented_arcs`, each an ordered pair lying on
+// some conflict edge), decides whether the orientation can be extended to an
+// orientation of the whole conflict graph containing a directed cycle.
+//
+// A compatible cycle exists iff the digraph D — with one arc per oriented
+// edge and both arcs per unoriented conflict edge — contains a simple
+// directed cycle of length >= 3 (length-2 "cycles" would use the same edge
+// twice, which an orientation cannot).
+bool CanExtendToCyclicOrientation(
+    const ConflictGraph& graph,
+    const std::vector<std::pair<int, int>>& oriented_arcs);
+
+}  // namespace prefrep
+
+#endif  // PREFREP_GRAPH_DIGRAPH_H_

@@ -1,0 +1,48 @@
+#include "graph/dot.h"
+
+namespace prefrep {
+
+namespace {
+
+// Escapes double quotes for DOT string labels.
+std::string EscapeLabel(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string ToDot(const ConflictGraph& graph, const Priority* priority,
+                  const std::function<std::string(int)>& label) {
+  std::string out = "graph conflicts {\n";
+  out += "  node [shape=ellipse];\n";
+  for (int v = 0; v < graph.vertex_count(); ++v) {
+    std::string text = label ? label(v) : "t" + std::to_string(v);
+    out += "  n" + std::to_string(v) + " [label=\"" + EscapeLabel(text) +
+           "\"];\n";
+  }
+  for (auto [u, v] : graph.edges()) {
+    bool u_wins = priority != nullptr && priority->Dominates(u, v);
+    bool v_wins = priority != nullptr && priority->Dominates(v, u);
+    if (u_wins || v_wins) {
+      int from = u_wins ? u : v;
+      int to = u_wins ? v : u;
+      // Undirected graph with a directed decoration: arrowhead on the
+      // dominated endpoint.
+      out += "  n" + std::to_string(from) + " -- n" + std::to_string(to) +
+             " [dir=forward, arrowhead=normal];\n";
+    } else {
+      out += "  n" + std::to_string(u) + " -- n" + std::to_string(v) +
+             ";\n";
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace prefrep

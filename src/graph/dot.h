@@ -1,0 +1,25 @@
+// Graphviz (DOT) export of conflict graphs and priorities — the paper's
+// Figures 1-4 are exactly such drawings. Oriented conflicts render as
+// arrows from the dominating tuple to the dominated one; unoriented
+// conflicts as plain edges.
+
+#ifndef PREFREP_GRAPH_DOT_H_
+#define PREFREP_GRAPH_DOT_H_
+
+#include <functional>
+#include <string>
+
+#include "graph/conflict_graph.h"
+#include "priority/priority.h"
+
+namespace prefrep {
+
+// Renders `graph` in DOT format. `label` supplies per-vertex labels (pass
+// e.g. [&](int id) { return db.TupleOf(id).ToString(); }); nullptr uses
+// the vertex id. `priority` may be nullptr (no orientation).
+std::string ToDot(const ConflictGraph& graph, const Priority* priority,
+                  const std::function<std::string(int)>& label = nullptr);
+
+}  // namespace prefrep
+
+#endif  // PREFREP_GRAPH_DOT_H_

@@ -1,0 +1,115 @@
+#include "graph/mis.h"
+
+#include <limits>
+
+namespace prefrep {
+
+namespace {
+
+// Bron–Kerbosch with pivoting, phrased for independent sets: a maximal
+// independent set of G is a maximal clique of the complement of G, and the
+// complement-neighborhood of v is "everything outside v's vicinity".
+class MisVisitor {
+ public:
+  MisVisitor(const ConflictGraph& graph,
+             const std::function<bool(const DynamicBitset&)>& callback)
+      : graph_(graph), callback_(callback) {}
+
+  // Returns false if the callback requested an early stop.
+  bool Expand(DynamicBitset& chosen, DynamicBitset candidates,
+              DynamicBitset excluded) {
+    if (candidates.None() && excluded.None()) {
+      return callback_(chosen);
+    }
+    // Pivot u ∈ candidates ∪ excluded minimizing |candidates ∩ vicinity(u)|:
+    // this bounds branching to candidates inside u's vicinity.
+    int pivot = -1;
+    int best = std::numeric_limits<int>::max();
+    DynamicBitset pool = candidates | excluded;
+    ForEachSetBit(pool, [&](int u) {
+      int c = candidates.IntersectionCount(graph_.Vicinity(u));
+      if (c < best) {
+        best = c;
+        pivot = u;
+      }
+    });
+    DynamicBitset branch = candidates & graph_.Vicinity(pivot);
+    for (int v = branch.FirstSetBit(); v >= 0; v = branch.NextSetBit(v + 1)) {
+      DynamicBitset vicinity = graph_.Vicinity(v);
+      chosen.Set(v);
+      if (!Expand(chosen, Difference(candidates, vicinity),
+                  Difference(excluded, vicinity))) {
+        return false;
+      }
+      chosen.Reset(v);
+      candidates.Reset(v);
+      excluded.Set(v);
+    }
+    return true;
+  }
+
+ private:
+  const ConflictGraph& graph_;
+  const std::function<bool(const DynamicBitset&)>& callback_;
+};
+
+}  // namespace
+
+bool EnumerateMaximalIndependentSets(
+    const ConflictGraph& graph,
+    const std::function<bool(const DynamicBitset&)>& callback) {
+  int n = graph.vertex_count();
+  DynamicBitset chosen(n);
+  MisVisitor visitor(graph, callback);
+  return visitor.Expand(chosen, DynamicBitset::AllSet(n), DynamicBitset(n));
+}
+
+std::vector<DynamicBitset> ComponentMaximalIndependentSets(
+    const ConflictGraph& graph, const std::vector<int>& component) {
+  int n = graph.vertex_count();
+  DynamicBitset candidates(n);
+  for (int v : component) candidates.Set(v);
+
+  std::vector<DynamicBitset> results;
+  DynamicBitset chosen(n);
+  std::function<bool(const DynamicBitset&)> collect =
+      [&results](const DynamicBitset& s) {
+        results.push_back(s);
+        return true;
+      };
+  MisVisitor visitor(graph, collect);
+  visitor.Expand(chosen, std::move(candidates), DynamicBitset(n));
+  return results;
+}
+
+Result<std::vector<DynamicBitset>> AllMaximalIndependentSets(
+    const ConflictGraph& graph, size_t limit) {
+  std::vector<DynamicBitset> results;
+  bool complete = EnumerateMaximalIndependentSets(
+      graph, [&results, limit](const DynamicBitset& s) {
+        if (results.size() >= limit) return false;
+        results.push_back(s);
+        return true;
+      });
+  if (!complete) {
+    return Status::ResourceExhausted(
+        "more than " + std::to_string(limit) + " maximal independent sets");
+  }
+  return results;
+}
+
+BigUint CountMaximalIndependentSets(const ConflictGraph& graph) {
+  BigUint total = BigUint::One();
+  for (const std::vector<int>& component : graph.ConnectedComponents()) {
+    if (component.size() == 1) continue;  // isolated vertex: one choice
+    uint64_t count = 0;
+    // Count within the component only (no cross-component blowup).
+    std::vector<DynamicBitset> sets =
+        ComponentMaximalIndependentSets(graph, component);
+    count = sets.size();
+    total *= BigUint(count);
+  }
+  return total;
+}
+
+}  // namespace prefrep

@@ -1,0 +1,44 @@
+// Maximal-independent-set enumeration: the repair space of a database.
+//
+// Enumeration runs Bron–Kerbosch with pivoting (on the complement graph,
+// expressed directly with vicinity masks) independently per connected
+// component; full-graph results are combined with an odometer product.
+// Counting multiplies per-component counts in exact BigUint arithmetic
+// (Example 4 exhibits 2^n repairs).
+
+#ifndef PREFREP_GRAPH_MIS_H_
+#define PREFREP_GRAPH_MIS_H_
+
+#include <functional>
+#include <vector>
+
+#include "base/biguint.h"
+#include "base/bitset.h"
+#include "base/status.h"
+#include "graph/conflict_graph.h"
+
+namespace prefrep {
+
+// Visits every maximal independent set of `graph` exactly once. The callback
+// returns false to stop enumeration early. Returns true iff enumeration ran
+// to completion. Bitsets passed to the callback span the full vertex set.
+bool EnumerateMaximalIndependentSets(
+    const ConflictGraph& graph,
+    const std::function<bool(const DynamicBitset&)>& callback);
+
+// All maximal independent sets of the subgraph induced by `component`
+// (bitsets span the full vertex set but only touch component vertices).
+std::vector<DynamicBitset> ComponentMaximalIndependentSets(
+    const ConflictGraph& graph, const std::vector<int>& component);
+
+// Materializes all maximal independent sets, failing with
+// kResourceExhausted if there are more than `limit`.
+Result<std::vector<DynamicBitset>> AllMaximalIndependentSets(
+    const ConflictGraph& graph, size_t limit = 1u << 20);
+
+// Exact number of maximal independent sets (product over components).
+BigUint CountMaximalIndependentSets(const ConflictGraph& graph);
+
+}  // namespace prefrep
+
+#endif  // PREFREP_GRAPH_MIS_H_

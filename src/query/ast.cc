@@ -1,0 +1,387 @@
+#include "query/ast.h"
+
+#include "base/logging.h"
+
+namespace prefrep {
+
+std::string_view ComparisonOpSymbol(ComparisonOp op) {
+  switch (op) {
+    case ComparisonOp::kEq:
+      return "=";
+    case ComparisonOp::kNe:
+      return "!=";
+    case ComparisonOp::kLt:
+      return "<";
+    case ComparisonOp::kLe:
+      return "<=";
+    case ComparisonOp::kGt:
+      return ">";
+    case ComparisonOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+bool EvalComparison(ComparisonOp op, const Value& lhs, const Value& rhs) {
+  switch (op) {
+    case ComparisonOp::kEq:
+      return lhs == rhs;
+    case ComparisonOp::kNe:
+      return lhs != rhs;
+    default:
+      break;
+  }
+  // Order predicates are defined over N only.
+  if (!lhs.is_number() || !rhs.is_number()) return false;
+  switch (op) {
+    case ComparisonOp::kLt:
+      return lhs.number() < rhs.number();
+    case ComparisonOp::kLe:
+      return lhs.number() <= rhs.number();
+    case ComparisonOp::kGt:
+      return lhs.number() > rhs.number();
+    case ComparisonOp::kGe:
+      return lhs.number() >= rhs.number();
+    default:
+      return false;
+  }
+}
+
+ComparisonOp NegateComparison(ComparisonOp op) {
+  switch (op) {
+    case ComparisonOp::kEq:
+      return ComparisonOp::kNe;
+    case ComparisonOp::kNe:
+      return ComparisonOp::kEq;
+    case ComparisonOp::kLt:
+      return ComparisonOp::kGe;
+    case ComparisonOp::kLe:
+      return ComparisonOp::kGt;
+    case ComparisonOp::kGt:
+      return ComparisonOp::kLe;
+    case ComparisonOp::kGe:
+      return ComparisonOp::kLt;
+  }
+  return op;
+}
+
+Term Term::Var(std::string name) {
+  Term t;
+  t.kind = Kind::kVariable;
+  t.variable = std::move(name);
+  return t;
+}
+
+Term Term::Const(Value value) {
+  Term t;
+  t.kind = Kind::kConstant;
+  t.constant = std::move(value);
+  return t;
+}
+
+std::string Term::ToString() const {
+  if (is_variable()) return variable;
+  if (constant.is_name()) {
+    return "'" + constant.name() + "'";
+  }
+  return constant.ToString();
+}
+
+bool operator==(const Term& a, const Term& b) {
+  if (a.kind != b.kind) return false;
+  return a.is_variable() ? a.variable == b.variable
+                         : a.constant == b.constant;
+}
+
+std::unique_ptr<Query> Query::True() {
+  auto q = std::make_unique<Query>();
+  q->kind = QueryKind::kTrue;
+  return q;
+}
+
+std::unique_ptr<Query> Query::False() {
+  auto q = std::make_unique<Query>();
+  q->kind = QueryKind::kFalse;
+  return q;
+}
+
+std::unique_ptr<Query> Query::Atom(std::string relation,
+                                   std::vector<Term> terms) {
+  auto q = std::make_unique<Query>();
+  q->kind = QueryKind::kAtom;
+  q->relation = std::move(relation);
+  q->terms = std::move(terms);
+  return q;
+}
+
+std::unique_ptr<Query> Query::Cmp(ComparisonOp op, Term lhs, Term rhs) {
+  auto q = std::make_unique<Query>();
+  q->kind = QueryKind::kComparison;
+  q->op = op;
+  q->lhs = std::move(lhs);
+  q->rhs = std::move(rhs);
+  return q;
+}
+
+std::unique_ptr<Query> Query::Not(std::unique_ptr<Query> child) {
+  auto q = std::make_unique<Query>();
+  q->kind = QueryKind::kNot;
+  q->children.push_back(std::move(child));
+  return q;
+}
+
+std::unique_ptr<Query> Query::And(std::vector<std::unique_ptr<Query>> cs) {
+  CHECK(!cs.empty());
+  if (cs.size() == 1) return std::move(cs[0]);
+  auto q = std::make_unique<Query>();
+  q->kind = QueryKind::kAnd;
+  q->children = std::move(cs);
+  return q;
+}
+
+std::unique_ptr<Query> Query::Or(std::vector<std::unique_ptr<Query>> cs) {
+  CHECK(!cs.empty());
+  if (cs.size() == 1) return std::move(cs[0]);
+  auto q = std::make_unique<Query>();
+  q->kind = QueryKind::kOr;
+  q->children = std::move(cs);
+  return q;
+}
+
+std::unique_ptr<Query> Query::Exists(std::vector<std::string> vars,
+                                     std::unique_ptr<Query> child) {
+  CHECK(!vars.empty());
+  auto q = std::make_unique<Query>();
+  q->kind = QueryKind::kExists;
+  q->bound_vars = std::move(vars);
+  q->children.push_back(std::move(child));
+  return q;
+}
+
+std::unique_ptr<Query> Query::ForAll(std::vector<std::string> vars,
+                                     std::unique_ptr<Query> child) {
+  CHECK(!vars.empty());
+  auto q = std::make_unique<Query>();
+  q->kind = QueryKind::kForAll;
+  q->bound_vars = std::move(vars);
+  q->children.push_back(std::move(child));
+  return q;
+}
+
+std::unique_ptr<Query> Query::Clone() const {
+  auto q = std::make_unique<Query>();
+  q->kind = kind;
+  q->relation = relation;
+  q->terms = terms;
+  q->op = op;
+  q->lhs = lhs;
+  q->rhs = rhs;
+  q->bound_vars = bound_vars;
+  q->children.reserve(children.size());
+  for (const auto& child : children) q->children.push_back(child->Clone());
+  return q;
+}
+
+namespace {
+
+void CollectFree(const Query& q, std::set<std::string>& bound,
+                 std::set<std::string>& free) {
+  switch (q.kind) {
+    case QueryKind::kTrue:
+    case QueryKind::kFalse:
+      return;
+    case QueryKind::kAtom:
+      for (const Term& t : q.terms) {
+        if (t.is_variable() && !bound.contains(t.variable)) {
+          free.insert(t.variable);
+        }
+      }
+      return;
+    case QueryKind::kComparison:
+      for (const Term* t : {&q.lhs, &q.rhs}) {
+        if (t->is_variable() && !bound.contains(t->variable)) {
+          free.insert(t->variable);
+        }
+      }
+      return;
+    case QueryKind::kExists:
+    case QueryKind::kForAll: {
+      std::vector<std::string> newly_bound;
+      for (const std::string& v : q.bound_vars) {
+        if (bound.insert(v).second) newly_bound.push_back(v);
+      }
+      CollectFree(*q.children[0], bound, free);
+      for (const std::string& v : newly_bound) bound.erase(v);
+      return;
+    }
+    default:
+      for (const auto& child : q.children) CollectFree(*child, bound, free);
+      return;
+  }
+}
+
+}  // namespace
+
+std::set<std::string> Query::FreeVariables() const {
+  std::set<std::string> bound, free;
+  CollectFree(*this, bound, free);
+  return free;
+}
+
+bool Query::IsQuantifierFree() const {
+  if (kind == QueryKind::kExists || kind == QueryKind::kForAll) return false;
+  for (const auto& child : children) {
+    if (!child->IsQuantifierFree()) return false;
+  }
+  return true;
+}
+
+bool Query::IsGround() const {
+  switch (kind) {
+    case QueryKind::kAtom:
+      for (const Term& t : terms) {
+        if (t.is_variable()) return false;
+      }
+      break;
+    case QueryKind::kComparison:
+      if (lhs.is_variable() || rhs.is_variable()) return false;
+      break;
+    case QueryKind::kExists:
+    case QueryKind::kForAll:
+      return false;
+    default:
+      break;
+  }
+  for (const auto& child : children) {
+    if (!child->IsGround()) return false;
+  }
+  return true;
+}
+
+bool Query::IsConjunctive() const {
+  switch (kind) {
+    case QueryKind::kTrue:
+    case QueryKind::kAtom:
+    case QueryKind::kComparison:
+      return true;
+    case QueryKind::kExists:
+      return children[0]->IsConjunctive();
+    case QueryKind::kAnd:
+      for (const auto& child : children) {
+        if (!child->IsConjunctive()) return false;
+      }
+      return true;
+    default:
+      return false;
+  }
+}
+
+namespace {
+
+Term SubstituteTerm(const Term& term,
+                    const std::map<std::string, Value>& bindings,
+                    const std::set<std::string>& shadowed) {
+  if (term.is_variable() && !shadowed.contains(term.variable)) {
+    auto it = bindings.find(term.variable);
+    if (it != bindings.end()) return Term::Const(it->second);
+  }
+  return term;
+}
+
+std::unique_ptr<Query> SubstituteImpl(
+    const Query& q, const std::map<std::string, Value>& bindings,
+    std::set<std::string>& shadowed) {
+  auto out = std::make_unique<Query>();
+  out->kind = q.kind;
+  out->relation = q.relation;
+  out->op = q.op;
+  out->bound_vars = q.bound_vars;
+  switch (q.kind) {
+    case QueryKind::kAtom:
+      out->terms.reserve(q.terms.size());
+      for (const Term& t : q.terms) {
+        out->terms.push_back(SubstituteTerm(t, bindings, shadowed));
+      }
+      return out;
+    case QueryKind::kComparison:
+      out->lhs = SubstituteTerm(q.lhs, bindings, shadowed);
+      out->rhs = SubstituteTerm(q.rhs, bindings, shadowed);
+      return out;
+    case QueryKind::kExists:
+    case QueryKind::kForAll: {
+      std::vector<std::string> newly;
+      for (const std::string& v : q.bound_vars) {
+        if (shadowed.insert(v).second) newly.push_back(v);
+      }
+      out->children.push_back(
+          SubstituteImpl(*q.children[0], bindings, shadowed));
+      for (const std::string& v : newly) shadowed.erase(v);
+      return out;
+    }
+    default:
+      for (const auto& child : q.children) {
+        out->children.push_back(SubstituteImpl(*child, bindings, shadowed));
+      }
+      return out;
+  }
+}
+
+}  // namespace
+
+std::unique_ptr<Query> SubstituteVariables(
+    const Query& query, const std::map<std::string, Value>& bindings) {
+  std::set<std::string> shadowed;
+  return SubstituteImpl(query, bindings, shadowed);
+}
+
+bool IsNegationFree(const Query& query) {
+  if (query.kind == QueryKind::kNot) return false;
+  for (const auto& child : query.children) {
+    if (!IsNegationFree(*child)) return false;
+  }
+  return true;
+}
+
+std::string Query::ToString() const {
+  switch (kind) {
+    case QueryKind::kTrue:
+      return "true";
+    case QueryKind::kFalse:
+      return "false";
+    case QueryKind::kAtom: {
+      std::string out = relation + "(";
+      for (size_t i = 0; i < terms.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += terms[i].ToString();
+      }
+      return out + ")";
+    }
+    case QueryKind::kComparison:
+      return lhs.ToString() + " " + std::string(ComparisonOpSymbol(op)) +
+             " " + rhs.ToString();
+    case QueryKind::kNot:
+      return "not (" + children[0]->ToString() + ")";
+    case QueryKind::kAnd:
+    case QueryKind::kOr: {
+      std::string sep = kind == QueryKind::kAnd ? " and " : " or ";
+      std::string out = "(";
+      for (size_t i = 0; i < children.size(); ++i) {
+        if (i > 0) out += sep;
+        out += children[i]->ToString();
+      }
+      return out + ")";
+    }
+    case QueryKind::kExists:
+    case QueryKind::kForAll: {
+      std::string out = kind == QueryKind::kExists ? "exists " : "forall ";
+      for (size_t i = 0; i < bound_vars.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += bound_vars[i];
+      }
+      return out + " . (" + children[0]->ToString() + ")";
+    }
+  }
+  return "?";
+}
+
+}  // namespace prefrep

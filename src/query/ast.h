@@ -1,0 +1,129 @@
+// First-order query AST (§2 / §2.3).
+//
+// Queries are first-order formulas over relation atoms and the built-in
+// predicates =, !=, <, <=, >, >= (order predicates are interpreted over the
+// numeric domain N only). Closed queries evaluate to a boolean on a
+// database; open queries (with free variables) evaluate to answer sets.
+
+#ifndef PREFREP_QUERY_AST_H_
+#define PREFREP_QUERY_AST_H_
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "relational/value.h"
+
+namespace prefrep {
+
+enum class QueryKind {
+  kTrue,
+  kFalse,
+  kAtom,        // R(t1, ..., tk)
+  kComparison,  // t1 op t2
+  kNot,
+  kAnd,
+  kOr,
+  kExists,
+  kForAll,
+};
+
+enum class ComparisonOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+// "=", "!=", "<", "<=", ">", ">=".
+std::string_view ComparisonOpSymbol(ComparisonOp op);
+// Evaluates `op` under the paper's semantics: '='/'!=' compare within a
+// domain (cross-domain values are simply unequal); the order predicates
+// hold only between two numbers.
+bool EvalComparison(ComparisonOp op, const Value& lhs, const Value& rhs);
+// The complement predicate (for negation normal form): != for =, >= for <...
+ComparisonOp NegateComparison(ComparisonOp op);
+
+// A term: a variable or a constant.
+struct Term {
+  enum class Kind { kVariable, kConstant };
+
+  static Term Var(std::string name);
+  static Term Const(Value value);
+  static Term ConstName(std::string name) {
+    return Const(Value::Name(std::move(name)));
+  }
+  static Term ConstNumber(int64_t n) { return Const(Value::Number(n)); }
+
+  bool is_variable() const { return kind == Kind::kVariable; }
+  bool is_constant() const { return kind == Kind::kConstant; }
+
+  std::string ToString() const;
+  friend bool operator==(const Term& a, const Term& b);
+
+  Kind kind = Kind::kConstant;
+  std::string variable;  // when kVariable
+  Value constant;        // when kConstant
+};
+
+// An AST node. Nodes own their children; trees are passed around as
+// std::unique_ptr<Query> and deep-copied with Clone().
+struct Query {
+  QueryKind kind = QueryKind::kTrue;
+
+  // kAtom.
+  std::string relation;
+  std::vector<Term> terms;
+
+  // kComparison.
+  ComparisonOp op = ComparisonOp::kEq;
+  Term lhs, rhs;
+
+  // kNot (1 child), kAnd / kOr (>= 1 children), quantifiers (1 child).
+  std::vector<std::unique_ptr<Query>> children;
+
+  // kExists / kForAll.
+  std::vector<std::string> bound_vars;
+
+  // ---- factory helpers ----------------------------------------------------
+  static std::unique_ptr<Query> True();
+  static std::unique_ptr<Query> False();
+  static std::unique_ptr<Query> Atom(std::string relation,
+                                     std::vector<Term> terms);
+  static std::unique_ptr<Query> Cmp(ComparisonOp op, Term lhs, Term rhs);
+  static std::unique_ptr<Query> Not(std::unique_ptr<Query> child);
+  static std::unique_ptr<Query> And(std::vector<std::unique_ptr<Query>> cs);
+  static std::unique_ptr<Query> Or(std::vector<std::unique_ptr<Query>> cs);
+  static std::unique_ptr<Query> Exists(std::vector<std::string> vars,
+                                       std::unique_ptr<Query> child);
+  static std::unique_ptr<Query> ForAll(std::vector<std::string> vars,
+                                       std::unique_ptr<Query> child);
+
+  std::unique_ptr<Query> Clone() const;
+
+  // ---- classification -----------------------------------------------------
+  // Variables not bound by any enclosing quantifier.
+  std::set<std::string> FreeVariables() const;
+  bool IsClosed() const { return FreeVariables().empty(); }
+  // No quantifiers anywhere ({∀,∃}-free in the paper's Figure 5).
+  bool IsQuantifierFree() const;
+  // No variables at all (quantifier-free with constant terms only).
+  bool IsGround() const;
+  // An existentially quantified conjunction of atoms and comparisons
+  // (the "conjunctive queries" column of Figure 5).
+  bool IsConjunctive() const;
+
+  std::string ToString() const;
+};
+
+// A deep copy of `query` with every *free* occurrence of the given
+// variables replaced by the corresponding constants (bound occurrences
+// under a shadowing quantifier are left alone).
+std::unique_ptr<Query> SubstituteVariables(
+    const Query& query, const std::map<std::string, Value>& bindings);
+
+// True iff the query contains no negation (kNot) anywhere — such queries
+// are monotone in the database, which GroundConsistentOpenAnswers relies
+// on (an answer in some repair is an answer in the full database).
+bool IsNegationFree(const Query& query);
+
+}  // namespace prefrep
+
+#endif  // PREFREP_QUERY_AST_H_

@@ -1,0 +1,319 @@
+#include "query/evaluator.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <set>
+
+namespace prefrep {
+
+namespace {
+
+// Per-variable domain compatibility, narrowed by a static pass.
+struct VarType {
+  bool may_be_name = true;
+  bool may_be_number = true;
+};
+
+// Walks the query narrowing variable types from atom positions and order
+// comparisons. Conflicting uses simply narrow to nothing (the variable
+// ranges over an empty domain), which is sound.
+void InferTypes(const Database& db, const Query& q,
+                std::map<std::string, VarType>& types) {
+  switch (q.kind) {
+    case QueryKind::kAtom: {
+      auto rel = db.relation(q.relation);
+      if (!rel.ok()) return;  // caught by validation
+      const Schema& schema = (*rel)->schema();
+      for (size_t i = 0; i < q.terms.size() &&
+                         i < static_cast<size_t>(schema.arity());
+           ++i) {
+        if (!q.terms[i].is_variable()) continue;
+        VarType& vt = types[q.terms[i].variable];
+        if (schema.attribute(static_cast<int>(i)).type == ValueType::kName) {
+          vt.may_be_number = false;
+        } else {
+          vt.may_be_name = false;
+        }
+      }
+      return;
+    }
+    case QueryKind::kComparison: {
+      bool is_order = q.op != ComparisonOp::kEq && q.op != ComparisonOp::kNe;
+      for (const Term* t : {&q.lhs, &q.rhs}) {
+        if (t->is_variable() && is_order) {
+          types[t->variable].may_be_name = false;
+        }
+      }
+      // Equality with a constant narrows to the constant's domain.
+      if (!is_order) {
+        const Term* terms[2] = {&q.lhs, &q.rhs};
+        for (int i = 0; i < 2; ++i) {
+          if (terms[i]->is_variable() && terms[1 - i]->is_constant() &&
+              q.op == ComparisonOp::kEq) {
+            VarType& vt = types[terms[i]->variable];
+            if (terms[1 - i]->constant.is_name()) {
+              vt.may_be_number = false;
+            } else {
+              vt.may_be_name = false;
+            }
+          }
+        }
+      }
+      return;
+    }
+    default:
+      for (const auto& child : q.children) InferTypes(db, *child, types);
+      return;
+  }
+}
+
+// The active domain of the database plus query constants, per value type.
+struct ActiveDomain {
+  std::vector<Value> names;
+  std::vector<Value> numbers;
+};
+
+void CollectQueryConstants(const Query& q, std::set<Value>& values) {
+  switch (q.kind) {
+    case QueryKind::kAtom:
+      for (const Term& t : q.terms) {
+        if (t.is_constant()) values.insert(t.constant);
+      }
+      return;
+    case QueryKind::kComparison:
+      if (q.lhs.is_constant()) values.insert(q.lhs.constant);
+      if (q.rhs.is_constant()) values.insert(q.rhs.constant);
+      return;
+    default:
+      for (const auto& child : q.children) {
+        CollectQueryConstants(*child, values);
+      }
+      return;
+  }
+}
+
+ActiveDomain ComputeActiveDomain(const Database& db, const Query& q) {
+  std::set<Value> values;
+  for (const Relation& rel : db.relations()) {
+    for (const Tuple& t : rel.tuples()) {
+      for (const Value& v : t.values()) values.insert(v);
+    }
+  }
+  CollectQueryConstants(q, values);
+  ActiveDomain domain;
+  for (const Value& v : values) {
+    (v.is_name() ? domain.names : domain.numbers).push_back(v);
+  }
+  return domain;
+}
+
+class Evaluator {
+ public:
+  Evaluator(const Database& db, const DynamicBitset* mask, const Query& root)
+      : db_(db), mask_(mask), domain_(ComputeActiveDomain(db, root)) {
+    InferTypes(db, root, types_);
+  }
+
+  bool Eval(const Query& q) {
+    switch (q.kind) {
+      case QueryKind::kTrue:
+        return true;
+      case QueryKind::kFalse:
+        return false;
+      case QueryKind::kAtom:
+        return EvalAtom(q);
+      case QueryKind::kComparison:
+        return EvalComparison(q.op, Resolve(q.lhs), Resolve(q.rhs));
+      case QueryKind::kNot:
+        return !Eval(*q.children[0]);
+      case QueryKind::kAnd:
+        for (const auto& child : q.children) {
+          if (!Eval(*child)) return false;
+        }
+        return true;
+      case QueryKind::kOr:
+        for (const auto& child : q.children) {
+          if (Eval(*child)) return true;
+        }
+        return false;
+      case QueryKind::kExists:
+        return EvalQuantifier(q, /*existential=*/true, 0);
+      case QueryKind::kForAll:
+        return EvalQuantifier(q, /*existential=*/false, 0);
+    }
+    return false;
+  }
+
+  // Candidate values a variable ranges over, given the inferred types.
+  std::vector<Value> DomainOf(const std::string& var) const {
+    std::vector<Value> out;
+    auto it = types_.find(var);
+    VarType vt = it == types_.end() ? VarType{} : it->second;
+    if (vt.may_be_name) {
+      out.insert(out.end(), domain_.names.begin(), domain_.names.end());
+    }
+    if (vt.may_be_number) {
+      out.insert(out.end(), domain_.numbers.begin(), domain_.numbers.end());
+    }
+    return out;
+  }
+
+  void Bind(const std::string& var, const Value& value) {
+    env_[var] = value;
+  }
+  void Unbind(const std::string& var) { env_.erase(var); }
+
+ private:
+  Value Resolve(const Term& t) const {
+    if (t.is_constant()) return t.constant;
+    auto it = env_.find(t.variable);
+    CHECK(it != env_.end()) << "unbound variable '" << t.variable
+                            << "' (query not closed?)";
+    return it->second;
+  }
+
+  bool EvalAtom(const Query& q) {
+    auto rel_result = db_.relation(q.relation);
+    CHECK(rel_result.ok()) << rel_result.status().ToString();
+    const Relation& rel = **rel_result;
+    // Relation index for mask lookups.
+    int rel_idx = -1;
+    for (int i = 0; i < db_.relation_count(); ++i) {
+      if (&db_.relations()[i] == &rel) rel_idx = i;
+    }
+    std::vector<Value> wanted(q.terms.size());
+    for (size_t i = 0; i < q.terms.size(); ++i) wanted[i] = Resolve(q.terms[i]);
+    for (int row = 0; row < rel.size(); ++row) {
+      if (mask_ != nullptr && !mask_->Test(db_.GlobalId(rel_idx, row))) {
+        continue;
+      }
+      const Tuple& t = rel.tuple(row);
+      bool match = true;
+      for (size_t i = 0; i < wanted.size() && match; ++i) {
+        match = t.value(static_cast<int>(i)) == wanted[i];
+      }
+      if (match) return true;
+    }
+    return false;
+  }
+
+  bool EvalQuantifier(const Query& q, bool existential, size_t var_index) {
+    if (var_index == q.bound_vars.size()) {
+      return Eval(*q.children[0]);
+    }
+    const std::string& var = q.bound_vars[var_index];
+    for (const Value& v : DomainOf(var)) {
+      Bind(var, v);
+      bool result = EvalQuantifier(q, existential, var_index + 1);
+      Unbind(var);
+      if (existential && result) return true;
+      if (!existential && !result) return false;
+    }
+    return !existential;
+  }
+
+  const Database& db_;
+  const DynamicBitset* mask_;
+  ActiveDomain domain_;
+  std::map<std::string, VarType> types_;
+  std::map<std::string, Value> env_;
+};
+
+Status ValidateNode(const Database& db, const Query& q) {
+  switch (q.kind) {
+    case QueryKind::kAtom: {
+      PREFREP_ASSIGN_OR_RETURN(const Relation* rel, db.relation(q.relation));
+      const Schema& schema = rel->schema();
+      if (static_cast<int>(q.terms.size()) != schema.arity()) {
+        return Status::InvalidArgument(
+            "atom " + q.ToString() + " has arity " +
+            std::to_string(q.terms.size()) + ", expected " +
+            std::to_string(schema.arity()));
+      }
+      for (int i = 0; i < schema.arity(); ++i) {
+        const Term& t = q.terms[i];
+        if (t.is_constant() &&
+            t.constant.type() != schema.attribute(i).type) {
+          return Status::InvalidArgument(
+              "constant " + t.ToString() + " has wrong type for attribute " +
+              schema.attribute(i).name + " of " + schema.relation_name());
+        }
+      }
+      return Status::Ok();
+    }
+    case QueryKind::kComparison: {
+      bool is_order = q.op != ComparisonOp::kEq && q.op != ComparisonOp::kNe;
+      if (is_order) {
+        for (const Term* t : {&q.lhs, &q.rhs}) {
+          if (t->is_constant() && t->constant.is_name()) {
+            return Status::InvalidArgument(
+                "order comparison on name constant " + t->ToString() +
+                " (order predicates are defined over numbers only)");
+          }
+        }
+      }
+      return Status::Ok();
+    }
+    default:
+      for (const auto& child : q.children) {
+        PREFREP_RETURN_IF_ERROR(ValidateNode(db, *child));
+      }
+      return Status::Ok();
+  }
+}
+
+}  // namespace
+
+Status ValidateQuery(const Database& db, const Query& query) {
+  return ValidateNode(db, query);
+}
+
+Result<bool> EvalClosed(const Database& db, const DynamicBitset* mask,
+                        const Query& query) {
+  PREFREP_RETURN_IF_ERROR(ValidateQuery(db, query));
+  if (!query.IsClosed()) {
+    return Status::InvalidArgument("query has free variables: " +
+                                   query.ToString());
+  }
+  if (mask != nullptr && mask->size() != db.tuple_count()) {
+    return Status::InvalidArgument("mask size does not match database");
+  }
+  Evaluator evaluator(db, mask, query);
+  return evaluator.Eval(query);
+}
+
+Result<OpenAnswer> EvalOpen(const Database& db, const DynamicBitset* mask,
+                            const Query& query) {
+  PREFREP_RETURN_IF_ERROR(ValidateQuery(db, query));
+  if (mask != nullptr && mask->size() != db.tuple_count()) {
+    return Status::InvalidArgument("mask size does not match database");
+  }
+  std::set<std::string> free = query.FreeVariables();
+  OpenAnswer answer;
+  answer.variables.assign(free.begin(), free.end());
+
+  Evaluator evaluator(db, mask, query);
+  std::set<Tuple> rows;
+  // Enumerate assignments of the free variables over their domains.
+  std::vector<Value> assignment(answer.variables.size());
+  std::function<void(size_t)> recurse = [&](size_t idx) {
+    if (idx == answer.variables.size()) {
+      if (evaluator.Eval(query)) {
+        rows.insert(Tuple(assignment));
+      }
+      return;
+    }
+    for (const Value& v : evaluator.DomainOf(answer.variables[idx])) {
+      evaluator.Bind(answer.variables[idx], v);
+      assignment[idx] = v;
+      recurse(idx + 1);
+      evaluator.Unbind(answer.variables[idx]);
+    }
+  };
+  recurse(0);
+  answer.rows.assign(rows.begin(), rows.end());
+  return answer;
+}
+
+}  // namespace prefrep

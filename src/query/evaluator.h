@@ -1,0 +1,47 @@
+// First-order query evaluation over a database (or a masked subset such as
+// a repair), with active-domain semantics.
+//
+// Quantified variables range over the *active domain*: every value
+// appearing in the full database plus every constant in the query, split
+// by domain (names vs numbers). Using the full database's domain for all
+// repairs matches the paper's setup in which all instances share the
+// domains D and N; for domain-independent queries the choice is
+// irrelevant. A light type-inference pass restricts each variable to the
+// domains compatible with its uses (attribute positions, order
+// comparisons), which keeps evaluation sound and fast.
+
+#ifndef PREFREP_QUERY_EVALUATOR_H_
+#define PREFREP_QUERY_EVALUATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "base/bitset.h"
+#include "base/status.h"
+#include "query/ast.h"
+#include "relational/database.h"
+
+namespace prefrep {
+
+// Static checks: referenced relations exist, atom arities match, constants
+// match attribute types, order comparisons never involve name-typed terms.
+Status ValidateQuery(const Database& db, const Query& query);
+
+// Evaluates a closed query over the sub-database `mask` (pass nullptr for
+// the full database). Fails on non-closed or invalid queries.
+Result<bool> EvalClosed(const Database& db, const DynamicBitset* mask,
+                        const Query& query);
+
+// Answers to an open query: all assignments of the free variables (sorted
+// by variable name) that satisfy the query.
+struct OpenAnswer {
+  std::vector<std::string> variables;  // sorted
+  std::vector<Tuple> rows;             // sorted, distinct
+};
+
+Result<OpenAnswer> EvalOpen(const Database& db, const DynamicBitset* mask,
+                            const Query& query);
+
+}  // namespace prefrep
+
+#endif  // PREFREP_QUERY_EVALUATOR_H_

@@ -1,0 +1,171 @@
+#include "query/normal_form.h"
+
+#include "base/logging.h"
+
+namespace prefrep {
+
+namespace {
+
+std::unique_ptr<Query> NnfImpl(const Query& q, bool negated) {
+  switch (q.kind) {
+    case QueryKind::kTrue:
+      return negated ? Query::False() : Query::True();
+    case QueryKind::kFalse:
+      return negated ? Query::True() : Query::False();
+    case QueryKind::kAtom: {
+      auto atom = Query::Atom(q.relation, q.terms);
+      return negated ? Query::Not(std::move(atom)) : std::move(atom);
+    }
+    case QueryKind::kComparison:
+      // Comparisons negate in place via the complement operator.
+      return Query::Cmp(negated ? NegateComparison(q.op) : q.op, q.lhs,
+                        q.rhs);
+    case QueryKind::kNot:
+      return NnfImpl(*q.children[0], !negated);
+    case QueryKind::kAnd:
+    case QueryKind::kOr: {
+      bool and_like = (q.kind == QueryKind::kAnd) != negated;
+      std::vector<std::unique_ptr<Query>> children;
+      children.reserve(q.children.size());
+      for (const auto& child : q.children) {
+        children.push_back(NnfImpl(*child, negated));
+      }
+      return and_like ? Query::And(std::move(children))
+                      : Query::Or(std::move(children));
+    }
+    case QueryKind::kExists:
+    case QueryKind::kForAll: {
+      bool exists_like = (q.kind == QueryKind::kExists) != negated;
+      auto child = NnfImpl(*q.children[0], negated);
+      return exists_like ? Query::Exists(q.bound_vars, std::move(child))
+                         : Query::ForAll(q.bound_vars, std::move(child));
+    }
+  }
+  return Query::True();
+}
+
+}  // namespace
+
+std::unique_ptr<Query> ToNnf(const Query& query) {
+  return NnfImpl(query, /*negated=*/false);
+}
+
+bool GroundLiteral::ComparisonHolds() const {
+  CHECK(!is_atom);
+  bool holds = EvalComparison(op, lhs, rhs);
+  return positive ? holds : !holds;
+}
+
+namespace {
+
+Result<GroundLiteral> MakeAtomLiteral(const Query& q, bool positive) {
+  GroundLiteral lit;
+  lit.positive = positive;
+  lit.is_atom = true;
+  lit.relation = q.relation;
+  std::vector<Value> values;
+  values.reserve(q.terms.size());
+  for (const Term& t : q.terms) {
+    if (!t.is_constant()) {
+      return Status::InvalidArgument("non-ground atom in GroundDnf: " +
+                                     q.ToString());
+    }
+    values.push_back(t.constant);
+  }
+  lit.tuple = Tuple(std::move(values));
+  return lit;
+}
+
+Result<GroundLiteral> MakeComparisonLiteral(const Query& q) {
+  if (!q.lhs.is_constant() || !q.rhs.is_constant()) {
+    return Status::InvalidArgument("non-ground comparison in GroundDnf: " +
+                                   q.ToString());
+  }
+  GroundLiteral lit;
+  lit.positive = true;
+  lit.is_atom = false;
+  lit.op = q.op;
+  lit.lhs = q.lhs.constant;
+  lit.rhs = q.rhs.constant;
+  return lit;
+}
+
+// DNF of an NNF node, as a list of disjuncts.
+Result<std::vector<GroundDisjunct>> DnfOfNnf(const Query& q,
+                                             size_t max_disjuncts) {
+  switch (q.kind) {
+    case QueryKind::kTrue:
+      return std::vector<GroundDisjunct>{GroundDisjunct{}};
+    case QueryKind::kFalse:
+      return std::vector<GroundDisjunct>{};
+    case QueryKind::kAtom: {
+      PREFREP_ASSIGN_OR_RETURN(GroundLiteral lit, MakeAtomLiteral(q, true));
+      return std::vector<GroundDisjunct>{GroundDisjunct{std::move(lit)}};
+    }
+    case QueryKind::kComparison: {
+      PREFREP_ASSIGN_OR_RETURN(GroundLiteral lit, MakeComparisonLiteral(q));
+      return std::vector<GroundDisjunct>{GroundDisjunct{std::move(lit)}};
+    }
+    case QueryKind::kNot: {
+      const Query& child = *q.children[0];
+      if (child.kind != QueryKind::kAtom) {
+        return Status::Internal("NNF invariant violated: negation above " +
+                                child.ToString());
+      }
+      PREFREP_ASSIGN_OR_RETURN(GroundLiteral lit,
+                               MakeAtomLiteral(child, false));
+      return std::vector<GroundDisjunct>{GroundDisjunct{std::move(lit)}};
+    }
+    case QueryKind::kOr: {
+      std::vector<GroundDisjunct> out;
+      for (const auto& child : q.children) {
+        PREFREP_ASSIGN_OR_RETURN(std::vector<GroundDisjunct> part,
+                                 DnfOfNnf(*child, max_disjuncts));
+        for (auto& disjunct : part) out.push_back(std::move(disjunct));
+        if (out.size() > max_disjuncts) {
+          return Status::ResourceExhausted("DNF too large");
+        }
+      }
+      return out;
+    }
+    case QueryKind::kAnd: {
+      std::vector<GroundDisjunct> acc{GroundDisjunct{}};
+      for (const auto& child : q.children) {
+        PREFREP_ASSIGN_OR_RETURN(std::vector<GroundDisjunct> part,
+                                 DnfOfNnf(*child, max_disjuncts));
+        std::vector<GroundDisjunct> next;
+        for (const GroundDisjunct& left : acc) {
+          for (const GroundDisjunct& right : part) {
+            GroundDisjunct merged = left;
+            merged.insert(merged.end(), right.begin(), right.end());
+            next.push_back(std::move(merged));
+            if (next.size() > max_disjuncts) {
+              return Status::ResourceExhausted("DNF too large");
+            }
+          }
+        }
+        acc = std::move(next);
+      }
+      return acc;
+    }
+    default:
+      return Status::InvalidArgument(
+          "GroundDnf requires a quantifier-free query");
+  }
+}
+
+}  // namespace
+
+Result<std::vector<GroundDisjunct>> GroundDnf(const Query& query,
+                                              size_t max_disjuncts) {
+  if (!query.IsQuantifierFree()) {
+    return Status::InvalidArgument("query is not quantifier-free");
+  }
+  if (!query.IsGround()) {
+    return Status::InvalidArgument("query is not ground");
+  }
+  std::unique_ptr<Query> nnf = ToNnf(query);
+  return DnfOfNnf(*nnf, max_disjuncts);
+}
+
+}  // namespace prefrep

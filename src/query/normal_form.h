@@ -1,0 +1,49 @@
+// Normal-form transformations used by the polynomial CQA engine:
+// negation normal form for arbitrary queries, and ground DNF for
+// quantifier-free ground queries (the {∀,∃}-free class of Figure 5).
+
+#ifndef PREFREP_QUERY_NORMAL_FORM_H_
+#define PREFREP_QUERY_NORMAL_FORM_H_
+
+#include <memory>
+#include <vector>
+
+#include "base/status.h"
+#include "query/ast.h"
+#include "relational/tuple.h"
+
+namespace prefrep {
+
+// Pushes negations down to literals (using quantifier and De Morgan
+// dualities); the result contains kNot only directly above atoms, and
+// comparisons/constants are negated in place.
+std::unique_ptr<Query> ToNnf(const Query& query);
+
+// A ground literal of a DNF disjunct: either a (possibly negated) fact
+// R(c1...ck), or a comparison between constants (pre-evaluated).
+struct GroundLiteral {
+  bool positive = true;
+  bool is_atom = true;
+  // kAtom payload.
+  std::string relation;
+  Tuple tuple;
+  // kComparison payload (op applied to constants).
+  ComparisonOp op = ComparisonOp::kEq;
+  Value lhs, rhs;
+
+  // Evaluates a comparison literal (CHECK-fails on atoms).
+  bool ComparisonHolds() const;
+};
+
+using GroundDisjunct = std::vector<GroundLiteral>;
+
+// Converts a ground quantifier-free query to disjunctive normal form.
+// Fails with kInvalidArgument on non-ground/quantified input and with
+// kResourceExhausted if the DNF would exceed `max_disjuncts` (the blowup
+// is exponential only in the fixed query size, not in the data).
+Result<std::vector<GroundDisjunct>> GroundDnf(const Query& query,
+                                              size_t max_disjuncts = 65536);
+
+}  // namespace prefrep
+
+#endif  // PREFREP_QUERY_NORMAL_FORM_H_

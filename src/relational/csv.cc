@@ -1,0 +1,86 @@
+#include "relational/csv.h"
+
+#include "base/strings.h"
+
+namespace prefrep {
+
+Result<int> LoadCsv(Database& db, std::string_view relation_name,
+                    std::string_view text, CsvOptions options) {
+  PREFREP_ASSIGN_OR_RETURN(const Relation* rel, db.relation(relation_name));
+  const Schema& schema = rel->schema();
+  int expected_fields = schema.arity() + (options.with_provenance ? 2 : 0);
+
+  int inserted = 0;
+  int line_no = 0;
+  for (const std::string& raw_line : StrSplit(text, '\n')) {
+    ++line_no;
+    std::string_view line = StripWhitespace(raw_line);
+    if (line.empty() || line[0] == '#') continue;
+
+    std::vector<std::string> fields = StrSplit(line, ',');
+    if (static_cast<int>(fields.size()) != expected_fields) {
+      return Status::ParseError(
+          "line " + std::to_string(line_no) + ": expected " +
+          std::to_string(expected_fields) + " fields, got " +
+          std::to_string(fields.size()));
+    }
+
+    std::vector<Value> values;
+    values.reserve(schema.arity());
+    for (int i = 0; i < schema.arity(); ++i) {
+      std::string_view field = StripWhitespace(fields[i]);
+      if (schema.attribute(i).type == ValueType::kNumber) {
+        auto parsed = ParseInt64(field);
+        if (!parsed.ok()) {
+          return Status::ParseError("line " + std::to_string(line_no) + ": " +
+                                    parsed.status().message());
+        }
+        values.push_back(Value::Number(*parsed));
+      } else {
+        values.push_back(Value::Name(std::string(field)));
+      }
+    }
+
+    TupleMeta meta;
+    if (options.with_provenance) {
+      auto source = ParseInt64(StripWhitespace(fields[schema.arity()]));
+      auto ts = ParseInt64(StripWhitespace(fields[schema.arity() + 1]));
+      if (!source.ok() || !ts.ok()) {
+        return Status::ParseError("line " + std::to_string(line_no) +
+                                  ": bad provenance columns");
+      }
+      meta.source_id = static_cast<int>(*source);
+      meta.timestamp = *ts;
+    }
+
+    auto id = db.Insert(relation_name, Tuple(std::move(values)), meta);
+    if (!id.ok()) {
+      return Status::ParseError("line " + std::to_string(line_no) + ": " +
+                                id.status().message());
+    }
+    ++inserted;
+  }
+  return inserted;
+}
+
+Result<std::string> DumpCsv(const Database& db, std::string_view relation_name,
+                            CsvOptions options) {
+  PREFREP_ASSIGN_OR_RETURN(const Relation* rel, db.relation(relation_name));
+  std::string out;
+  for (int row = 0; row < rel->size(); ++row) {
+    const Tuple& t = rel->tuple(row);
+    for (int i = 0; i < t.arity(); ++i) {
+      if (i > 0) out += ",";
+      out += t.value(i).ToString();
+    }
+    if (options.with_provenance) {
+      const TupleMeta& meta = rel->meta(row);
+      out += "," + std::to_string(meta.source_id);
+      out += "," + std::to_string(meta.timestamp);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace prefrep

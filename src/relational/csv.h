@@ -1,0 +1,36 @@
+// CSV import/export for relations.
+//
+// Format: one tuple per line, comma-separated, values parsed according to
+// the schema's attribute types. Optional trailing provenance columns
+// "@source" and "@ts" (in that order) populate TupleMeta. Lines starting
+// with '#' and blank lines are skipped. No quoting: names must not contain
+// commas or newlines.
+
+#ifndef PREFREP_RELATIONAL_CSV_H_
+#define PREFREP_RELATIONAL_CSV_H_
+
+#include <string>
+#include <string_view>
+
+#include "base/status.h"
+#include "relational/database.h"
+
+namespace prefrep {
+
+struct CsvOptions {
+  // Whether the trailing "@source,@ts" provenance columns are present.
+  bool with_provenance = false;
+};
+
+// Parses `text` and inserts all tuples into relation `relation_name` of `db`.
+// Returns the number of tuples inserted.
+Result<int> LoadCsv(Database& db, std::string_view relation_name,
+                    std::string_view text, CsvOptions options = {});
+
+// Serializes a relation (all tuples) to CSV, inverse of LoadCsv.
+Result<std::string> DumpCsv(const Database& db, std::string_view relation_name,
+                            CsvOptions options = {});
+
+}  // namespace prefrep
+
+#endif  // PREFREP_RELATIONAL_CSV_H_

@@ -1,0 +1,112 @@
+#include "relational/database.h"
+
+namespace prefrep {
+
+Status Database::AddRelation(Schema schema) {
+  if (relation_index_.contains(schema.relation_name())) {
+    return Status::AlreadyExists("relation '" + schema.relation_name() +
+                                 "' already exists");
+  }
+  relation_index_.emplace(schema.relation_name(),
+                          static_cast<int>(relations_.size()));
+  relations_.emplace_back(std::move(schema));
+  relation_global_ids_.emplace_back();
+  return Status::Ok();
+}
+
+Result<TupleId> Database::Insert(std::string_view relation_name, Tuple tuple,
+                                 TupleMeta meta) {
+  auto it = relation_index_.find(std::string(relation_name));
+  if (it == relation_index_.end()) {
+    return Status::NotFound("no relation '" + std::string(relation_name) +
+                            "'");
+  }
+  int rel = it->second;
+  PREFREP_ASSIGN_OR_RETURN(int row,
+                           relations_[rel].AddTuple(std::move(tuple), meta));
+  TupleId id = static_cast<TupleId>(locations_.size());
+  locations_.push_back(Location{rel, row});
+  relation_global_ids_[rel].push_back(id);
+  return id;
+}
+
+Result<const Relation*> Database::relation(std::string_view name) const {
+  auto it = relation_index_.find(std::string(name));
+  if (it == relation_index_.end()) {
+    return Status::NotFound("no relation '" + std::string(name) + "'");
+  }
+  return static_cast<const Relation*>(&relations_[it->second]);
+}
+
+bool Database::HasRelation(std::string_view name) const {
+  return relation_index_.contains(std::string(name));
+}
+
+Result<TupleId> Database::FindTuple(std::string_view relation_name,
+                                    const Tuple& tuple) const {
+  auto it = relation_index_.find(std::string(relation_name));
+  if (it == relation_index_.end()) {
+    return Status::NotFound("no relation '" + std::string(relation_name) +
+                            "'");
+  }
+  int rel = it->second;
+  PREFREP_ASSIGN_OR_RETURN(int row, relations_[rel].Find(tuple));
+  return relation_global_ids_[rel][row];
+}
+
+DynamicBitset Database::RelationMask(int relation_index) const {
+  DynamicBitset mask(tuple_count());
+  for (TupleId id : relation_global_ids_[relation_index]) mask.Set(id);
+  return mask;
+}
+
+Database Database::Induce(const DynamicBitset& keep) const {
+  CHECK_EQ(keep.size(), tuple_count());
+  Database out;
+  for (const Relation& rel : relations_) {
+    Status st = out.AddRelation(rel.schema());
+    CHECK(st.ok()) << st.ToString();
+  }
+  // Preserve global insertion order so induced ids remain deterministic.
+  ForEachSetBit(keep, [&](TupleId id) {
+    const Location& loc = locations_[id];
+    auto inserted =
+        out.Insert(relations_[loc.relation].schema().relation_name(),
+                   relations_[loc.relation].tuple(loc.row),
+                   relations_[loc.relation].meta(loc.row));
+    CHECK(inserted.ok()) << inserted.status().ToString();
+  });
+  return out;
+}
+
+std::string Database::DescribeTuple(TupleId id) const {
+  const Location& loc = locations_[id];
+  const Relation& rel = relations_[loc.relation];
+  std::string out =
+      rel.schema().relation_name() + rel.tuple(loc.row).ToString();
+  const TupleMeta& meta = rel.meta(loc.row);
+  if (meta.source_id != TupleMeta::kNoSource ||
+      meta.timestamp != TupleMeta::kNoTimestamp) {
+    out += "  [";
+    if (meta.source_id != TupleMeta::kNoSource) {
+      out += "source=" + std::to_string(meta.source_id);
+    }
+    if (meta.timestamp != TupleMeta::kNoTimestamp) {
+      if (meta.source_id != TupleMeta::kNoSource) out += " ";
+      out += "ts=" + std::to_string(meta.timestamp);
+    }
+    out += "]";
+  }
+  return out;
+}
+
+std::string Database::ToString() const {
+  std::string out;
+  for (const Relation& rel : relations_) {
+    out += rel.ToString();
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace prefrep

@@ -1,0 +1,101 @@
+// Database: a set of relations with a dense global tuple-id space.
+//
+// The paper restricts itself to a single relation "only for the sake of
+// clarity" (§2) and notes the framework extends to multiple relations along
+// the lines of [7]. We support multiple relations throughout: conflict
+// graphs, priorities and repairs are expressed over global TupleIds.
+//
+// A TupleId identifies a (relation, row) pair; ids are assigned densely in
+// insertion order across all relations, so subsets of the database are
+// DynamicBitsets over [0, tuple_count()).
+
+#ifndef PREFREP_RELATIONAL_DATABASE_H_
+#define PREFREP_RELATIONAL_DATABASE_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "base/bitset.h"
+#include "base/status.h"
+#include "relational/relation.h"
+
+namespace prefrep {
+
+using TupleId = int;
+
+class Database {
+ public:
+  Database() = default;
+
+  // Registers an empty relation; fails on duplicate names.
+  Status AddRelation(Schema schema);
+
+  // Inserts a tuple and returns its global TupleId.
+  Result<TupleId> Insert(std::string_view relation_name, Tuple tuple,
+                         TupleMeta meta = TupleMeta{});
+
+  int relation_count() const { return static_cast<int>(relations_.size()); }
+  const std::vector<Relation>& relations() const { return relations_; }
+  Result<const Relation*> relation(std::string_view name) const;
+  bool HasRelation(std::string_view name) const;
+
+  // Total number of tuples across all relations == size of the TupleId space.
+  int tuple_count() const { return static_cast<int>(locations_.size()); }
+
+  // Global id of row `row` of relation `relation_index`.
+  TupleId GlobalId(int relation_index, int row) const {
+    return relation_global_ids_[relation_index][row];
+  }
+  // Global id lookup by relation name + tuple value.
+  Result<TupleId> FindTuple(std::string_view relation_name,
+                            const Tuple& tuple) const;
+
+  // Relation index / local row of a global id.
+  int RelationIndexOf(TupleId id) const { return locations_[id].relation; }
+  int RowOf(TupleId id) const { return locations_[id].row; }
+  const Tuple& TupleOf(TupleId id) const {
+    const Location& loc = locations_[id];
+    return relations_[loc.relation].tuple(loc.row);
+  }
+  const TupleMeta& MetaOf(TupleId id) const {
+    const Location& loc = locations_[id];
+    return relations_[loc.relation].meta(loc.row);
+  }
+  const Schema& SchemaOf(TupleId id) const {
+    return relations_[locations_[id].relation].schema();
+  }
+
+  // All tuple ids belonging to relation `relation_index`.
+  DynamicBitset RelationMask(int relation_index) const;
+  // The full database as a tuple set.
+  DynamicBitset AllTuples() const {
+    return DynamicBitset::AllSet(tuple_count());
+  }
+
+  // Materializes the sub-database induced by `keep` (e.g. a repair) as a
+  // standalone Database. Provenance metadata is preserved.
+  Database Induce(const DynamicBitset& keep) const;
+
+  // "R(a, b)  [source=1 ts=5]" style line for a tuple id.
+  std::string DescribeTuple(TupleId id) const;
+
+  // Multi-line dump of all relations.
+  std::string ToString() const;
+
+ private:
+  struct Location {
+    int relation;
+    int row;
+  };
+
+  std::vector<Relation> relations_;
+  std::unordered_map<std::string, int> relation_index_;
+  // Global ids of each relation's rows (inserts may interleave relations).
+  std::vector<std::vector<TupleId>> relation_global_ids_;
+  std::vector<Location> locations_;
+};
+
+}  // namespace prefrep
+
+#endif  // PREFREP_RELATIONAL_DATABASE_H_

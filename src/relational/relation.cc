@@ -1,0 +1,38 @@
+#include "relational/relation.h"
+
+namespace prefrep {
+
+Result<int> Relation::AddTuple(Tuple tuple, TupleMeta meta) {
+  PREFREP_RETURN_IF_ERROR(ValidateTuple(schema_, tuple));
+  if (index_.contains(tuple)) {
+    return Status::AlreadyExists("duplicate tuple " + tuple.ToString() +
+                                 " in relation '" + schema_.relation_name() +
+                                 "'");
+  }
+  int row = static_cast<int>(tuples_.size());
+  index_.emplace(tuple, row);
+  tuples_.push_back(std::move(tuple));
+  meta_.push_back(meta);
+  return row;
+}
+
+Result<int> Relation::Find(const Tuple& tuple) const {
+  auto it = index_.find(tuple);
+  if (it == index_.end()) {
+    return Status::NotFound("tuple " + tuple.ToString() +
+                            " not in relation '" + schema_.relation_name() +
+                            "'");
+  }
+  return it->second;
+}
+
+std::string Relation::ToString() const {
+  std::string out = schema_.ToString() + " {\n";
+  for (const Tuple& t : tuples_) {
+    out += "  " + t.ToString() + "\n";
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace prefrep

@@ -1,0 +1,50 @@
+// Relation: a schema plus a bag of tuples with provenance metadata.
+//
+// Tuples are stored in insertion order; their index is their local id.
+// Duplicate tuples are rejected (the paper works with set semantics).
+
+#ifndef PREFREP_RELATIONAL_RELATION_H_
+#define PREFREP_RELATIONAL_RELATION_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "base/status.h"
+#include "relational/schema.h"
+#include "relational/tuple.h"
+
+namespace prefrep {
+
+class Relation {
+ public:
+  Relation() = default;
+  explicit Relation(Schema schema) : schema_(std::move(schema)) {}
+
+  const Schema& schema() const { return schema_; }
+  int size() const { return static_cast<int>(tuples_.size()); }
+  const Tuple& tuple(int i) const { return tuples_[i]; }
+  const TupleMeta& meta(int i) const { return meta_[i]; }
+  const std::vector<Tuple>& tuples() const { return tuples_; }
+
+  // Validates against the schema and rejects exact duplicates.
+  // Returns the local row index.
+  Result<int> AddTuple(Tuple tuple, TupleMeta meta = TupleMeta{});
+
+  // Row index of `tuple` if present.
+  Result<int> Find(const Tuple& tuple) const;
+  bool Contains(const Tuple& tuple) const { return Find(tuple).ok(); }
+
+  // Multi-line textual dump (for examples / debugging).
+  std::string ToString() const;
+
+ private:
+  Schema schema_;
+  std::vector<Tuple> tuples_;
+  std::vector<TupleMeta> meta_;
+  std::unordered_map<Tuple, int, Tuple::Hash> index_;
+};
+
+}  // namespace prefrep
+
+#endif  // PREFREP_RELATIONAL_RELATION_H_

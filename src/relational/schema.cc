@@ -1,0 +1,69 @@
+#include "relational/schema.h"
+
+#include "base/strings.h"
+
+namespace prefrep {
+
+Result<Schema> Schema::Create(std::string relation_name,
+                              std::vector<Attribute> attributes) {
+  if (!IsIdentifier(relation_name)) {
+    return Status::InvalidArgument("relation name is not an identifier: '" +
+                                   relation_name + "'");
+  }
+  if (attributes.empty()) {
+    return Status::InvalidArgument("schema for '" + relation_name +
+                                   "' has no attributes");
+  }
+  for (size_t i = 0; i < attributes.size(); ++i) {
+    if (!IsIdentifier(attributes[i].name)) {
+      return Status::InvalidArgument("attribute name is not an identifier: '" +
+                                     attributes[i].name + "'");
+    }
+    for (size_t j = 0; j < i; ++j) {
+      if (attributes[i].name == attributes[j].name) {
+        return Status::InvalidArgument("duplicate attribute '" +
+                                       attributes[i].name + "' in schema '" +
+                                       relation_name + "'");
+      }
+    }
+  }
+  return Schema(std::move(relation_name), std::move(attributes));
+}
+
+Result<int> Schema::AttributeIndex(std::string_view name) const {
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (attributes_[i].name == name) return static_cast<int>(i);
+  }
+  return Status::NotFound("no attribute '" + std::string(name) +
+                          "' in relation '" + relation_name_ + "'");
+}
+
+bool Schema::HasAttribute(std::string_view name) const {
+  return AttributeIndex(name).ok();
+}
+
+std::string Schema::ToString() const {
+  std::string out = relation_name_ + "(";
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += attributes_[i].name;
+    out += ":";
+    out += ValueTypeName(attributes_[i].type);
+  }
+  out += ")";
+  return out;
+}
+
+bool operator==(const Schema& a, const Schema& b) {
+  if (a.relation_name_ != b.relation_name_) return false;
+  if (a.attributes_.size() != b.attributes_.size()) return false;
+  for (size_t i = 0; i < a.attributes_.size(); ++i) {
+    if (a.attributes_[i].name != b.attributes_[i].name ||
+        a.attributes_[i].type != b.attributes_[i].type) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace prefrep

@@ -1,0 +1,51 @@
+// Relation schemas: a named relation with a list of typed attributes.
+
+#ifndef PREFREP_RELATIONAL_SCHEMA_H_
+#define PREFREP_RELATIONAL_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "relational/value.h"
+
+namespace prefrep {
+
+struct Attribute {
+  std::string name;
+  ValueType type;
+};
+
+class Schema {
+ public:
+  Schema() = default;
+  Schema(std::string relation_name, std::vector<Attribute> attributes)
+      : relation_name_(std::move(relation_name)),
+        attributes_(std::move(attributes)) {}
+
+  // Validates: non-empty identifier names, no duplicate attributes.
+  static Result<Schema> Create(std::string relation_name,
+                               std::vector<Attribute> attributes);
+
+  const std::string& relation_name() const { return relation_name_; }
+  int arity() const { return static_cast<int>(attributes_.size()); }
+  const std::vector<Attribute>& attributes() const { return attributes_; }
+  const Attribute& attribute(int i) const { return attributes_[i]; }
+
+  // Index of the attribute named `name`, or kNotFound.
+  Result<int> AttributeIndex(std::string_view name) const;
+  bool HasAttribute(std::string_view name) const;
+
+  // E.g. "Mgr(Name:name, Dept:name, Salary:number, Reports:number)".
+  std::string ToString() const;
+
+  friend bool operator==(const Schema& a, const Schema& b);
+
+ private:
+  std::string relation_name_;
+  std::vector<Attribute> attributes_;
+};
+
+}  // namespace prefrep
+
+#endif  // PREFREP_RELATIONAL_SCHEMA_H_

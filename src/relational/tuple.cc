@@ -1,0 +1,31 @@
+#include "relational/tuple.h"
+
+namespace prefrep {
+
+std::string Tuple::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < values_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += values_[i].ToString();
+  }
+  out += ")";
+  return out;
+}
+
+Status ValidateTuple(const Schema& schema, const Tuple& tuple) {
+  if (tuple.arity() != schema.arity()) {
+    return Status::InvalidArgument(
+        "tuple arity " + std::to_string(tuple.arity()) +
+        " does not match schema " + schema.ToString());
+  }
+  for (int i = 0; i < schema.arity(); ++i) {
+    if (tuple.value(i).type() != schema.attribute(i).type) {
+      return Status::InvalidArgument(
+          "value '" + tuple.value(i).ToString() + "' at position " +
+          std::to_string(i) + " has wrong type for " + schema.ToString());
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace prefrep

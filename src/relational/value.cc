@@ -1,0 +1,15 @@
+#include "relational/value.h"
+
+namespace prefrep {
+
+std::string_view ValueTypeName(ValueType type) {
+  switch (type) {
+    case ValueType::kName:
+      return "name";
+    case ValueType::kNumber:
+      return "number";
+  }
+  return "unknown";
+}
+
+}  // namespace prefrep

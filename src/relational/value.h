@@ -1,0 +1,95 @@
+// Value: an element of one of the paper's two disjoint domains.
+//
+// The paper (§2) works over uninterpreted names D and natural numbers N.
+// Constants with different names are different (unique-name assumption);
+// the order predicates <, > are interpreted over N only.
+
+#ifndef PREFREP_RELATIONAL_VALUE_H_
+#define PREFREP_RELATIONAL_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "base/logging.h"
+
+namespace prefrep {
+
+enum class ValueType : uint8_t {
+  kName = 0,    // uninterpreted constant from D
+  kNumber = 1,  // natural number / integer from N
+};
+
+std::string_view ValueTypeName(ValueType type);
+
+class Value {
+ public:
+  // Default: the number 0 (needed for container resizing).
+  Value() : type_(ValueType::kNumber), number_(0) {}
+
+  static Value Name(std::string name) {
+    Value v;
+    v.type_ = ValueType::kName;
+    v.number_ = 0;
+    v.name_ = std::move(name);
+    return v;
+  }
+  static Value Number(int64_t n) {
+    Value v;
+    v.type_ = ValueType::kNumber;
+    v.number_ = n;
+    return v;
+  }
+
+  ValueType type() const { return type_; }
+  bool is_name() const { return type_ == ValueType::kName; }
+  bool is_number() const { return type_ == ValueType::kNumber; }
+
+  const std::string& name() const {
+    DCHECK(is_name());
+    return name_;
+  }
+  int64_t number() const {
+    DCHECK(is_number());
+    return number_;
+  }
+
+  // Names print raw; numbers print in decimal.
+  std::string ToString() const {
+    return is_name() ? name_ : std::to_string(number_);
+  }
+
+  // Equality across the two domains is always false (the domains are
+  // disjoint), matching the paper's semantics of '='.
+  friend bool operator==(const Value& a, const Value& b) {
+    if (a.type_ != b.type_) return false;
+    return a.is_name() ? a.name_ == b.name_ : a.number_ == b.number_;
+  }
+  friend bool operator!=(const Value& a, const Value& b) { return !(a == b); }
+
+  // Canonical total order for sorting / deduplication only. This is NOT the
+  // query-language '<' (which is defined only on numbers); see
+  // query/evaluator.h for the semantic comparison.
+  friend bool operator<(const Value& a, const Value& b) {
+    if (a.type_ != b.type_) return a.type_ < b.type_;
+    return a.is_name() ? a.name_ < b.name_ : a.number_ < b.number_;
+  }
+
+  struct Hash {
+    size_t operator()(const Value& v) const {
+      std::hash<std::string> hs;
+      std::hash<int64_t> hn;
+      size_t base = v.is_name() ? hs(v.name_) : hn(v.number_);
+      return base * 31 + static_cast<size_t>(v.type_);
+    }
+  };
+
+ private:
+  ValueType type_;
+  int64_t number_;
+  std::string name_;
+};
+
+}  // namespace prefrep
+
+#endif  // PREFREP_RELATIONAL_VALUE_H_

@@ -1,0 +1,41 @@
+// Repair-space metrics: a one-stop structural report for an inconsistent
+// database — what a user inspects before choosing a repair family and
+// before attempting exact preferred-CQA (whose cost is governed by these
+// numbers).
+
+#ifndef PREFREP_REPAIR_METRICS_H_
+#define PREFREP_REPAIR_METRICS_H_
+
+#include <string>
+
+#include "base/biguint.h"
+#include "priority/priority.h"
+#include "repair/repair.h"
+
+namespace prefrep {
+
+struct RepairSpaceMetrics {
+  int tuple_count = 0;
+  int conflict_count = 0;
+  // Tuples involved in at least one conflict.
+  int conflicting_tuple_count = 0;
+  int component_count = 0;        // of the conflict graph
+  int largest_component = 0;      // vertex count
+  int max_degree = 0;             // most-conflicted tuple
+  BigUint repair_count;           // exact
+  int min_repair_size = 0;        // via per-component decomposition
+  int max_repair_size = 0;
+  // Priority coverage: oriented conflicts / conflicts (0 when none).
+  int oriented_conflicts = 0;
+
+  std::string ToString() const;
+};
+
+// Computes all metrics; `priority` may be nullptr. Repair-size bounds use
+// the per-component decomposition (exponential only within a component).
+RepairSpaceMetrics ComputeRepairSpaceMetrics(const RepairProblem& problem,
+                                             const Priority* priority);
+
+}  // namespace prefrep
+
+#endif  // PREFREP_REPAIR_METRICS_H_

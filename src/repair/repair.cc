@@ -1,0 +1,17 @@
+#include "repair/repair.h"
+
+namespace prefrep {
+
+Result<RepairProblem> RepairProblem::Create(
+    const Database* db, std::vector<FunctionalDependency> fds) {
+  CHECK(db != nullptr);
+  PREFREP_ASSIGN_OR_RETURN(std::vector<ConflictEdge> edges,
+                           FindConflicts(*db, fds));
+  RepairProblem problem;
+  problem.db_ = db;
+  problem.fds_ = std::move(fds);
+  problem.graph_ = ConflictGraph(db->tuple_count(), edges);
+  return problem;
+}
+
+}  // namespace prefrep

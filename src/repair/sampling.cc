@@ -1,0 +1,61 @@
+#include "repair/sampling.h"
+
+#include "graph/mis.h"
+
+namespace prefrep {
+
+Result<RepairSampler> RepairSampler::Create(const ConflictGraph* graph,
+                                            size_t per_component_limit) {
+  CHECK(graph != nullptr);
+  RepairSampler sampler;
+  sampler.graph_ = graph;
+  sampler.isolated_ = DynamicBitset(graph->vertex_count());
+  for (const std::vector<int>& component : graph->ConnectedComponents()) {
+    if (component.size() == 1) {
+      sampler.isolated_.Set(component[0]);
+      continue;
+    }
+    std::vector<DynamicBitset> choices =
+        ComponentMaximalIndependentSets(*graph, component);
+    if (choices.size() > per_component_limit) {
+      return Status::ResourceExhausted(
+          "component with " + std::to_string(choices.size()) +
+          " repairs exceeds the sampling limit");
+    }
+    sampler.component_choices_.push_back(std::move(choices));
+  }
+  return sampler;
+}
+
+DynamicBitset RepairSampler::Sample(Rng& rng) const {
+  DynamicBitset repair = isolated_;
+  for (const std::vector<DynamicBitset>& choices : component_choices_) {
+    repair |= choices[rng.UniformInt(choices.size())];
+  }
+  DCHECK(graph_->IsMaximalIndependent(repair));
+  return repair;
+}
+
+BigUint RepairSampler::RepairCount() const {
+  BigUint count = BigUint::One();
+  for (const std::vector<DynamicBitset>& choices : component_choices_) {
+    count *= BigUint(choices.size());
+  }
+  return count;
+}
+
+DynamicBitset GreedyRandomRepair(const ConflictGraph& graph, Rng& rng) {
+  int n = graph.vertex_count();
+  DynamicBitset repair(n);
+  DynamicBitset blocked(n);
+  for (int v : rng.Permutation(n)) {
+    if (blocked.Test(v)) continue;
+    repair.Set(v);
+    blocked.Set(v);
+    blocked |= graph.Neighbors(v);
+  }
+  DCHECK(graph.IsMaximalIndependent(repair));
+  return repair;
+}
+
+}  // namespace prefrep

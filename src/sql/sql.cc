@@ -1,0 +1,413 @@
+#include "sql/sql.h"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <set>
+
+#include "base/strings.h"
+
+namespace prefrep {
+
+namespace {
+
+enum class SqlTokenKind {
+  kIdent,
+  kNumber,
+  kString,
+  kStar,
+  kComma,
+  kDot,
+  kLParen,
+  kRParen,
+  kCompare,
+  kEnd,
+};
+
+struct SqlToken {
+  SqlTokenKind kind;
+  std::string text;
+  ComparisonOp op = ComparisonOp::kEq;
+  size_t position = 0;
+};
+
+Result<std::vector<SqlToken>> TokenizeSql(std::string_view text) {
+  std::vector<SqlToken> tokens;
+  size_t pos = 0;
+  auto push = [&](SqlTokenKind kind, std::string t, ComparisonOp op,
+                  size_t at) {
+    tokens.push_back({kind, std::move(t), op, at});
+  };
+  while (pos < text.size()) {
+    char c = text[pos];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++pos;
+      continue;
+    }
+    size_t start = pos;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      while (pos < text.size() &&
+             (std::isalnum(static_cast<unsigned char>(text[pos])) ||
+              text[pos] == '_')) {
+        ++pos;
+      }
+      push(SqlTokenKind::kIdent, std::string(text.substr(start, pos - start)),
+           ComparisonOp::kEq, start);
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '-' && pos + 1 < text.size() &&
+         std::isdigit(static_cast<unsigned char>(text[pos + 1])))) {
+      ++pos;
+      while (pos < text.size() &&
+             std::isdigit(static_cast<unsigned char>(text[pos]))) {
+        ++pos;
+      }
+      push(SqlTokenKind::kNumber,
+           std::string(text.substr(start, pos - start)), ComparisonOp::kEq,
+           start);
+      continue;
+    }
+    switch (c) {
+      case '\'': {
+        ++pos;
+        size_t begin = pos;
+        while (pos < text.size() && text[pos] != '\'') ++pos;
+        if (pos >= text.size()) {
+          return Status::ParseError("unterminated string literal");
+        }
+        push(SqlTokenKind::kString,
+             std::string(text.substr(begin, pos - begin)), ComparisonOp::kEq,
+             start);
+        ++pos;
+        continue;
+      }
+      case '*':
+        push(SqlTokenKind::kStar, "*", ComparisonOp::kEq, start);
+        ++pos;
+        continue;
+      case ',':
+        push(SqlTokenKind::kComma, ",", ComparisonOp::kEq, start);
+        ++pos;
+        continue;
+      case '.':
+        push(SqlTokenKind::kDot, ".", ComparisonOp::kEq, start);
+        ++pos;
+        continue;
+      case '(':
+        push(SqlTokenKind::kLParen, "(", ComparisonOp::kEq, start);
+        ++pos;
+        continue;
+      case ')':
+        push(SqlTokenKind::kRParen, ")", ComparisonOp::kEq, start);
+        ++pos;
+        continue;
+      case '=':
+        push(SqlTokenKind::kCompare, "=", ComparisonOp::kEq, start);
+        ++pos;
+        continue;
+      case '!':
+        if (pos + 1 < text.size() && text[pos + 1] == '=') {
+          push(SqlTokenKind::kCompare, "!=", ComparisonOp::kNe, start);
+          pos += 2;
+          continue;
+        }
+        return Status::ParseError("unexpected '!' in SQL");
+      case '<':
+        if (pos + 1 < text.size() && text[pos + 1] == '=') {
+          push(SqlTokenKind::kCompare, "<=", ComparisonOp::kLe, start);
+          pos += 2;
+        } else if (pos + 1 < text.size() && text[pos + 1] == '>') {
+          push(SqlTokenKind::kCompare, "<>", ComparisonOp::kNe, start);
+          pos += 2;
+        } else {
+          push(SqlTokenKind::kCompare, "<", ComparisonOp::kLt, start);
+          ++pos;
+        }
+        continue;
+      case '>':
+        if (pos + 1 < text.size() && text[pos + 1] == '=') {
+          push(SqlTokenKind::kCompare, ">=", ComparisonOp::kGe, start);
+          pos += 2;
+        } else {
+          push(SqlTokenKind::kCompare, ">", ComparisonOp::kGt, start);
+          ++pos;
+        }
+        continue;
+      default:
+        return Status::ParseError(std::string("unexpected character '") + c +
+                                  "' in SQL at position " +
+                                  std::to_string(start));
+    }
+  }
+  tokens.push_back({SqlTokenKind::kEnd, "", ComparisonOp::kEq, text.size()});
+  return tokens;
+}
+
+struct ColumnRef {
+  std::string alias;
+  std::string attribute;
+  std::string VariableName() const { return alias + "." + attribute; }
+};
+
+class SqlParser {
+ public:
+  SqlParser(const Database& db, std::vector<SqlToken> tokens)
+      : db_(db), tokens_(std::move(tokens)) {}
+
+  // Parses the statement; returns the open query and fills
+  // `selected_vars` with the free (selected) variable names.
+  Result<std::unique_ptr<Query>> Parse(bool boolean_result) {
+    if (!ConsumeKeyword("select")) return Error("expected SELECT");
+    PREFREP_RETURN_IF_ERROR(ParseSelectList());
+    if (!ConsumeKeyword("from")) return Error("expected FROM");
+    PREFREP_RETURN_IF_ERROR(ParseFromList());
+    std::unique_ptr<Query> where;
+    if (ConsumeKeyword("where")) {
+      PREFREP_ASSIGN_OR_RETURN(where, ParseCondition());
+    }
+    if (Current().kind != SqlTokenKind::kEnd) return Error("trailing input");
+    return Assemble(std::move(where), boolean_result);
+  }
+
+ private:
+  const SqlToken& Current() const { return tokens_[index_]; }
+  const SqlToken& Peek() const {
+    return tokens_[std::min(index_ + 1, tokens_.size() - 1)];
+  }
+  void Advance() {
+    if (index_ + 1 < tokens_.size()) ++index_;
+  }
+  static std::string Lower(std::string_view s) {
+    std::string out(s);
+    for (char& c : out) {
+      c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    }
+    return out;
+  }
+  bool IsKeyword(const char* kw) const {
+    return Current().kind == SqlTokenKind::kIdent &&
+           Lower(Current().text) == kw;
+  }
+  bool ConsumeKeyword(const char* kw) {
+    if (!IsKeyword(kw)) return false;
+    Advance();
+    return true;
+  }
+  Status Error(const std::string& message) const {
+    return Status::ParseError(message + " at position " +
+                              std::to_string(Current().position));
+  }
+
+  Status ParseSelectList() {
+    if (Current().kind == SqlTokenKind::kStar) {
+      select_star_ = true;
+      Advance();
+      return Status::Ok();
+    }
+    while (true) {
+      PREFREP_ASSIGN_OR_RETURN(ColumnRef column, ParseColumn());
+      selected_.push_back(column);
+      if (Current().kind == SqlTokenKind::kComma) {
+        Advance();
+        continue;
+      }
+      return Status::Ok();
+    }
+  }
+
+  Result<ColumnRef> ParseColumn() {
+    if (Current().kind != SqlTokenKind::kIdent) {
+      return Error("expected column reference alias.Attribute");
+    }
+    ColumnRef column;
+    column.alias = Current().text;
+    Advance();
+    if (Current().kind != SqlTokenKind::kDot) {
+      return Error("expected '.' in column reference");
+    }
+    Advance();
+    if (Current().kind != SqlTokenKind::kIdent) {
+      return Error("expected attribute name after '.'");
+    }
+    column.attribute = Current().text;
+    Advance();
+    return column;
+  }
+
+  Status ParseFromList() {
+    while (true) {
+      if (Current().kind != SqlTokenKind::kIdent) {
+        return Error("expected relation name in FROM");
+      }
+      std::string relation = Current().text;
+      Advance();
+      std::string alias = relation;
+      if (Current().kind == SqlTokenKind::kIdent && !IsKeyword("where")) {
+        alias = Current().text;
+        Advance();
+      }
+      PREFREP_ASSIGN_OR_RETURN(const Relation* rel, db_.relation(relation));
+      if (aliases_.contains(alias)) {
+        return Error("duplicate alias '" + alias + "'");
+      }
+      aliases_.emplace(alias, rel);
+      from_order_.push_back(alias);
+      if (Current().kind == SqlTokenKind::kComma) {
+        Advance();
+        continue;
+      }
+      return Status::Ok();
+    }
+  }
+
+  Result<std::unique_ptr<Query>> ParseCondition() { return ParseOr(); }
+
+  Result<std::unique_ptr<Query>> ParseOr() {
+    std::vector<std::unique_ptr<Query>> parts;
+    PREFREP_ASSIGN_OR_RETURN(std::unique_ptr<Query> first, ParseAnd());
+    parts.push_back(std::move(first));
+    while (ConsumeKeyword("or")) {
+      PREFREP_ASSIGN_OR_RETURN(std::unique_ptr<Query> next, ParseAnd());
+      parts.push_back(std::move(next));
+    }
+    return Query::Or(std::move(parts));
+  }
+
+  Result<std::unique_ptr<Query>> ParseAnd() {
+    std::vector<std::unique_ptr<Query>> parts;
+    PREFREP_ASSIGN_OR_RETURN(std::unique_ptr<Query> first, ParseNot());
+    parts.push_back(std::move(first));
+    while (ConsumeKeyword("and")) {
+      PREFREP_ASSIGN_OR_RETURN(std::unique_ptr<Query> next, ParseNot());
+      parts.push_back(std::move(next));
+    }
+    return Query::And(std::move(parts));
+  }
+
+  Result<std::unique_ptr<Query>> ParseNot() {
+    if (ConsumeKeyword("not")) {
+      PREFREP_ASSIGN_OR_RETURN(std::unique_ptr<Query> child, ParseNot());
+      return Query::Not(std::move(child));
+    }
+    if (Current().kind == SqlTokenKind::kLParen) {
+      Advance();
+      PREFREP_ASSIGN_OR_RETURN(std::unique_ptr<Query> inner, ParseOr());
+      if (Current().kind != SqlTokenKind::kRParen) return Error("expected ')'");
+      Advance();
+      return inner;
+    }
+    return ParseComparison();
+  }
+
+  Result<std::unique_ptr<Query>> ParseComparison() {
+    PREFREP_ASSIGN_OR_RETURN(Term lhs, ParseOperand());
+    if (Current().kind != SqlTokenKind::kCompare) {
+      return Error("expected comparison operator");
+    }
+    ComparisonOp op = Current().op;
+    Advance();
+    PREFREP_ASSIGN_OR_RETURN(Term rhs, ParseOperand());
+    return Query::Cmp(op, std::move(lhs), std::move(rhs));
+  }
+
+  Result<Term> ParseOperand() {
+    switch (Current().kind) {
+      case SqlTokenKind::kNumber: {
+        PREFREP_ASSIGN_OR_RETURN(int64_t v, ParseInt64(Current().text));
+        Advance();
+        return Term::ConstNumber(v);
+      }
+      case SqlTokenKind::kString: {
+        Term t = Term::ConstName(Current().text);
+        Advance();
+        return t;
+      }
+      case SqlTokenKind::kIdent: {
+        PREFREP_ASSIGN_OR_RETURN(ColumnRef column, ParseColumn());
+        PREFREP_RETURN_IF_ERROR(ValidateColumn(column));
+        return Term::Var(column.VariableName());
+      }
+      default:
+        return Error("expected column, number or string literal");
+    }
+  }
+
+  Status ValidateColumn(const ColumnRef& column) const {
+    auto it = aliases_.find(column.alias);
+    if (it == aliases_.end()) {
+      return Status::ParseError("unknown alias '" + column.alias + "'");
+    }
+    if (!it->second->schema().HasAttribute(column.attribute)) {
+      return Status::ParseError("relation of alias '" + column.alias +
+                                "' has no attribute '" + column.attribute +
+                                "'");
+    }
+    return Status::Ok();
+  }
+
+  Result<std::unique_ptr<Query>> Assemble(std::unique_ptr<Query> where,
+                                          bool boolean_result) {
+    // One atom per FROM entry, terms = per-column variables.
+    std::vector<std::unique_ptr<Query>> conjuncts;
+    std::vector<std::string> all_vars;
+    for (const std::string& alias : from_order_) {
+      const Relation* rel = aliases_.at(alias);
+      std::vector<Term> terms;
+      for (const Attribute& attr : rel->schema().attributes()) {
+        std::string var = alias + "." + attr.name;
+        terms.push_back(Term::Var(var));
+        all_vars.push_back(var);
+      }
+      conjuncts.push_back(
+          Query::Atom(rel->schema().relation_name(), std::move(terms)));
+    }
+    if (where != nullptr) conjuncts.push_back(std::move(where));
+    std::unique_ptr<Query> body = Query::And(std::move(conjuncts));
+
+    // Determine free (selected) variables.
+    std::set<std::string> free;
+    if (!boolean_result) {
+      if (select_star_) {
+        free.insert(all_vars.begin(), all_vars.end());
+      } else {
+        for (const ColumnRef& column : selected_) {
+          PREFREP_RETURN_IF_ERROR(ValidateColumn(column));
+          free.insert(column.VariableName());
+        }
+      }
+    }
+    std::vector<std::string> quantified;
+    for (const std::string& var : all_vars) {
+      if (!free.contains(var)) quantified.push_back(var);
+    }
+    if (quantified.empty()) return body;
+    return Query::Exists(std::move(quantified), std::move(body));
+  }
+
+  const Database& db_;
+  std::vector<SqlToken> tokens_;
+  size_t index_ = 0;
+  bool select_star_ = false;
+  std::vector<ColumnRef> selected_;
+  std::map<std::string, const Relation*> aliases_;
+  std::vector<std::string> from_order_;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<Query>> ParseSql(const Database& db,
+                                        std::string_view sql) {
+  PREFREP_ASSIGN_OR_RETURN(std::vector<SqlToken> tokens, TokenizeSql(sql));
+  SqlParser parser(db, std::move(tokens));
+  return parser.Parse(/*boolean_result=*/false);
+}
+
+Result<std::unique_ptr<Query>> ParseSqlBoolean(const Database& db,
+                                               std::string_view sql) {
+  PREFREP_ASSIGN_OR_RETURN(std::vector<SqlToken> tokens, TokenizeSql(sql));
+  SqlParser parser(db, std::move(tokens));
+  return parser.Parse(/*boolean_result=*/true);
+}
+
+}  // namespace prefrep

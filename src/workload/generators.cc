@@ -1,0 +1,282 @@
+#include "workload/generators.h"
+
+#include <algorithm>
+
+#include "graph/digraph.h"
+
+namespace prefrep {
+
+namespace {
+
+Schema MustSchema(std::string name, std::vector<Attribute> attributes) {
+  auto schema = Schema::Create(std::move(name), std::move(attributes));
+  CHECK(schema.ok()) << schema.status().ToString();
+  return *std::move(schema);
+}
+
+FunctionalDependency MustFd(const Schema& schema, std::string_view text) {
+  auto fd = FunctionalDependency::Parse(schema, text);
+  CHECK(fd.ok()) << fd.status().ToString();
+  return *std::move(fd);
+}
+
+void MustInsert(Database& db, std::string_view relation, Tuple tuple,
+                TupleMeta meta = TupleMeta{}) {
+  auto id = db.Insert(relation, std::move(tuple), meta);
+  CHECK(id.ok()) << id.status().ToString();
+}
+
+Schema NumericSchema(std::string relation, std::vector<std::string> attrs) {
+  std::vector<Attribute> attributes;
+  attributes.reserve(attrs.size());
+  for (auto& a : attrs) {
+    attributes.push_back(Attribute{std::move(a), ValueType::kNumber});
+  }
+  return MustSchema(std::move(relation), std::move(attributes));
+}
+
+}  // namespace
+
+GeneratedInstance MakeRnInstance(int n) {
+  CHECK_GE(n, 0);
+  GeneratedInstance out;
+  out.db = std::make_unique<Database>();
+  Schema schema = NumericSchema("R", {"A", "B"});
+  CHECK(out.db->AddRelation(schema).ok());
+  out.fds.push_back(MustFd(schema, "A -> B"));
+  for (int i = 0; i < n; ++i) {
+    MustInsert(*out.db, "R", Tuple::Of(Value::Number(i), Value::Number(0)));
+    MustInsert(*out.db, "R", Tuple::Of(Value::Number(i), Value::Number(1)));
+  }
+  return out;
+}
+
+GeneratedInstance MakeKeyGroupsInstance(int groups, int group_size) {
+  CHECK_GE(groups, 0);
+  CHECK_GE(group_size, 1);
+  GeneratedInstance out;
+  out.db = std::make_unique<Database>();
+  Schema schema = NumericSchema("R", {"K", "V"});
+  CHECK(out.db->AddRelation(schema).ok());
+  out.fds.push_back(MustFd(schema, "K -> V"));
+  for (int g = 0; g < groups; ++g) {
+    for (int j = 0; j < group_size; ++j) {
+      MustInsert(*out.db, "R", Tuple::Of(Value::Number(g), Value::Number(j)));
+    }
+  }
+  return out;
+}
+
+GeneratedInstance MakeDuplicatesInstance(int groups, int duplicates,
+                                         int rivals) {
+  CHECK_GE(groups, 0);
+  CHECK_GE(duplicates, 0);
+  CHECK_GE(rivals, 0);
+  GeneratedInstance out;
+  out.db = std::make_unique<Database>();
+  Schema schema = NumericSchema("R", {"A", "B", "C"});
+  CHECK(out.db->AddRelation(schema).ok());
+  out.fds.push_back(MustFd(schema, "A -> B"));
+  for (int g = 0; g < groups; ++g) {
+    // `duplicates` tuples agreeing on (A, B) = (g, 0): not conflicting with
+    // each other, but conflicting with every rival below (Example 8).
+    for (int j = 0; j < duplicates; ++j) {
+      MustInsert(*out.db, "R",
+                 Tuple::Of(Value::Number(g), Value::Number(0),
+                           Value::Number(j)));
+    }
+    // `rivals` tuples with distinct B values 1..rivals.
+    for (int k = 1; k <= rivals; ++k) {
+      MustInsert(*out.db, "R",
+                 Tuple::Of(Value::Number(g), Value::Number(k),
+                           Value::Number(duplicates + k)));
+    }
+  }
+  return out;
+}
+
+GeneratedInstance MakeChainInstance(int length) {
+  CHECK_GE(length, 0);
+  GeneratedInstance out;
+  out.db = std::make_unique<Database>();
+  Schema schema = NumericSchema("R", {"A", "B", "C", "D"});
+  CHECK(out.db->AddRelation(schema).ok());
+  out.fds.push_back(MustFd(schema, "A -> B"));
+  out.fds.push_back(MustFd(schema, "C -> D"));
+  // t_i and t_{i+1} share A (and differ on B) for even i, share C (and
+  // differ on D) for odd i; all other pairs differ on both A and C.
+  for (int i = 0; i < length; ++i) {
+    int a = i / 2;
+    int b = i % 2;
+    int c = (i + 1) / 2;
+    int d = i % 2;
+    MustInsert(*out.db, "R",
+               Tuple::Of(Value::Number(a), Value::Number(b), Value::Number(c),
+                         Value::Number(d)));
+  }
+  return out;
+}
+
+GeneratedInstance MakeCycleInstance(int k) {
+  CHECK_GE(k, 3) << "a chordless conflict cycle needs k >= 3 (2k vertices)";
+  GeneratedInstance out;
+  out.db = std::make_unique<Database>();
+  Schema schema = NumericSchema("R", {"A", "B", "C", "D"});
+  CHECK(out.db->AddRelation(schema).ok());
+  out.fds.push_back(MustFd(schema, "A -> B"));
+  out.fds.push_back(MustFd(schema, "C -> D"));
+  // FD1 groups {u_i, v_i} share A = i; FD2 groups {v_i, u_{i+1}} share
+  // C = i. Values of B (resp. D) differ inside each group. Tuples are
+  // inserted u_0, v_0, u_1, v_1, ... so ids are u_i = 2i, v_i = 2i+1.
+  for (int i = 0; i < k; ++i) {
+    int prev = (i + k - 1) % k;
+    // u_i: A group i (B=0), C group prev (D=1).
+    MustInsert(*out.db, "R",
+               Tuple::Of(Value::Number(i), Value::Number(0),
+                         Value::Number(prev), Value::Number(1)));
+    // v_i: A group i (B=1), C group i (D=0).
+    MustInsert(*out.db, "R",
+               Tuple::Of(Value::Number(i), Value::Number(1), Value::Number(i),
+                         Value::Number(0)));
+  }
+  return out;
+}
+
+GeneratedInstance MakeRandomInstance(Rng& rng, int tuple_target, int arity,
+                                     int domain_size, int fd_count) {
+  CHECK_GE(arity, 2);
+  CHECK_GE(domain_size, 1);
+  GeneratedInstance out;
+  out.db = std::make_unique<Database>();
+  std::vector<std::string> attrs;
+  for (int i = 0; i < arity; ++i) attrs.push_back("A" + std::to_string(i));
+  Schema schema = NumericSchema("R", attrs);
+  CHECK(out.db->AddRelation(schema).ok());
+
+  for (int f = 0; f < fd_count; ++f) {
+    int lhs = static_cast<int>(rng.UniformInt(arity));
+    int rhs = static_cast<int>(rng.UniformInt(arity));
+    if (rhs == lhs) rhs = (rhs + 1) % arity;
+    auto fd = FunctionalDependency::Create(schema, {lhs}, {rhs});
+    CHECK(fd.ok());
+    if (std::find(out.fds.begin(), out.fds.end(), *fd) == out.fds.end()) {
+      out.fds.push_back(*std::move(fd));
+    }
+  }
+
+  for (int t = 0; t < tuple_target; ++t) {
+    std::vector<Value> values;
+    values.reserve(arity);
+    for (int i = 0; i < arity; ++i) {
+      values.push_back(
+          Value::Number(static_cast<int64_t>(rng.UniformInt(domain_size))));
+    }
+    // Skip duplicates (set semantics).
+    auto id = out.db->Insert("R", Tuple(std::move(values)));
+    if (!id.ok()) continue;
+  }
+  return out;
+}
+
+Priority RandomRankingPriority(Rng& rng, const ConflictGraph& graph,
+                               double density) {
+  std::vector<int> perm = rng.Permutation(graph.vertex_count());
+  std::vector<std::pair<int, int>> arcs;
+  for (auto [u, v] : graph.edges()) {
+    if (!rng.Bernoulli(density)) continue;
+    if (perm[u] > perm[v]) {
+      arcs.emplace_back(u, v);
+    } else {
+      arcs.emplace_back(v, u);
+    }
+  }
+  auto priority = Priority::Create(graph, std::move(arcs));
+  CHECK(priority.ok()) << priority.status().ToString();
+  return *std::move(priority);
+}
+
+Priority RandomDagPriority(Rng& rng, const ConflictGraph& graph,
+                           double density) {
+  std::vector<std::pair<int, int>> edges = graph.edges();
+  rng.Shuffle(edges);
+  std::vector<std::pair<int, int>> arcs;
+  int n = graph.vertex_count();
+  for (auto [u, v] : edges) {
+    if (!rng.Bernoulli(density)) continue;
+    bool forward_first = rng.Bernoulli(0.5);
+    int a = forward_first ? u : v;
+    int b = forward_first ? v : u;
+    arcs.emplace_back(a, b);
+    if (!IsAcyclicDigraph(n, arcs)) {
+      // The opposite direction of an edge added to a DAG is always safe.
+      arcs.back() = {b, a};
+      CHECK(IsAcyclicDigraph(n, arcs));
+    }
+  }
+  auto priority = Priority::Create(graph, std::move(arcs));
+  CHECK(priority.ok()) << priority.status().ToString();
+  return *std::move(priority);
+}
+
+GeneratedInstance MakeIntegrationWorkload(Rng& rng, int sources, int keys,
+                                          double coverage,
+                                          int value_domain) {
+  CHECK_GE(sources, 1);
+  CHECK_GE(keys, 0);
+  CHECK_GE(value_domain, 1);
+  GeneratedInstance out;
+  out.db = std::make_unique<Database>();
+  Schema schema = NumericSchema("R", {"K", "V"});
+  CHECK(out.db->AddRelation(schema).ok());
+  out.fds.push_back(MustFd(schema, "K -> V"));
+  for (int s = 0; s < sources; ++s) {
+    for (int k = 0; k < keys; ++k) {
+      if (!rng.Bernoulli(coverage)) continue;
+      int64_t v = static_cast<int64_t>(rng.UniformInt(value_domain));
+      auto id = out.db->Insert(
+          "R", Tuple::Of(Value::Number(k), Value::Number(v)),
+          TupleMeta{s, TupleMeta::kNoTimestamp});
+      // Another source already contributed the identical fact: set union.
+      if (!id.ok()) {
+        CHECK_EQ(static_cast<int>(id.status().code()),
+                 static_cast<int>(StatusCode::kAlreadyExists));
+      }
+    }
+  }
+  return out;
+}
+
+MgrScenario MakeMgrScenario() {
+  MgrScenario scenario;
+  scenario.db = std::make_unique<Database>();
+  Schema schema = MustSchema(
+      "Mgr", {Attribute{"Name", ValueType::kName},
+              Attribute{"Dept", ValueType::kName},
+              Attribute{"Salary", ValueType::kNumber},
+              Attribute{"Reports", ValueType::kNumber}});
+  CHECK(scenario.db->AddRelation(schema).ok());
+  // fd1: Dept -> Name Salary Reports ; fd2: Name -> Dept Salary Reports.
+  scenario.fds.push_back(MustFd(schema, "Dept -> Name Salary Reports"));
+  scenario.fds.push_back(MustFd(schema, "Name -> Dept Salary Reports"));
+
+  auto insert = [&](const char* name, const char* dept, int64_t salary,
+                    int64_t reports, int source) {
+    auto id = scenario.db->Insert(
+        "Mgr",
+        Tuple::Of(Value::Name(name), Value::Name(dept), Value::Number(salary),
+                  Value::Number(reports)),
+        TupleMeta{source, TupleMeta::kNoTimestamp});
+    CHECK(id.ok()) << id.status().ToString();
+    return *id;
+  };
+  scenario.mary_rd = insert("Mary", "R&D", 40000, 3, 1);
+  scenario.john_rd = insert("John", "R&D", 10000, 2, 2);
+  scenario.mary_it = insert("Mary", "IT", 20000, 1, 3);
+  scenario.john_pr = insert("John", "PR", 30000, 4, 3);
+
+  // Example 3: s3 is less reliable than s1 and than s2; s1 vs s2 unknown.
+  scenario.source_ranks = {1, 1, 0, 0};
+  return scenario;
+}
+
+}  // namespace prefrep

@@ -1,0 +1,123 @@
+// Synthetic workload generators for tests, benchmarks and examples.
+//
+// Three structural families mirror the "possible applications" column of
+// the paper's Figure 5:
+//   - key-group instances (one key dependency; conflict cliques),
+//   - duplicates instances (one non-key FD; Example 8's pattern),
+//   - chain instances (two FDs with mutual conflicts; Example 9's pattern),
+// plus r_n from Example 4 (2^n repairs) and the Mgr integration scenario
+// from Examples 1-3.
+//
+// All generators are deterministic given the Rng seed.
+
+#ifndef PREFREP_WORKLOAD_GENERATORS_H_
+#define PREFREP_WORKLOAD_GENERATORS_H_
+
+#include <memory>
+#include <vector>
+
+#include "base/random.h"
+#include "base/status.h"
+#include "constraints/fd.h"
+#include "graph/conflict_graph.h"
+#include "priority/priority.h"
+#include "relational/database.h"
+
+namespace prefrep {
+
+// A generated database together with its integrity constraints.
+// (Held by unique_ptr internally so the struct stays movable while
+// RepairProblem instances keep stable pointers to the database.)
+struct GeneratedInstance {
+  std::unique_ptr<Database> db;
+  std::vector<FunctionalDependency> fds;
+};
+
+// Example 4: r_n over R(A, B) with FD A -> B; tuples (i, 0), (i, 1) for
+// i < n. Has exactly 2^n repairs.
+GeneratedInstance MakeRnInstance(int n);
+
+// One key dependency K -> V over R(K, V): `groups` clusters of
+// `group_size` mutually conflicting tuples (conflict cliques). The Fig. 5
+// "key (no duplicates)" application of L-Rep.
+GeneratedInstance MakeKeyGroupsInstance(int groups, int group_size);
+
+// One non-key FD A -> B over R(A, B, C): each cluster contains
+// `duplicates` tuples agreeing on (A, B) (pairwise non-conflicting
+// "duplicates", Example 8) plus `rivals` tuples with distinct B values that
+// conflict with everything else in the cluster. The Fig. 5 "one FD
+// (duplicates)" application of S-Rep.
+GeneratedInstance MakeDuplicatesInstance(int groups, int duplicates,
+                                         int rivals);
+
+// Two FDs A -> B and C -> D over R(A, B, C, D) with mutual conflicts
+// forming a conflict path t_0 - t_1 - ... - t_{length-1}, alternating
+// between the two FDs (Example 9 generalized; Example 9 itself is
+// length = 5). The Fig. 5 "many FDs with mutual conflicts" application of
+// G-Rep / C-Rep.
+GeneratedInstance MakeChainInstance(int length);
+
+// Two FDs A -> B and C -> D over R(A, B, C, D) whose conflict graph is a
+// 2k-cycle u_0 - v_0 - u_1 - v_1 - ... - u_{k-1} - v_{k-1} - u_0 with edges
+// alternating between the two FDs. With the priority {v_i ≻ u_i} this is a
+// sound replacement for the paper's (internally inconsistent) Example 9:
+// S-Rep = {{u_0..u_{k-1}}, {v_0..v_{k-1}}} while G-Rep = {{v_0..v_{k-1}}}
+// (see DESIGN.md, "Errata"). Requires k >= 3.
+GeneratedInstance MakeCycleInstance(int k);
+
+// Random instance over R(A_0..A_{arity-1}) (all numeric) with `fd_specs`
+// random unary FDs A_i -> A_j, values drawn from [0, domain_size).
+// Duplicate tuples are skipped, so the result may have fewer than
+// `tuple_target` tuples.
+GeneratedInstance MakeRandomInstance(Rng& rng, int tuple_target, int arity,
+                                     int domain_size, int fd_count);
+
+// A random priority orienting each conflict edge independently with
+// probability `density` according to a uniformly random global ranking of
+// the tuples (rank-derived orientations are transitive-free but always
+// acyclic). density=1 yields a total priority.
+Priority RandomRankingPriority(Rng& rng, const ConflictGraph& graph,
+                               double density);
+
+// A random priority built by orienting a random `density` fraction of the
+// edges one at a time in random order, each in a direction keeping the
+// relation acyclic (prefers a random direction, falls back to the other).
+// Unlike RandomRankingPriority this can produce orientations not induced by
+// any global ranking (e.g. non-transitive triangles).
+Priority RandomDagPriority(Rng& rng, const ConflictGraph& graph,
+                           double density);
+
+// Data-integration workload (the paper's §1 motivation, scaled up): the
+// union of `sources` individually consistent sources over R(K, V) with key
+// FD K -> V. Each source covers each key in [0, keys) with probability
+// `coverage` and assigns a value from [0, value_domain); identical (K, V)
+// facts from different sources merge (set semantics, first source wins the
+// provenance tag). Conflicts arise where sources disagree on a key's
+// value. Every source is consistent in isolation (verified by CHECK).
+GeneratedInstance MakeIntegrationWorkload(Rng& rng, int sources, int keys,
+                                          double coverage, int value_domain);
+
+// ---------------------------------------------------------------------------
+// The paper's running example (Examples 1-3).
+// ---------------------------------------------------------------------------
+
+// The Mgr(Name, Dept, Salary, Reports) integration scenario: the union of
+// three consistent sources with FDs Dept -> Name Salary Reports and
+// Name -> Dept Salary Reports. Tuple metadata records the source.
+struct MgrScenario {
+  std::unique_ptr<Database> db;
+  std::vector<FunctionalDependency> fds;
+  // Global tuple ids of the four facts.
+  TupleId mary_rd;   // (Mary, R&D, 40k, 3)  from s1
+  TupleId john_rd;   // (John, R&D, 10k, 2)  from s2
+  TupleId mary_it;   // (Mary, IT, 20k, 1)   from s3
+  TupleId john_pr;   // (John, PR, 30k, 4)   from s3
+  // Source reliability ranks of Example 3: s1 = s2 = 1 > s3 = 0.
+  std::vector<int64_t> source_ranks;
+};
+
+MgrScenario MakeMgrScenario();
+
+}  // namespace prefrep
+
+#endif  // PREFREP_WORKLOAD_GENERATORS_H_

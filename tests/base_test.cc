@@ -1,0 +1,401 @@
+// Unit tests for src/base: Status/Result, DynamicBitset, BigUint, Rng,
+// string helpers.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+#include "base/biguint.h"
+#include "base/bitset.h"
+#include "base/random.h"
+#include "base/status.h"
+#include "base/strings.h"
+
+namespace prefrep {
+namespace {
+
+// ---------------------------------------------------------------- Status --
+
+TEST(StatusTest, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.ToString(), "ok");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status st = Status::InvalidArgument("bad input");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(st.message(), "bad input");
+  EXPECT_EQ(st.ToString(), "invalid_argument: bad input");
+}
+
+TEST(StatusTest, FactoryCodes) {
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(Status::ResourceExhausted("x").code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::ParseError("x").code(), StatusCode::kParseError);
+}
+
+TEST(StatusTest, Equality) {
+  EXPECT_EQ(Status::Ok(), Status::Ok());
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::NotFound("b"));
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("nope");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(ResultTest, ValueOrPassesThroughValue) {
+  Result<int> r = 7;
+  EXPECT_EQ(r.value_or(-1), 7);
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(5);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 5);
+}
+
+Result<int> Doubled(Result<int> in) {
+  PREFREP_ASSIGN_OR_RETURN(int v, in);
+  return v * 2;
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  EXPECT_EQ(*Doubled(21), 42);
+  EXPECT_EQ(Doubled(Status::Internal("x")).status().code(),
+            StatusCode::kInternal);
+}
+
+// --------------------------------------------------------- DynamicBitset --
+
+TEST(BitsetTest, EmptyAndSize) {
+  DynamicBitset s(130);
+  EXPECT_EQ(s.size(), 130);
+  EXPECT_EQ(s.Count(), 0);
+  EXPECT_TRUE(s.None());
+  EXPECT_FALSE(s.Any());
+}
+
+TEST(BitsetTest, SetResetTest) {
+  DynamicBitset s(100);
+  s.Set(0);
+  s.Set(63);
+  s.Set(64);
+  s.Set(99);
+  EXPECT_TRUE(s.Test(0));
+  EXPECT_TRUE(s.Test(63));
+  EXPECT_TRUE(s.Test(64));
+  EXPECT_TRUE(s.Test(99));
+  EXPECT_FALSE(s.Test(1));
+  EXPECT_EQ(s.Count(), 4);
+  s.Reset(63);
+  EXPECT_FALSE(s.Test(63));
+  EXPECT_EQ(s.Count(), 3);
+}
+
+TEST(BitsetTest, AllSetRespectsPadding) {
+  DynamicBitset s = DynamicBitset::AllSet(70);
+  EXPECT_EQ(s.Count(), 70);
+  DynamicBitset c = s.Complement();
+  EXPECT_EQ(c.Count(), 0);
+}
+
+TEST(BitsetTest, FromIndices) {
+  DynamicBitset s = DynamicBitset::FromIndices(10, {1, 3, 5});
+  EXPECT_EQ(s.ToVector(), (std::vector<int>{1, 3, 5}));
+}
+
+TEST(BitsetTest, SetAlgebra) {
+  DynamicBitset a = DynamicBitset::FromIndices(8, {0, 1, 2});
+  DynamicBitset b = DynamicBitset::FromIndices(8, {2, 3});
+  EXPECT_EQ((a | b).ToVector(), (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ((a & b).ToVector(), (std::vector<int>{2}));
+  EXPECT_EQ(Difference(a, b).ToVector(), (std::vector<int>{0, 1}));
+}
+
+TEST(BitsetTest, SubsetAndIntersects) {
+  DynamicBitset a = DynamicBitset::FromIndices(8, {1, 2});
+  DynamicBitset b = DynamicBitset::FromIndices(8, {0, 1, 2, 3});
+  EXPECT_TRUE(a.IsSubsetOf(b));
+  EXPECT_FALSE(b.IsSubsetOf(a));
+  EXPECT_TRUE(a.IsSubsetOf(a));
+  EXPECT_TRUE(a.Intersects(b));
+  DynamicBitset c = DynamicBitset::FromIndices(8, {5});
+  EXPECT_FALSE(a.Intersects(c));
+  EXPECT_EQ(a.IntersectionCount(b), 2);
+}
+
+TEST(BitsetTest, NextSetBitScansAcrossWords) {
+  DynamicBitset s = DynamicBitset::FromIndices(200, {5, 64, 150, 199});
+  EXPECT_EQ(s.FirstSetBit(), 5);
+  EXPECT_EQ(s.NextSetBit(6), 64);
+  EXPECT_EQ(s.NextSetBit(65), 150);
+  EXPECT_EQ(s.NextSetBit(151), 199);
+  EXPECT_EQ(s.NextSetBit(200 - 0), -1);
+}
+
+TEST(BitsetTest, NextSetBitOnEmpty) {
+  DynamicBitset s(65);
+  EXPECT_EQ(s.FirstSetBit(), -1);
+}
+
+TEST(BitsetTest, SoleElement) {
+  DynamicBitset s = DynamicBitset::FromIndices(80, {77});
+  EXPECT_EQ(s.SoleElement(), 77);
+}
+
+TEST(BitsetTest, ForEachSetBitVisitsAscending) {
+  DynamicBitset s = DynamicBitset::FromIndices(130, {0, 64, 128});
+  std::vector<int> seen;
+  ForEachSetBit(s, [&](int i) { seen.push_back(i); });
+  EXPECT_EQ(seen, (std::vector<int>{0, 64, 128}));
+}
+
+TEST(BitsetTest, EqualityAndOrdering) {
+  DynamicBitset a = DynamicBitset::FromIndices(10, {1});
+  DynamicBitset b = DynamicBitset::FromIndices(10, {1});
+  DynamicBitset c = DynamicBitset::FromIndices(10, {2});
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+  std::set<DynamicBitset> sorted{c, a, b};
+  EXPECT_EQ(sorted.size(), 2u);
+}
+
+TEST(BitsetTest, HashUsableInUnorderedSet) {
+  std::unordered_set<DynamicBitset, DynamicBitset::Hash> seen;
+  seen.insert(DynamicBitset::FromIndices(64, {0, 5}));
+  seen.insert(DynamicBitset::FromIndices(64, {0, 5}));
+  seen.insert(DynamicBitset::FromIndices(64, {1}));
+  EXPECT_EQ(seen.size(), 2u);
+}
+
+TEST(BitsetTest, ToString) {
+  EXPECT_EQ(DynamicBitset::FromIndices(8, {1, 4}).ToString(), "{1, 4}");
+  EXPECT_EQ(DynamicBitset(4).ToString(), "{}");
+}
+
+TEST(BitsetTest, ComplementOfSubset) {
+  DynamicBitset a = DynamicBitset::FromIndices(5, {0, 2, 4});
+  EXPECT_EQ(a.Complement().ToVector(), (std::vector<int>{1, 3}));
+}
+
+// ----------------------------------------------------------------- BigUint --
+
+TEST(BigUintTest, ZeroAndOne) {
+  EXPECT_TRUE(BigUint::Zero().IsZero());
+  EXPECT_EQ(BigUint::Zero().ToString(), "0");
+  EXPECT_EQ(BigUint::One().ToString(), "1");
+}
+
+TEST(BigUintTest, FromUint64RoundTrips) {
+  BigUint v(1234567890123456789ull);
+  EXPECT_EQ(v.ToString(), "1234567890123456789");
+  uint64_t back = 0;
+  ASSERT_TRUE(v.ToUint64(&back));
+  EXPECT_EQ(back, 1234567890123456789ull);
+}
+
+TEST(BigUintTest, Addition) {
+  BigUint a(999999999);  // one limb, max
+  BigUint b(1);
+  EXPECT_EQ((a + b).ToString(), "1000000000");
+}
+
+TEST(BigUintTest, MultiplicationCarries) {
+  BigUint a(123456789);
+  BigUint b(987654321);
+  EXPECT_EQ((a * b).ToString(), "121932631112635269");
+}
+
+TEST(BigUintTest, MultiplyByZero) {
+  EXPECT_TRUE((BigUint(12345) * BigUint::Zero()).IsZero());
+}
+
+TEST(BigUintTest, PowerOfTwoSmall) {
+  EXPECT_EQ(BigUint::PowerOfTwo(0).ToString(), "1");
+  EXPECT_EQ(BigUint::PowerOfTwo(10).ToString(), "1024");
+  EXPECT_EQ(BigUint::PowerOfTwo(63).ToString(), "9223372036854775808");
+}
+
+TEST(BigUintTest, PowerOfTwoBeyondUint64) {
+  // 2^100 = 1267650600228229401496703205376.
+  BigUint v = BigUint::PowerOfTwo(100);
+  EXPECT_EQ(v.ToString(), "1267650600228229401496703205376");
+  uint64_t out = 0;
+  EXPECT_FALSE(v.ToUint64(&out));
+}
+
+TEST(BigUintTest, PowGeneral) {
+  EXPECT_EQ(BigUint::Pow(BigUint(3), 5).ToString(), "243");
+  EXPECT_EQ(BigUint::Pow(BigUint(10), 20).ToString(),
+            "100000000000000000000");
+  EXPECT_EQ(BigUint::Pow(BigUint(7), 0).ToString(), "1");
+}
+
+TEST(BigUintTest, Comparisons) {
+  EXPECT_TRUE(BigUint(5) < BigUint(7));
+  EXPECT_TRUE(BigUint(5) < BigUint::PowerOfTwo(80));
+  EXPECT_TRUE(BigUint(5) == BigUint(5));
+  EXPECT_TRUE(BigUint(5) <= BigUint(5));
+}
+
+TEST(BigUintTest, ToDoubleApproximation) {
+  EXPECT_DOUBLE_EQ(BigUint(1000).ToDouble(), 1000.0);
+  double big = BigUint::PowerOfTwo(64).ToDouble();
+  EXPECT_NEAR(big, 1.8446744073709552e19, 1e5);
+}
+
+// --------------------------------------------------------------------- Rng --
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  bool any_diff = false;
+  for (int i = 0; i < 10; ++i) any_diff |= (a.Next() != b.Next());
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(RngTest, UniformIntWithinBound) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.UniformInt(13), 13u);
+}
+
+TEST(RngTest, UniformIntCoversRange) {
+  Rng rng(7);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 200; ++i) seen.insert(rng.UniformInt(4));
+  EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST(RngTest, UniformRangeInclusive) {
+  Rng rng(3);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 200; ++i) {
+    int64_t v = rng.UniformRange(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.UniformDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(5);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, BernoulliRoughlyCalibrated) {
+  Rng rng(9);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_GT(hits, 2500);
+  EXPECT_LT(hits, 3500);
+}
+
+TEST(RngTest, PermutationIsPermutation) {
+  Rng rng(13);
+  std::vector<int> p = rng.Permutation(50);
+  std::set<int> unique(p.begin(), p.end());
+  EXPECT_EQ(unique.size(), 50u);
+  EXPECT_EQ(*unique.begin(), 0);
+  EXPECT_EQ(*unique.rbegin(), 49);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(17);
+  std::vector<int> v{1, 2, 3, 4, 5};
+  rng.Shuffle(v);
+  std::multiset<int> contents(v.begin(), v.end());
+  EXPECT_EQ(contents, (std::multiset<int>{1, 2, 3, 4, 5}));
+}
+
+// ----------------------------------------------------------------- strings --
+
+TEST(StringsTest, StrSplitBasic) {
+  EXPECT_EQ(StrSplit("a,b,c", ','),
+            (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(StringsTest, StrSplitKeepsEmptyFields) {
+  EXPECT_EQ(StrSplit("a,,b", ','), (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_EQ(StrSplit("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(StringsTest, StrJoin) {
+  EXPECT_EQ(StrJoin({"x", "y", "z"}, ", "), "x, y, z");
+  EXPECT_EQ(StrJoin({}, ","), "");
+}
+
+TEST(StringsTest, StripWhitespace) {
+  EXPECT_EQ(StripWhitespace("  hi \t\n"), "hi");
+  EXPECT_EQ(StripWhitespace("hi"), "hi");
+  EXPECT_EQ(StripWhitespace("   "), "");
+}
+
+TEST(StringsTest, ParseInt64Valid) {
+  EXPECT_EQ(*ParseInt64("0"), 0);
+  EXPECT_EQ(*ParseInt64("42"), 42);
+  EXPECT_EQ(*ParseInt64("-17"), -17);
+  EXPECT_EQ(*ParseInt64("9223372036854775807"), 9223372036854775807ll);
+  EXPECT_EQ(*ParseInt64("-9223372036854775808"),
+            std::numeric_limits<int64_t>::min());
+}
+
+TEST(StringsTest, ParseInt64Invalid) {
+  EXPECT_FALSE(ParseInt64("").ok());
+  EXPECT_FALSE(ParseInt64("-").ok());
+  EXPECT_FALSE(ParseInt64("12x").ok());
+  EXPECT_FALSE(ParseInt64("9223372036854775808").ok());   // INT64_MAX + 1
+  EXPECT_FALSE(ParseInt64("99999999999999999999").ok());  // way over
+}
+
+TEST(StringsTest, IsIdentifier) {
+  EXPECT_TRUE(IsIdentifier("abc"));
+  EXPECT_TRUE(IsIdentifier("A_1"));
+  EXPECT_TRUE(IsIdentifier("_x"));
+  EXPECT_FALSE(IsIdentifier(""));
+  EXPECT_FALSE(IsIdentifier("1a"));
+  EXPECT_FALSE(IsIdentifier("a-b"));
+  EXPECT_FALSE(IsIdentifier("a b"));
+}
+
+}  // namespace
+}  // namespace prefrep

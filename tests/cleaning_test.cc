@@ -1,0 +1,140 @@
+// Unit tests for src/cleaning: provenance-derived priorities and the eager
+// cleaning baseline with both unresolved-conflict policies.
+
+#include <gtest/gtest.h>
+
+#include "cleaning/cleaning.h"
+#include "core/algorithm1.h"
+#include "workload/generators.h"
+
+namespace prefrep {
+namespace {
+
+RepairProblem MustProblem(const GeneratedInstance& inst) {
+  auto problem = RepairProblem::Create(inst.db.get(), inst.fds);
+  CHECK(problem.ok()) << problem.status().ToString();
+  return *std::move(problem);
+}
+
+GeneratedInstance TimestampedPair(int64_t ts_a, int64_t ts_b) {
+  GeneratedInstance inst;
+  inst.db = std::make_unique<Database>();
+  auto schema = Schema::Create("R", {Attribute{"A", ValueType::kNumber},
+                                     Attribute{"B", ValueType::kNumber}});
+  CHECK(inst.db->AddRelation(*schema).ok());
+  inst.fds = {*FunctionalDependency::Parse(*schema, "A -> B")};
+  CHECK(inst.db
+            ->Insert("R", Tuple::Of(Value::Number(1), Value::Number(1)),
+                     TupleMeta{TupleMeta::kNoSource, ts_a})
+            .ok());
+  CHECK(inst.db
+            ->Insert("R", Tuple::Of(Value::Number(1), Value::Number(2)),
+                     TupleMeta{TupleMeta::kNoSource, ts_b})
+            .ok());
+  return inst;
+}
+
+TEST(CleaningTest, TimestampPriorityNewerWins) {
+  GeneratedInstance inst = TimestampedPair(100, 200);
+  RepairProblem problem = MustProblem(inst);
+  Priority newer = PriorityFromTimestamps(problem, /*newer_wins=*/true);
+  EXPECT_TRUE(newer.Dominates(1, 0));
+  Priority older = PriorityFromTimestamps(problem, /*newer_wins=*/false);
+  EXPECT_TRUE(older.Dominates(0, 1));
+}
+
+TEST(CleaningTest, MissingTimestampsLeaveConflictUnresolved) {
+  GeneratedInstance inst = TimestampedPair(100, TupleMeta::kNoTimestamp);
+  RepairProblem problem = MustProblem(inst);
+  Priority p = PriorityFromTimestamps(problem);
+  EXPECT_EQ(p.arc_count(), 0);
+}
+
+TEST(CleaningTest, EqualTimestampsLeaveConflictUnresolved) {
+  GeneratedInstance inst = TimestampedPair(100, 100);
+  RepairProblem problem = MustProblem(inst);
+  EXPECT_EQ(PriorityFromTimestamps(problem).arc_count(), 0);
+}
+
+TEST(CleaningTest, SourceReliabilityRejectsUnknownSourceIds) {
+  MgrScenario s = MakeMgrScenario();
+  auto problem = RepairProblem::Create(s.db.get(), s.fds);
+  ASSERT_TRUE(problem.ok());
+  // Rank table too small: sources go up to 3.
+  auto priority = PriorityFromSourceReliability(*problem, {0, 1});
+  EXPECT_FALSE(priority.ok());
+  EXPECT_EQ(priority.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(CleaningTest, KeepPolicyCanLeaveResidualConflicts) {
+  MgrScenario s = MakeMgrScenario();
+  auto problem = RepairProblem::Create(s.db.get(), s.fds);
+  ASSERT_TRUE(problem.ok());
+  auto priority = PriorityFromSourceReliability(*problem, {0, 1, 1, 0});
+  ASSERT_TRUE(priority.ok());
+  CleaningReport keep = CleanWithPolicy(*problem, *priority,
+                                        UnresolvedConflictPolicy::kKeep);
+  EXPECT_EQ(keep.residual_conflicts, 1);
+  EXPECT_EQ(keep.contingency.Count(), 2);  // both R&D tuples flagged
+  EXPECT_EQ(keep.removed_dominated.Count(), 2);
+}
+
+TEST(CleaningTest, RemovePolicyAlwaysConsistentButLossy) {
+  MgrScenario s = MakeMgrScenario();
+  auto problem = RepairProblem::Create(s.db.get(), s.fds);
+  ASSERT_TRUE(problem.ok());
+  auto priority = PriorityFromSourceReliability(*problem, {0, 1, 1, 0});
+  ASSERT_TRUE(priority.ok());
+  CleaningReport remove = CleanWithPolicy(*problem, *priority,
+                                          UnresolvedConflictPolicy::kRemove);
+  EXPECT_EQ(remove.residual_conflicts, 0);
+  EXPECT_TRUE(problem->IsConsistentSubset(remove.kept));
+  // Lossy: strictly smaller than any repair (every repair has 2 tuples).
+  EXPECT_EQ(remove.kept.Count(), 0);
+}
+
+TEST(CleaningTest, TotalPriorityKeepCleaningNeedNotBeMaximal) {
+  // Eager cleaning removes every dominated tuple, unlike Algorithm 1 which
+  // reconsiders tuples once their dominators are gone. On a chain
+  // a ≻ b ≻ c the eager pass keeps only {a}; Algorithm 1 returns {a, c}.
+  GeneratedInstance inst = MakeKeyGroupsInstance(1, 3);
+  RepairProblem problem = MustProblem(inst);
+  // Conflict triangle; orient a chain a≻b, b≻c, a≻c to keep it total.
+  auto priority =
+      Priority::Create(problem.graph(), {{0, 1}, {1, 2}, {0, 2}});
+  ASSERT_TRUE(priority.ok());
+  CleaningReport report = CleanWithPolicy(problem, *priority,
+                                          UnresolvedConflictPolicy::kKeep);
+  EXPECT_EQ(report.kept.ToVector(), (std::vector<int>{0}));
+  EXPECT_EQ(CleanDatabase(problem.graph(), *priority).ToVector(),
+            (std::vector<int>{0}));
+  // Here they agree (triangle); on a path they differ:
+  GeneratedInstance chain = MakeChainInstance(3);
+  RepairProblem chain_problem = MustProblem(chain);
+  auto chain_priority =
+      Priority::Create(chain_problem.graph(), {{0, 1}, {1, 2}});
+  ASSERT_TRUE(chain_priority.ok());
+  CleaningReport chain_report = CleanWithPolicy(
+      chain_problem, *chain_priority, UnresolvedConflictPolicy::kKeep);
+  EXPECT_EQ(chain_report.kept.ToVector(), (std::vector<int>{0}));  // lossy
+  EXPECT_EQ(CleanDatabase(chain_problem.graph(), *chain_priority).ToVector(),
+            (std::vector<int>{0, 2}));  // Algorithm 1 keeps the repair
+  EXPECT_FALSE(chain_problem.IsRepair(chain_report.kept));
+}
+
+TEST(CleaningTest, SummaryMentionsCounts) {
+  MgrScenario s = MakeMgrScenario();
+  auto problem = RepairProblem::Create(s.db.get(), s.fds);
+  ASSERT_TRUE(problem.ok());
+  auto priority = PriorityFromSourceReliability(*problem, {0, 1, 1, 0});
+  ASSERT_TRUE(priority.ok());
+  CleaningReport report = CleanWithPolicy(*problem, *priority,
+                                          UnresolvedConflictPolicy::kKeep);
+  std::string summary = report.Summary(*s.db);
+  EXPECT_NE(summary.find("kept 2 tuple(s)"), std::string::npos);
+  EXPECT_NE(summary.find("1 residual conflict(s)"), std::string::npos);
+  EXPECT_NE(summary.find("source=3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace prefrep

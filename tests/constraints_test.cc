@@ -1,0 +1,319 @@
+// Unit tests for src/constraints: functional dependencies, conflict
+// detection (including the paper's Example 1) and classical FD theory.
+
+#include <gtest/gtest.h>
+
+#include "constraints/conflicts.h"
+#include "constraints/fd.h"
+#include "constraints/fd_theory.h"
+#include "workload/generators.h"
+
+namespace prefrep {
+namespace {
+
+Schema AbcSchema() {
+  auto schema = Schema::Create("R", {Attribute{"A", ValueType::kNumber},
+                                     Attribute{"B", ValueType::kNumber},
+                                     Attribute{"C", ValueType::kNumber}});
+  CHECK(schema.ok());
+  return *schema;
+}
+
+// --------------------------------------------------------------------- FD --
+
+TEST(FdTest, CreateNormalizesAndValidates) {
+  Schema schema = AbcSchema();
+  auto fd = FunctionalDependency::Create(schema, {1, 0}, {2});
+  ASSERT_TRUE(fd.ok());
+  EXPECT_EQ(fd->lhs(), (std::vector<int>{0, 1}));  // sorted
+  EXPECT_EQ(fd->rhs(), (std::vector<int>{2}));
+  EXPECT_EQ(fd->relation_name(), "R");
+}
+
+TEST(FdTest, CreateRejectsEmptySides) {
+  Schema schema = AbcSchema();
+  EXPECT_FALSE(FunctionalDependency::Create(schema, {}, {1}).ok());
+  EXPECT_FALSE(FunctionalDependency::Create(schema, {0}, {}).ok());
+}
+
+TEST(FdTest, CreateRejectsOutOfRange) {
+  Schema schema = AbcSchema();
+  EXPECT_FALSE(FunctionalDependency::Create(schema, {5}, {1}).ok());
+  EXPECT_FALSE(FunctionalDependency::Create(schema, {0}, {-1}).ok());
+}
+
+TEST(FdTest, CreateRejectsDuplicateInSide) {
+  Schema schema = AbcSchema();
+  EXPECT_FALSE(FunctionalDependency::Create(schema, {0, 0}, {1}).ok());
+}
+
+TEST(FdTest, CreateByName) {
+  Schema schema = AbcSchema();
+  auto fd = FunctionalDependency::CreateByName(schema, {"A"}, {"B", "C"});
+  ASSERT_TRUE(fd.ok());
+  EXPECT_EQ(fd->lhs(), (std::vector<int>{0}));
+  EXPECT_EQ(fd->rhs(), (std::vector<int>{1, 2}));
+  EXPECT_FALSE(
+      FunctionalDependency::CreateByName(schema, {"Z"}, {"B"}).ok());
+}
+
+TEST(FdTest, ParseSpaceAndCommaSeparated) {
+  Schema schema = AbcSchema();
+  auto fd1 = FunctionalDependency::Parse(schema, "A -> B C");
+  ASSERT_TRUE(fd1.ok()) << fd1.status().ToString();
+  auto fd2 = FunctionalDependency::Parse(schema, "A->B,C");
+  ASSERT_TRUE(fd2.ok());
+  EXPECT_TRUE(*fd1 == *fd2);
+}
+
+TEST(FdTest, ParseRejectsGarbage) {
+  Schema schema = AbcSchema();
+  EXPECT_FALSE(FunctionalDependency::Parse(schema, "A B").ok());
+  EXPECT_FALSE(FunctionalDependency::Parse(schema, "-> B").ok());
+  EXPECT_FALSE(FunctionalDependency::Parse(schema, "A -> ").ok());
+  EXPECT_FALSE(FunctionalDependency::Parse(schema, "A -> Q").ok());
+}
+
+TEST(FdTest, ConflictsSemantics) {
+  Schema schema = AbcSchema();
+  auto fd = FunctionalDependency::Parse(schema, "A -> B");
+  ASSERT_TRUE(fd.ok());
+  Tuple t1 = Tuple::Of(Value::Number(1), Value::Number(1), Value::Number(1));
+  Tuple t2 = Tuple::Of(Value::Number(1), Value::Number(2), Value::Number(1));
+  Tuple t3 = Tuple::Of(Value::Number(2), Value::Number(9), Value::Number(1));
+  Tuple t4 = Tuple::Of(Value::Number(1), Value::Number(1), Value::Number(7));
+  EXPECT_TRUE(fd->Conflicts(t1, t2));   // same A, different B
+  EXPECT_FALSE(fd->Conflicts(t1, t3));  // different A
+  EXPECT_FALSE(fd->Conflicts(t1, t4));  // same A, same B ("duplicates")
+  EXPECT_TRUE(fd->SatisfiedBy(t1, t4));
+}
+
+TEST(FdTest, IsKeyDependencyFor) {
+  Schema schema = AbcSchema();
+  EXPECT_TRUE(FunctionalDependency::Parse(schema, "A -> B C")
+                  ->IsKeyDependencyFor(schema));
+  // LHS attributes may appear on the RHS too.
+  EXPECT_TRUE(FunctionalDependency::Parse(schema, "A -> A B C")
+                  ->IsKeyDependencyFor(schema));
+  EXPECT_FALSE(FunctionalDependency::Parse(schema, "A -> B")
+                   ->IsKeyDependencyFor(schema));
+}
+
+TEST(FdTest, ToStringRoundTrip) {
+  Schema schema = AbcSchema();
+  auto fd = FunctionalDependency::Parse(schema, "A B -> C");
+  ASSERT_TRUE(fd.ok());
+  EXPECT_EQ(fd->ToString(schema), "A B -> C");
+}
+
+// -------------------------------------------------------------- conflicts --
+
+TEST(ConflictsTest, PaperExample1HasThreeConflicts) {
+  MgrScenario scenario = MakeMgrScenario();
+  auto edges = FindConflicts(*scenario.db, scenario.fds);
+  ASSERT_TRUE(edges.ok());
+  // Conflicts of Example 1: (mary_rd, john_rd) via fd1, (mary_rd, mary_it)
+  // and (john_rd, john_pr) via fd2.
+  std::vector<ConflictEdge> expected = {
+      {scenario.mary_rd, scenario.john_rd},
+      {scenario.mary_rd, scenario.mary_it},
+      {scenario.john_rd, scenario.john_pr}};
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(*edges, expected);
+}
+
+TEST(ConflictsTest, HashAndNaiveAgreeOnExamples) {
+  MgrScenario scenario = MakeMgrScenario();
+  EXPECT_EQ(*FindConflicts(*scenario.db, scenario.fds),
+            *FindConflictsNaive(*scenario.db, scenario.fds));
+
+  GeneratedInstance rn = MakeRnInstance(6);
+  EXPECT_EQ(*FindConflicts(*rn.db, rn.fds),
+            *FindConflictsNaive(*rn.db, rn.fds));
+}
+
+TEST(ConflictsTest, HashAndNaiveAgreeOnRandomInstances) {
+  Rng rng(2024);
+  for (int trial = 0; trial < 20; ++trial) {
+    GeneratedInstance inst = MakeRandomInstance(rng, 40, 3, 4, 2);
+    EXPECT_EQ(*FindConflicts(*inst.db, inst.fds),
+              *FindConflictsNaive(*inst.db, inst.fds))
+        << "trial " << trial;
+  }
+}
+
+TEST(ConflictsTest, RnInstanceHasOneConflictPerPair) {
+  GeneratedInstance rn = MakeRnInstance(4);
+  auto edges = FindConflicts(*rn.db, rn.fds);
+  ASSERT_TRUE(edges.ok());
+  EXPECT_EQ(edges->size(), 4u);
+  for (auto [u, v] : *edges) {
+    EXPECT_EQ(v, u + 1);  // (2i, 2i+1)
+    EXPECT_EQ(u % 2, 0);
+  }
+}
+
+TEST(ConflictsTest, DuplicatesDoNotConflict) {
+  GeneratedInstance inst = MakeDuplicatesInstance(1, 2, 1);
+  // 2 duplicates + 1 rival: the rival conflicts with both duplicates; the
+  // duplicates do not conflict with each other.
+  auto edges = FindConflicts(*inst.db, inst.fds);
+  ASSERT_TRUE(edges.ok());
+  EXPECT_EQ(edges->size(), 2u);
+}
+
+TEST(ConflictsTest, MultipleFdsDeduplicateEdges) {
+  // Two FDs that both flag the same pair produce one edge.
+  Schema schema = AbcSchema();
+  Database db;
+  ASSERT_TRUE(db.AddRelation(schema).ok());
+  ASSERT_TRUE(db.Insert("R", Tuple::Of(Value::Number(1), Value::Number(1),
+                                       Value::Number(1)))
+                  .ok());
+  ASSERT_TRUE(db.Insert("R", Tuple::Of(Value::Number(1), Value::Number(2),
+                                       Value::Number(2)))
+                  .ok());
+  std::vector<FunctionalDependency> fds = {
+      *FunctionalDependency::Parse(schema, "A -> B"),
+      *FunctionalDependency::Parse(schema, "A -> C")};
+  auto edges = FindConflicts(db, fds);
+  ASSERT_TRUE(edges.ok());
+  EXPECT_EQ(edges->size(), 1u);
+}
+
+TEST(ConflictsTest, UnknownRelationFails) {
+  Database db;
+  ASSERT_TRUE(db.AddRelation(AbcSchema()).ok());
+  Schema other = *Schema::Create("S", {Attribute{"X", ValueType::kNumber},
+                                       Attribute{"Y", ValueType::kNumber}});
+  std::vector<FunctionalDependency> fds = {
+      *FunctionalDependency::Parse(other, "X -> Y")};
+  EXPECT_FALSE(FindConflicts(db, fds).ok());
+}
+
+TEST(ConflictsTest, IsConsistent) {
+  GeneratedInstance rn = MakeRnInstance(2);
+  EXPECT_FALSE(*IsConsistent(*rn.db, rn.fds));
+  GeneratedInstance empty = MakeRnInstance(0);
+  EXPECT_TRUE(*IsConsistent(*empty.db, empty.fds));
+}
+
+TEST(ConflictsTest, ChainInstanceIsAPath) {
+  GeneratedInstance chain = MakeChainInstance(5);
+  auto edges = FindConflicts(*chain.db, chain.fds);
+  ASSERT_TRUE(edges.ok());
+  // Path on 5 vertices: exactly 4 edges (t_i, t_{i+1}).
+  std::vector<ConflictEdge> expected = {{0, 1}, {1, 2}, {2, 3}, {3, 4}};
+  EXPECT_EQ(*edges, expected);
+}
+
+// -------------------------------------------------------------- fd_theory --
+
+TEST(FdTheoryTest, AttributeClosure) {
+  Schema schema = AbcSchema();
+  std::vector<FunctionalDependency> fds = {
+      *FunctionalDependency::Parse(schema, "A -> B"),
+      *FunctionalDependency::Parse(schema, "B -> C")};
+  AttributeSet start = AttributeSet::FromIndices(3, {0});
+  EXPECT_EQ(AttributeClosure(schema, fds, start).ToVector(),
+            (std::vector<int>{0, 1, 2}));
+  AttributeSet just_b = AttributeSet::FromIndices(3, {1});
+  EXPECT_EQ(AttributeClosure(schema, fds, just_b).ToVector(),
+            (std::vector<int>{1, 2}));
+}
+
+TEST(FdTheoryTest, Implies) {
+  Schema schema = AbcSchema();
+  std::vector<FunctionalDependency> fds = {
+      *FunctionalDependency::Parse(schema, "A -> B"),
+      *FunctionalDependency::Parse(schema, "B -> C")};
+  EXPECT_TRUE(Implies(schema, fds, *FunctionalDependency::Parse(schema,
+                                                                "A -> C")));
+  EXPECT_FALSE(Implies(schema, fds, *FunctionalDependency::Parse(schema,
+                                                                 "C -> A")));
+}
+
+TEST(FdTheoryTest, SuperkeyAndCandidateKeys) {
+  Schema schema = AbcSchema();
+  std::vector<FunctionalDependency> fds = {
+      *FunctionalDependency::Parse(schema, "A -> B"),
+      *FunctionalDependency::Parse(schema, "B -> C")};
+  EXPECT_TRUE(IsSuperkey(schema, fds, AttributeSet::FromIndices(3, {0})));
+  EXPECT_FALSE(IsSuperkey(schema, fds, AttributeSet::FromIndices(3, {1})));
+  std::vector<AttributeSet> keys = CandidateKeys(schema, fds);
+  ASSERT_EQ(keys.size(), 1u);
+  EXPECT_EQ(keys[0].ToVector(), (std::vector<int>{0}));
+}
+
+TEST(FdTheoryTest, CandidateKeysMultiple) {
+  // A -> B, B -> A, AB -> C: both {A} and... A+ = {A,B,C}? A->B, B->A,
+  // AB->C: A+ = {A,B} then AB->C gives C. So {A} and {B} are both keys.
+  Schema schema = AbcSchema();
+  std::vector<FunctionalDependency> fds = {
+      *FunctionalDependency::Parse(schema, "A -> B"),
+      *FunctionalDependency::Parse(schema, "B -> A"),
+      *FunctionalDependency::Parse(schema, "A B -> C")};
+  std::vector<AttributeSet> keys = CandidateKeys(schema, fds);
+  ASSERT_EQ(keys.size(), 2u);
+  EXPECT_EQ(keys[0].ToVector(), (std::vector<int>{0}));
+  EXPECT_EQ(keys[1].ToVector(), (std::vector<int>{1}));
+}
+
+TEST(FdTheoryTest, IsBcnf) {
+  Schema schema = AbcSchema();
+  // Key dependency: BCNF.
+  std::vector<FunctionalDependency> key_fds = {
+      *FunctionalDependency::Parse(schema, "A -> B C")};
+  EXPECT_TRUE(IsBcnf(schema, key_fds));
+  // Non-key LHS: not BCNF.
+  std::vector<FunctionalDependency> bad_fds = {
+      *FunctionalDependency::Parse(schema, "A -> B")};
+  EXPECT_FALSE(IsBcnf(schema, bad_fds));
+  // Trivial FDs never violate BCNF.
+  std::vector<FunctionalDependency> trivial = {
+      *FunctionalDependency::Parse(schema, "A B -> A")};
+  EXPECT_TRUE(IsBcnf(schema, trivial));
+}
+
+TEST(FdTheoryTest, MinimalCoverRemovesRedundancy) {
+  Schema schema = AbcSchema();
+  std::vector<FunctionalDependency> fds = {
+      *FunctionalDependency::Parse(schema, "A -> B"),
+      *FunctionalDependency::Parse(schema, "B -> C"),
+      *FunctionalDependency::Parse(schema, "A -> C")};  // implied
+  std::vector<FunctionalDependency> cover = MinimalCover(schema, fds);
+  EXPECT_EQ(cover.size(), 2u);
+  for (const auto& fd : fds) {
+    EXPECT_TRUE(Implies(schema, cover, fd));
+  }
+}
+
+TEST(FdTheoryTest, MinimalCoverShrinksLhs) {
+  Schema schema = AbcSchema();
+  std::vector<FunctionalDependency> fds = {
+      *FunctionalDependency::Parse(schema, "A -> B"),
+      *FunctionalDependency::Parse(schema, "A B -> C")};  // B extraneous
+  std::vector<FunctionalDependency> cover = MinimalCover(schema, fds);
+  for (const auto& fd : cover) {
+    EXPECT_EQ(fd.lhs().size(), 1u);
+  }
+  EXPECT_TRUE(Implies(schema, cover,
+                      *FunctionalDependency::Parse(schema, "A -> C")));
+}
+
+TEST(FdTheoryTest, IsSingleKeyDependency) {
+  Schema schema = AbcSchema();
+  std::vector<FunctionalDependency> one_key = {
+      *FunctionalDependency::Parse(schema, "A -> B C")};
+  EXPECT_TRUE(IsSingleKeyDependency(schema, one_key));
+  std::vector<FunctionalDependency> non_key = {
+      *FunctionalDependency::Parse(schema, "A -> B")};
+  EXPECT_FALSE(IsSingleKeyDependency(schema, non_key));
+  std::vector<FunctionalDependency> two = {
+      *FunctionalDependency::Parse(schema, "A -> B C"),
+      *FunctionalDependency::Parse(schema, "B -> A C")};
+  EXPECT_FALSE(IsSingleKeyDependency(schema, two));
+}
+
+}  // namespace
+}  // namespace prefrep

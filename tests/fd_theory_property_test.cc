@@ -1,0 +1,148 @@
+// Randomized property tests for the classical FD-theory machinery
+// (closure, implication, candidate keys, minimal cover, BCNF).
+
+#include <gtest/gtest.h>
+
+#include "base/random.h"
+#include "constraints/fd_theory.h"
+
+namespace prefrep {
+namespace {
+
+constexpr int kArity = 5;
+
+Schema WideSchema() {
+  std::vector<Attribute> attrs;
+  for (int i = 0; i < kArity; ++i) {
+    attrs.push_back(Attribute{"A" + std::to_string(i), ValueType::kNumber});
+  }
+  auto schema = Schema::Create("R", std::move(attrs));
+  CHECK(schema.ok());
+  return *schema;
+}
+
+std::vector<FunctionalDependency> RandomFds(Rng& rng, const Schema& schema,
+                                            int count) {
+  std::vector<FunctionalDependency> fds;
+  for (int i = 0; i < count; ++i) {
+    std::vector<int> lhs, rhs;
+    for (int a = 0; a < schema.arity(); ++a) {
+      if (rng.Bernoulli(0.35)) lhs.push_back(a);
+      if (rng.Bernoulli(0.35)) rhs.push_back(a);
+    }
+    if (lhs.empty()) lhs.push_back(static_cast<int>(rng.UniformInt(kArity)));
+    if (rhs.empty()) rhs.push_back(static_cast<int>(rng.UniformInt(kArity)));
+    auto fd = FunctionalDependency::Create(schema, lhs, rhs);
+    CHECK(fd.ok());
+    fds.push_back(*std::move(fd));
+  }
+  return fds;
+}
+
+AttributeSet RandomAttrs(Rng& rng) {
+  AttributeSet set(kArity);
+  for (int a = 0; a < kArity; ++a) {
+    if (rng.Bernoulli(0.4)) set.Set(a);
+  }
+  return set;
+}
+
+class FdTheoryProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(FdTheoryProperty, ClosureIsExtensiveIdempotentMonotone) {
+  Rng rng(100 + GetParam());
+  Schema schema = WideSchema();
+  std::vector<FunctionalDependency> fds = RandomFds(rng, schema, 4);
+  for (int i = 0; i < 20; ++i) {
+    AttributeSet x = RandomAttrs(rng);
+    AttributeSet cx = AttributeClosure(schema, fds, x);
+    // Extensive: X ⊆ X+.
+    EXPECT_TRUE(x.IsSubsetOf(cx));
+    // Idempotent: (X+)+ = X+.
+    EXPECT_EQ(AttributeClosure(schema, fds, cx), cx);
+    // Monotone: X ⊆ Y implies X+ ⊆ Y+.
+    AttributeSet y = x;
+    for (int a = 0; a < kArity; ++a) {
+      if (rng.Bernoulli(0.3)) y.Set(a);
+    }
+    EXPECT_TRUE(cx.IsSubsetOf(AttributeClosure(schema, fds, y)));
+  }
+}
+
+TEST_P(FdTheoryProperty, MinimalCoverIsEquivalent) {
+  Rng rng(200 + GetParam());
+  Schema schema = WideSchema();
+  std::vector<FunctionalDependency> fds = RandomFds(rng, schema, 5);
+  std::vector<FunctionalDependency> cover = MinimalCover(schema, fds);
+  // Same closures on every attribute set => same implied FDs.
+  for (int i = 0; i < 20; ++i) {
+    AttributeSet x = RandomAttrs(rng);
+    EXPECT_EQ(AttributeClosure(schema, fds, x),
+              AttributeClosure(schema, cover, x));
+  }
+  // Cover shape: singleton RHS everywhere.
+  for (const auto& fd : cover) {
+    EXPECT_EQ(fd.rhs().size(), 1u);
+  }
+  // No redundant FD: dropping any one changes the theory.
+  for (size_t drop = 0; drop < cover.size(); ++drop) {
+    std::vector<FunctionalDependency> rest;
+    for (size_t j = 0; j < cover.size(); ++j) {
+      if (j != drop) rest.push_back(cover[j]);
+    }
+    EXPECT_FALSE(Implies(schema, rest, cover[drop]))
+        << "redundant FD in minimal cover";
+  }
+}
+
+TEST_P(FdTheoryProperty, CandidateKeysAreMinimalAndComplete) {
+  Rng rng(300 + GetParam());
+  Schema schema = WideSchema();
+  std::vector<FunctionalDependency> fds = RandomFds(rng, schema, 4);
+  std::vector<AttributeSet> keys = CandidateKeys(schema, fds);
+  ASSERT_FALSE(keys.empty());  // the full attribute set is always a superkey
+  for (const AttributeSet& key : keys) {
+    EXPECT_TRUE(IsSuperkey(schema, fds, key));
+    // Minimal: dropping any attribute destroys the superkey property.
+    ForEachSetBit(key, [&](int a) {
+      AttributeSet smaller = key;
+      smaller.Reset(a);
+      EXPECT_FALSE(IsSuperkey(schema, fds, smaller));
+    });
+    // Pairwise incomparable.
+    for (const AttributeSet& other : keys) {
+      if (other == key) continue;
+      EXPECT_FALSE(key.IsSubsetOf(other));
+    }
+  }
+  // Completeness: every random superkey contains some candidate key.
+  for (int i = 0; i < 20; ++i) {
+    AttributeSet x = RandomAttrs(rng);
+    if (!IsSuperkey(schema, fds, x)) continue;
+    bool contains_key = false;
+    for (const AttributeSet& key : keys) {
+      if (key.IsSubsetOf(x)) contains_key = true;
+    }
+    EXPECT_TRUE(contains_key) << x.ToString();
+  }
+}
+
+TEST_P(FdTheoryProperty, BcnfAgreesWithDefinition) {
+  Rng rng(400 + GetParam());
+  Schema schema = WideSchema();
+  std::vector<FunctionalDependency> fds = RandomFds(rng, schema, 3);
+  bool bcnf = IsBcnf(schema, fds);
+  bool violation = false;
+  for (const auto& fd : fds) {
+    AttributeSet lhs = AttributeSet::FromIndices(kArity, fd.lhs());
+    AttributeSet rhs = AttributeSet::FromIndices(kArity, fd.rhs());
+    if (rhs.IsSubsetOf(lhs)) continue;  // trivial
+    if (!IsSuperkey(schema, fds, lhs)) violation = true;
+  }
+  EXPECT_EQ(bcnf, !violation);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FdTheoryProperty, ::testing::Range(0, 6));
+
+}  // namespace
+}  // namespace prefrep

@@ -1,0 +1,256 @@
+// Unit tests for src/graph: conflict graphs, maximal-independent-set
+// enumeration/counting, digraph utilities and the Theorem 2 side condition.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/conflict_graph.h"
+#include "graph/digraph.h"
+#include "graph/mis.h"
+
+namespace prefrep {
+namespace {
+
+ConflictGraph Path(int n) {
+  std::vector<std::pair<int, int>> edges;
+  for (int i = 0; i + 1 < n; ++i) edges.emplace_back(i, i + 1);
+  return ConflictGraph(n, edges);
+}
+
+ConflictGraph Cycle(int n) {
+  std::vector<std::pair<int, int>> edges;
+  for (int i = 0; i < n; ++i) edges.emplace_back(i, (i + 1) % n);
+  return ConflictGraph(n, edges);
+}
+
+std::set<std::vector<int>> MisSets(const ConflictGraph& g) {
+  std::set<std::vector<int>> out;
+  EnumerateMaximalIndependentSets(g, [&](const DynamicBitset& s) {
+    out.insert(s.ToVector());
+    return true;
+  });
+  return out;
+}
+
+// ----------------------------------------------------------- ConflictGraph --
+
+TEST(ConflictGraphTest, BasicAccessors) {
+  ConflictGraph g(4, {{0, 1}, {1, 2}, {2, 1}});  // duplicate edge normalized
+  EXPECT_EQ(g.vertex_count(), 4);
+  EXPECT_EQ(g.edge_count(), 2);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(1, 0));
+  EXPECT_FALSE(g.HasEdge(0, 2));
+  EXPECT_FALSE(g.HasEdge(3, 3));
+  EXPECT_EQ(g.Degree(1), 2);
+  EXPECT_EQ(g.Degree(3), 0);
+}
+
+TEST(ConflictGraphTest, NeighborsAndVicinity) {
+  ConflictGraph g = Path(4);
+  EXPECT_EQ(g.Neighbors(1).ToVector(), (std::vector<int>{0, 2}));
+  EXPECT_EQ(g.Vicinity(1).ToVector(), (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(g.NeighborsOfSet(DynamicBitset::FromIndices(4, {0, 3}))
+                .ToVector(),
+            (std::vector<int>{1, 2}));
+}
+
+TEST(ConflictGraphTest, IndependenceChecks) {
+  ConflictGraph g = Path(4);
+  EXPECT_TRUE(g.IsIndependent(DynamicBitset::FromIndices(4, {0, 2})));
+  EXPECT_FALSE(g.IsIndependent(DynamicBitset::FromIndices(4, {0, 1})));
+  EXPECT_TRUE(g.IsIndependent(DynamicBitset(4)));  // empty set
+}
+
+TEST(ConflictGraphTest, MaximalIndependence) {
+  ConflictGraph g = Path(4);
+  EXPECT_TRUE(g.IsMaximalIndependent(DynamicBitset::FromIndices(4, {0, 2})));
+  EXPECT_TRUE(g.IsMaximalIndependent(DynamicBitset::FromIndices(4, {1, 3})));
+  EXPECT_TRUE(g.IsMaximalIndependent(DynamicBitset::FromIndices(4, {0, 3})));
+  // Independent but not maximal: {0} can be extended by 2 or 3.
+  EXPECT_FALSE(g.IsMaximalIndependent(DynamicBitset::FromIndices(4, {0})));
+  // Not independent at all.
+  EXPECT_FALSE(
+      g.IsMaximalIndependent(DynamicBitset::FromIndices(4, {0, 1, 3})));
+}
+
+TEST(ConflictGraphTest, IsolatedVertexMustBeInEveryMaximalSet) {
+  ConflictGraph g(3, {{0, 1}});
+  EXPECT_FALSE(g.IsMaximalIndependent(DynamicBitset::FromIndices(3, {0})));
+  EXPECT_TRUE(g.IsMaximalIndependent(DynamicBitset::FromIndices(3, {0, 2})));
+}
+
+TEST(ConflictGraphTest, ConnectedComponents) {
+  ConflictGraph g(6, {{0, 1}, {1, 2}, {4, 5}});
+  auto components = g.ConnectedComponents();
+  ASSERT_EQ(components.size(), 3u);
+  EXPECT_EQ(components[0], (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(components[1], (std::vector<int>{3}));
+  EXPECT_EQ(components[2], (std::vector<int>{4, 5}));
+}
+
+TEST(ConflictGraphTest, EmptyGraph) {
+  ConflictGraph g(0, {});
+  EXPECT_EQ(g.vertex_count(), 0);
+  EXPECT_TRUE(g.IsMaximalIndependent(DynamicBitset(0)));
+}
+
+// --------------------------------------------------------------------- MIS --
+
+TEST(MisTest, PathFourVertices) {
+  // Repairs of a P4 path: {0,2}, {0,3}, {1,3}.
+  EXPECT_EQ(MisSets(Path(4)),
+            (std::set<std::vector<int>>{{0, 2}, {0, 3}, {1, 3}}));
+}
+
+TEST(MisTest, PathFiveVertices) {
+  EXPECT_EQ(MisSets(Path(5)),
+            (std::set<std::vector<int>>{{0, 2, 4}, {0, 3}, {1, 3}, {1, 4}}));
+}
+
+TEST(MisTest, TriangleYieldsSingletons) {
+  ConflictGraph g(3, {{0, 1}, {1, 2}, {0, 2}});
+  EXPECT_EQ(MisSets(g), (std::set<std::vector<int>>{{0}, {1}, {2}}));
+}
+
+TEST(MisTest, SixCycle) {
+  EXPECT_EQ(MisSets(Cycle(6)),
+            (std::set<std::vector<int>>{
+                {0, 2, 4}, {1, 3, 5}, {0, 3}, {1, 4}, {2, 5}}));
+}
+
+TEST(MisTest, EdgelessGraphHasOneMis) {
+  ConflictGraph g(5, {});
+  auto sets = MisSets(g);
+  ASSERT_EQ(sets.size(), 1u);
+  EXPECT_EQ(*sets.begin(), (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(MisTest, DisjointEdgesGiveTwoToTheN) {
+  std::vector<std::pair<int, int>> edges;
+  for (int i = 0; i < 5; ++i) edges.emplace_back(2 * i, 2 * i + 1);
+  ConflictGraph g(10, edges);
+  EXPECT_EQ(MisSets(g).size(), 32u);
+}
+
+TEST(MisTest, EveryEnumeratedSetIsMaximal) {
+  ConflictGraph g = Cycle(7);
+  EnumerateMaximalIndependentSets(g, [&](const DynamicBitset& s) {
+    EXPECT_TRUE(g.IsMaximalIndependent(s));
+    return true;
+  });
+}
+
+TEST(MisTest, EarlyStopReturnsFalse) {
+  ConflictGraph g = Path(6);
+  int seen = 0;
+  bool complete = EnumerateMaximalIndependentSets(
+      g, [&seen](const DynamicBitset&) { return ++seen < 2; });
+  EXPECT_FALSE(complete);
+  EXPECT_EQ(seen, 2);
+}
+
+TEST(MisTest, AllMaximalIndependentSetsRespectsLimit) {
+  std::vector<std::pair<int, int>> edges;
+  for (int i = 0; i < 6; ++i) edges.emplace_back(2 * i, 2 * i + 1);
+  ConflictGraph g(12, edges);  // 64 MIS
+  auto limited = AllMaximalIndependentSets(g, 10);
+  EXPECT_FALSE(limited.ok());
+  EXPECT_EQ(limited.status().code(), StatusCode::kResourceExhausted);
+  auto all = AllMaximalIndependentSets(g, 100);
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->size(), 64u);
+}
+
+TEST(MisTest, ComponentEnumerationMatchesWholeGraphOnConnected) {
+  ConflictGraph g = Cycle(6);
+  auto comp = g.ConnectedComponents();
+  ASSERT_EQ(comp.size(), 1u);
+  EXPECT_EQ(ComponentMaximalIndependentSets(g, comp[0]).size(), 5u);
+}
+
+TEST(MisTest, CountUsesComponentProduct) {
+  // 40 disjoint edges: 2^40 repairs, exceeds uint32 but countable exactly.
+  std::vector<std::pair<int, int>> edges;
+  for (int i = 0; i < 40; ++i) edges.emplace_back(2 * i, 2 * i + 1);
+  ConflictGraph g(80, edges);
+  EXPECT_EQ(CountMaximalIndependentSets(g).ToString(),
+            BigUint::PowerOfTwo(40).ToString());
+}
+
+TEST(MisTest, CountMatchesEnumerationOnMixedGraph) {
+  // Triangle (3 MIS) + path P4 (3 MIS) + isolated vertex (1) = 9.
+  ConflictGraph g(8, {{0, 1}, {1, 2}, {0, 2}, {3, 4}, {4, 5}, {5, 6}});
+  EXPECT_EQ(CountMaximalIndependentSets(g).ToString(), "9");
+  EXPECT_EQ(MisSets(g).size(), 9u);
+}
+
+// ------------------------------------------------------------------ digraph --
+
+TEST(DigraphTest, TopologicalOrderOnDag) {
+  auto order = TopologicalOrder(4, {{0, 1}, {1, 2}, {0, 3}});
+  ASSERT_TRUE(order.ok());
+  std::vector<int> pos(4);
+  for (int i = 0; i < 4; ++i) pos[(*order)[i]] = i;
+  EXPECT_LT(pos[0], pos[1]);
+  EXPECT_LT(pos[1], pos[2]);
+  EXPECT_LT(pos[0], pos[3]);
+}
+
+TEST(DigraphTest, TopologicalOrderRejectsCycle) {
+  EXPECT_FALSE(TopologicalOrder(3, {{0, 1}, {1, 2}, {2, 0}}).ok());
+}
+
+TEST(DigraphTest, IsAcyclic) {
+  EXPECT_TRUE(IsAcyclicDigraph(3, {{0, 1}, {0, 2}, {1, 2}}));
+  EXPECT_FALSE(IsAcyclicDigraph(2, {{0, 1}, {1, 0}}));
+  EXPECT_TRUE(IsAcyclicDigraph(3, {}));
+}
+
+TEST(CyclicExtensionTest, ForestsCanNeverBecomeCyclic) {
+  // Acyclic conflict graphs admit no cyclic orientation at all.
+  EXPECT_FALSE(CanExtendToCyclicOrientation(Path(5), {}));
+  EXPECT_FALSE(CanExtendToCyclicOrientation(Path(5), {{0, 1}, {2, 1}}));
+  ConflictGraph forest(6, {{0, 1}, {2, 3}, {4, 5}});
+  EXPECT_FALSE(CanExtendToCyclicOrientation(forest, {}));
+}
+
+TEST(CyclicExtensionTest, UnorientedCycleIsExtendable) {
+  EXPECT_TRUE(CanExtendToCyclicOrientation(Cycle(3), {}));
+  EXPECT_TRUE(CanExtendToCyclicOrientation(Cycle(6), {}));
+}
+
+TEST(CyclicExtensionTest, PartialOrientationAlongCycleStaysExtendable) {
+  // Orient two triangle edges consistently: the third can close the cycle.
+  EXPECT_TRUE(CanExtendToCyclicOrientation(Cycle(3), {{0, 1}, {1, 2}}));
+}
+
+TEST(CyclicExtensionTest, OpposingOrientationBlocksTriangle) {
+  // 0->1 and 2->1 kill both directions around a triangle.
+  EXPECT_FALSE(CanExtendToCyclicOrientation(Cycle(3), {{0, 1}, {2, 1}}));
+}
+
+TEST(CyclicExtensionTest, FullyOrientedAcyclicTriangleNotExtendable) {
+  EXPECT_FALSE(
+      CanExtendToCyclicOrientation(Cycle(3), {{0, 1}, {1, 2}, {0, 2}}));
+}
+
+TEST(CyclicExtensionTest, SquareWithAlternatingOrientationBlocked) {
+  // C4 with 0->1 and 2->1, 2->3, 0->3: both cycle directions are blocked.
+  EXPECT_FALSE(CanExtendToCyclicOrientation(
+      Cycle(4), {{0, 1}, {2, 1}, {2, 3}, {0, 3}}));
+  // But orienting consistently around leaves it extendable.
+  EXPECT_TRUE(CanExtendToCyclicOrientation(Cycle(4), {{0, 1}, {1, 2}}));
+}
+
+TEST(CyclicExtensionTest, LongerCycleThroughUnorientedChords) {
+  // Triangle 0-1-2 plus pendant path: orientation on the pendant does not
+  // affect extendability of the triangle.
+  ConflictGraph g(5, {{0, 1}, {1, 2}, {0, 2}, {2, 3}, {3, 4}});
+  EXPECT_TRUE(CanExtendToCyclicOrientation(g, {{3, 4}}));
+  EXPECT_FALSE(CanExtendToCyclicOrientation(g, {{0, 1}, {2, 1}, {3, 4}}));
+}
+
+}  // namespace
+}  // namespace prefrep

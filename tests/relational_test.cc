@@ -1,0 +1,343 @@
+// Unit tests for src/relational: values, schemas, tuples, relations,
+// databases and CSV I/O.
+
+#include <gtest/gtest.h>
+
+#include "relational/csv.h"
+#include "relational/database.h"
+#include "relational/relation.h"
+#include "relational/schema.h"
+#include "relational/tuple.h"
+#include "relational/value.h"
+
+namespace prefrep {
+namespace {
+
+Schema TestSchema() {
+  auto schema = Schema::Create(
+      "Mgr", {Attribute{"Name", ValueType::kName},
+              Attribute{"Dept", ValueType::kName},
+              Attribute{"Salary", ValueType::kNumber}});
+  CHECK(schema.ok());
+  return *schema;
+}
+
+// ------------------------------------------------------------------ Value --
+
+TEST(ValueTest, NameAndNumberConstruction) {
+  Value mary = Value::Name("Mary");
+  Value n = Value::Number(42);
+  EXPECT_TRUE(mary.is_name());
+  EXPECT_TRUE(n.is_number());
+  EXPECT_EQ(mary.name(), "Mary");
+  EXPECT_EQ(n.number(), 42);
+}
+
+TEST(ValueTest, DomainsAreDisjoint) {
+  // A name never equals a number, even with "equal-looking" content.
+  EXPECT_FALSE(Value::Name("42") == Value::Number(42));
+}
+
+TEST(ValueTest, UniqueNameAssumption) {
+  EXPECT_TRUE(Value::Name("Mary") == Value::Name("Mary"));
+  EXPECT_TRUE(Value::Name("Mary") != Value::Name("John"));
+}
+
+TEST(ValueTest, ToString) {
+  EXPECT_EQ(Value::Name("IT").ToString(), "IT");
+  EXPECT_EQ(Value::Number(-5).ToString(), "-5");
+}
+
+TEST(ValueTest, CanonicalOrderSeparatesTypes) {
+  // Canonical (container) order: names sort before numbers by type tag.
+  EXPECT_TRUE(Value::Name("z") < Value::Number(0));
+  EXPECT_TRUE(Value::Name("a") < Value::Name("b"));
+  EXPECT_TRUE(Value::Number(1) < Value::Number(2));
+}
+
+TEST(ValueTest, HashAgreesWithEquality) {
+  Value::Hash h;
+  EXPECT_EQ(h(Value::Name("x")), h(Value::Name("x")));
+  EXPECT_EQ(h(Value::Number(9)), h(Value::Number(9)));
+  EXPECT_NE(h(Value::Name("42")), h(Value::Number(42)));
+}
+
+// ------------------------------------------------------------------ Schema --
+
+TEST(SchemaTest, CreateValid) {
+  Schema schema = TestSchema();
+  EXPECT_EQ(schema.relation_name(), "Mgr");
+  EXPECT_EQ(schema.arity(), 3);
+  EXPECT_EQ(schema.attribute(2).name, "Salary");
+}
+
+TEST(SchemaTest, AttributeIndexLookup) {
+  Schema schema = TestSchema();
+  EXPECT_EQ(*schema.AttributeIndex("Dept"), 1);
+  EXPECT_FALSE(schema.AttributeIndex("Nope").ok());
+  EXPECT_TRUE(schema.HasAttribute("Name"));
+  EXPECT_FALSE(schema.HasAttribute("name"));  // case-sensitive
+}
+
+TEST(SchemaTest, RejectsDuplicateAttributes) {
+  auto schema = Schema::Create("R", {Attribute{"A", ValueType::kNumber},
+                                     Attribute{"A", ValueType::kName}});
+  EXPECT_FALSE(schema.ok());
+  EXPECT_EQ(schema.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SchemaTest, RejectsEmptyAttributeList) {
+  EXPECT_FALSE(Schema::Create("R", {}).ok());
+}
+
+TEST(SchemaTest, RejectsBadNames) {
+  EXPECT_FALSE(
+      Schema::Create("9R", {Attribute{"A", ValueType::kNumber}}).ok());
+  EXPECT_FALSE(
+      Schema::Create("R", {Attribute{"bad name", ValueType::kNumber}}).ok());
+}
+
+TEST(SchemaTest, ToStringListsTypes) {
+  EXPECT_EQ(TestSchema().ToString(),
+            "Mgr(Name:name, Dept:name, Salary:number)");
+}
+
+TEST(SchemaTest, Equality) {
+  EXPECT_TRUE(TestSchema() == TestSchema());
+  auto other = Schema::Create("Mgr", {Attribute{"Name", ValueType::kName}});
+  EXPECT_FALSE(TestSchema() == *other);
+}
+
+// ------------------------------------------------------------------- Tuple --
+
+TEST(TupleTest, OfBuilder) {
+  Tuple t = Tuple::Of(Value::Name("Mary"), Value::Number(3));
+  EXPECT_EQ(t.arity(), 2);
+  EXPECT_EQ(t.value(0).name(), "Mary");
+  EXPECT_EQ(t.value(1).number(), 3);
+}
+
+TEST(TupleTest, ToString) {
+  EXPECT_EQ(Tuple::Of(Value::Name("a"), Value::Number(1)).ToString(),
+            "(a, 1)");
+}
+
+TEST(TupleTest, EqualityAndHash) {
+  Tuple a = Tuple::Of(Value::Number(1), Value::Number(2));
+  Tuple b = Tuple::Of(Value::Number(1), Value::Number(2));
+  Tuple c = Tuple::Of(Value::Number(1), Value::Number(3));
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  Tuple::Hash h;
+  EXPECT_EQ(h(a), h(b));
+}
+
+TEST(TupleTest, ValidateAgainstSchema) {
+  Schema schema = TestSchema();
+  EXPECT_TRUE(ValidateTuple(schema,
+                            Tuple::Of(Value::Name("M"), Value::Name("IT"),
+                                      Value::Number(10)))
+                  .ok());
+  // Wrong arity.
+  EXPECT_FALSE(ValidateTuple(schema, Tuple::Of(Value::Name("M"))).ok());
+  // Wrong type at position 2.
+  EXPECT_FALSE(ValidateTuple(schema,
+                             Tuple::Of(Value::Name("M"), Value::Name("IT"),
+                                       Value::Name("ten")))
+                   .ok());
+}
+
+// ---------------------------------------------------------------- Relation --
+
+TEST(RelationTest, AddAndFind) {
+  Relation rel(TestSchema());
+  Tuple t = Tuple::Of(Value::Name("Mary"), Value::Name("IT"),
+                      Value::Number(20));
+  ASSERT_TRUE(rel.AddTuple(t).ok());
+  EXPECT_EQ(rel.size(), 1);
+  EXPECT_EQ(*rel.Find(t), 0);
+  EXPECT_TRUE(rel.Contains(t));
+}
+
+TEST(RelationTest, RejectsDuplicates) {
+  Relation rel(TestSchema());
+  Tuple t = Tuple::Of(Value::Name("Mary"), Value::Name("IT"),
+                      Value::Number(20));
+  ASSERT_TRUE(rel.AddTuple(t).ok());
+  auto again = rel.AddTuple(t);
+  EXPECT_FALSE(again.ok());
+  EXPECT_EQ(again.status().code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(rel.size(), 1);
+}
+
+TEST(RelationTest, RejectsSchemaViolations) {
+  Relation rel(TestSchema());
+  EXPECT_FALSE(rel.AddTuple(Tuple::Of(Value::Number(1))).ok());
+}
+
+TEST(RelationTest, KeepsMetadata) {
+  Relation rel(TestSchema());
+  ASSERT_TRUE(rel.AddTuple(Tuple::Of(Value::Name("M"), Value::Name("IT"),
+                                     Value::Number(1)),
+                           TupleMeta{7, 1234})
+                  .ok());
+  EXPECT_EQ(rel.meta(0).source_id, 7);
+  EXPECT_EQ(rel.meta(0).timestamp, 1234);
+}
+
+// ---------------------------------------------------------------- Database --
+
+Database TwoRelationDb() {
+  Database db;
+  CHECK(db.AddRelation(*Schema::Create(
+                 "R", {Attribute{"A", ValueType::kNumber},
+                       Attribute{"B", ValueType::kNumber}}))
+            .ok());
+  CHECK(db.AddRelation(*Schema::Create(
+                 "S", {Attribute{"X", ValueType::kName}}))
+            .ok());
+  return db;
+}
+
+TEST(DatabaseTest, AddRelationRejectsDuplicates) {
+  Database db = TwoRelationDb();
+  auto dup = Schema::Create("R", {Attribute{"Z", ValueType::kName}});
+  EXPECT_FALSE(db.AddRelation(*dup).ok());
+}
+
+TEST(DatabaseTest, GlobalIdsAreDenseAcrossInterleavedInserts) {
+  Database db = TwoRelationDb();
+  auto id0 = db.Insert("R", Tuple::Of(Value::Number(1), Value::Number(1)));
+  auto id1 = db.Insert("S", Tuple::Of(Value::Name("a")));
+  auto id2 = db.Insert("R", Tuple::Of(Value::Number(2), Value::Number(2)));
+  ASSERT_TRUE(id0.ok() && id1.ok() && id2.ok());
+  EXPECT_EQ(*id0, 0);
+  EXPECT_EQ(*id1, 1);
+  EXPECT_EQ(*id2, 2);
+  EXPECT_EQ(db.tuple_count(), 3);
+  // Mapping back.
+  EXPECT_EQ(db.RelationIndexOf(*id1), 1);
+  EXPECT_EQ(db.RowOf(*id2), 1);
+  EXPECT_EQ(db.GlobalId(0, 1), *id2);
+  EXPECT_EQ(db.TupleOf(*id1), Tuple::Of(Value::Name("a")));
+}
+
+TEST(DatabaseTest, InsertIntoUnknownRelationFails) {
+  Database db = TwoRelationDb();
+  EXPECT_FALSE(db.Insert("T", Tuple::Of(Value::Number(1))).ok());
+}
+
+TEST(DatabaseTest, FindTuple) {
+  Database db = TwoRelationDb();
+  Tuple t = Tuple::Of(Value::Number(5), Value::Number(6));
+  auto id = db.Insert("R", t);
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(*db.FindTuple("R", t), *id);
+  EXPECT_FALSE(db.FindTuple("R", Tuple::Of(Value::Number(9),
+                                           Value::Number(9)))
+                   .ok());
+}
+
+TEST(DatabaseTest, RelationMask) {
+  Database db = TwoRelationDb();
+  ASSERT_TRUE(db.Insert("R", Tuple::Of(Value::Number(1), Value::Number(1)))
+                  .ok());
+  ASSERT_TRUE(db.Insert("S", Tuple::Of(Value::Name("a"))).ok());
+  ASSERT_TRUE(db.Insert("R", Tuple::Of(Value::Number(2), Value::Number(2)))
+                  .ok());
+  EXPECT_EQ(db.RelationMask(0).ToVector(), (std::vector<int>{0, 2}));
+  EXPECT_EQ(db.RelationMask(1).ToVector(), (std::vector<int>{1}));
+}
+
+TEST(DatabaseTest, InduceKeepsSubsetAndMetadata) {
+  Database db = TwoRelationDb();
+  ASSERT_TRUE(db.Insert("R", Tuple::Of(Value::Number(1), Value::Number(1)),
+                        TupleMeta{3, 10})
+                  .ok());
+  ASSERT_TRUE(db.Insert("R", Tuple::Of(Value::Number(2), Value::Number(2)))
+                  .ok());
+  ASSERT_TRUE(db.Insert("S", Tuple::Of(Value::Name("a"))).ok());
+
+  Database induced = db.Induce(DynamicBitset::FromIndices(3, {0, 2}));
+  EXPECT_EQ(induced.tuple_count(), 2);
+  EXPECT_EQ((*induced.relation("R"))->size(), 1);
+  EXPECT_EQ((*induced.relation("S"))->size(), 1);
+  EXPECT_EQ(induced.MetaOf(0).source_id, 3);
+}
+
+TEST(DatabaseTest, DescribeTupleIncludesProvenance) {
+  Database db = TwoRelationDb();
+  ASSERT_TRUE(db.Insert("S", Tuple::Of(Value::Name("a")), TupleMeta{2, 99})
+                  .ok());
+  EXPECT_EQ(db.DescribeTuple(0), "S(a)  [source=2 ts=99]");
+}
+
+// --------------------------------------------------------------------- CSV --
+
+TEST(CsvTest, LoadBasic) {
+  Database db = TwoRelationDb();
+  auto n = LoadCsv(db, "R", "1,2\n3,4\n# comment\n\n5,6\n");
+  ASSERT_TRUE(n.ok()) << n.status().ToString();
+  EXPECT_EQ(*n, 3);
+  EXPECT_EQ(db.tuple_count(), 3);
+  EXPECT_EQ(db.TupleOf(2), Tuple::Of(Value::Number(5), Value::Number(6)));
+}
+
+TEST(CsvTest, LoadWithProvenance) {
+  Database db = TwoRelationDb();
+  CsvOptions opts;
+  opts.with_provenance = true;
+  auto n = LoadCsv(db, "R", "1,2,7,1000\n", opts);
+  ASSERT_TRUE(n.ok()) << n.status().ToString();
+  EXPECT_EQ(db.MetaOf(0).source_id, 7);
+  EXPECT_EQ(db.MetaOf(0).timestamp, 1000);
+}
+
+TEST(CsvTest, LoadNameTyped) {
+  Database db = TwoRelationDb();
+  auto n = LoadCsv(db, "S", "alpha\n beta \n");
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(db.TupleOf(1), Tuple::Of(Value::Name("beta")));
+}
+
+TEST(CsvTest, LoadRejectsFieldCountMismatch) {
+  Database db = TwoRelationDb();
+  auto n = LoadCsv(db, "R", "1,2,3\n");
+  EXPECT_FALSE(n.ok());
+  EXPECT_EQ(n.status().code(), StatusCode::kParseError);
+}
+
+TEST(CsvTest, LoadRejectsBadNumber) {
+  Database db = TwoRelationDb();
+  EXPECT_FALSE(LoadCsv(db, "R", "1,two\n").ok());
+}
+
+TEST(CsvTest, LoadRejectsDuplicateTuple) {
+  Database db = TwoRelationDb();
+  EXPECT_FALSE(LoadCsv(db, "R", "1,2\n1,2\n").ok());
+}
+
+TEST(CsvTest, RoundTrip) {
+  Database db = TwoRelationDb();
+  ASSERT_TRUE(LoadCsv(db, "R", "1,2\n3,4\n").ok());
+  auto text = DumpCsv(db, "R");
+  ASSERT_TRUE(text.ok());
+  EXPECT_EQ(*text, "1,2\n3,4\n");
+
+  Database db2 = TwoRelationDb();
+  ASSERT_TRUE(LoadCsv(db2, "R", *text).ok());
+  EXPECT_EQ(db2.tuple_count(), 2);
+}
+
+TEST(CsvTest, DumpWithProvenance) {
+  Database db = TwoRelationDb();
+  CsvOptions opts;
+  opts.with_provenance = true;
+  ASSERT_TRUE(LoadCsv(db, "R", "1,2,3,4\n", opts).ok());
+  auto text = DumpCsv(db, "R", opts);
+  ASSERT_TRUE(text.ok());
+  EXPECT_EQ(*text, "1,2,3,4\n");
+}
+
+}  // namespace
+}  // namespace prefrep
