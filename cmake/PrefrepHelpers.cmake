@@ -1,0 +1,56 @@
+# Shared build helpers: GoogleTest resolution and test registration.
+
+# Resolves GoogleTest in order of preference: a vendored tree under
+# third_party/googletest, the system package, then a FetchContent
+# download (see third_party/README.md). Defines GTest::gtest_main.
+function(prefrep_resolve_gtest)
+  if(TARGET GTest::gtest_main)
+    return()
+  endif()
+  # Shared settings for the two source-build providers (vendored, fetched).
+  set(BUILD_GMOCK OFF CACHE BOOL "" FORCE)
+  set(INSTALL_GTEST OFF CACHE BOOL "" FORCE)
+  if(EXISTS "${PROJECT_SOURCE_DIR}/third_party/googletest/CMakeLists.txt")
+    add_subdirectory("${PROJECT_SOURCE_DIR}/third_party/googletest"
+                     "${PROJECT_BINARY_DIR}/third_party/googletest"
+                     EXCLUDE_FROM_ALL)
+    set(provider "vendored (third_party/googletest)")
+  else()
+    find_package(GTest QUIET)
+    if(GTest_FOUND)
+      set(provider "system (find_package)")
+    else()
+      include(FetchContent)
+      FetchContent_Declare(
+        googletest
+        URL https://github.com/google/googletest/archive/refs/tags/v1.14.0.tar.gz
+        URL_HASH SHA256=8ad598c73ad796e0d8280b082cebd82a630d73e73cd3c70057938a6501bba5d7
+      )
+      FetchContent_MakeAvailable(googletest)
+      set(provider "downloaded (FetchContent)")
+    endif()
+  endif()
+  message(STATUS "prefrep: GoogleTest provider: ${provider}")
+endfunction()
+
+# Adds one test binary + ctest entry for a tests/*.cc suite and labels it
+# by filename: *_property_test / properties_test -> property,
+# paper_* -> paper, else unit. The target name and label are returned
+# through `out_target` and `out_label`.
+function(prefrep_add_test_suite test_source out_target out_label)
+  get_filename_component(test_name "${test_source}" NAME_WE)
+  add_executable(${test_name} "${test_source}")
+  target_link_libraries(${test_name} PRIVATE prefrep GTest::gtest_main)
+  add_test(NAME ${test_name} COMMAND ${test_name})
+  if(test_name MATCHES "(_property|properties)_test$")
+    set(test_label "property")
+  elseif(test_name MATCHES "^paper_")
+    set(test_label "paper")
+  else()
+    set(test_label "unit")
+  endif()
+  set_tests_properties(${test_name} PROPERTIES LABELS "${test_label}"
+                                               TIMEOUT 300)
+  set(${out_target} "${test_name}" PARENT_SCOPE)
+  set(${out_label} "${test_label}" PARENT_SCOPE)
+endfunction()

@@ -33,7 +33,7 @@ enum class StatusCode {
 std::string_view StatusCodeName(StatusCode code);
 
 // Value-type result of an operation that can fail. Cheap to copy when OK.
-class Status {
+class [[nodiscard]] Status {
  public:
   // Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -91,7 +91,7 @@ class Status {
 // Holds either a value of type T or an error Status. Accessing the value of
 // an errored Result is a checked programming error.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   // Intentionally implicit so functions can `return value;` / `return status;`.
   Result(T value) : payload_(std::in_place_index<0>, std::move(value)) {}

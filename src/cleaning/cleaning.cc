@@ -51,7 +51,6 @@ Result<Priority> PriorityFromSourceReliability(
 
 Priority PriorityFromTimestamps(const RepairProblem& problem,
                                 bool newer_wins) {
-  int n = problem.tuple_count();
   std::vector<std::pair<int, int>> arcs;
   for (auto [u, v] : problem.graph().edges()) {
     int64_t tu = problem.db().MetaOf(u).timestamp;

@@ -51,8 +51,8 @@ Result<Priority> PriorityFromSourceReliability(
 // Derives a priority from tuple timestamps: the newer tuple dominates
 // (set `newer_wins` false for "first write wins"). Tuples without
 // timestamps participate in no domination.
-Priority PriorityFromTimestamps(const RepairProblem& problem,
-                                bool newer_wins = true);
+[[nodiscard]] Priority PriorityFromTimestamps(const RepairProblem& problem,
+                                              bool newer_wins = true);
 
 // One-shot cleaning: eagerly removes every tuple dominated in some
 // conflict, then applies `policy` to tuples left in unresolved conflicts.
@@ -62,9 +62,9 @@ Priority PriorityFromTimestamps(const RepairProblem& problem,
 // under kKeep — still inconsistent — and under kRemove it may return a
 // non-maximal set (information loss). Both shortcomings motivate the
 // paper's preferred-repair semantics.
-CleaningReport CleanWithPolicy(const RepairProblem& problem,
-                               const Priority& priority,
-                               UnresolvedConflictPolicy policy);
+[[nodiscard]] CleaningReport CleanWithPolicy(const RepairProblem& problem,
+                                             const Priority& priority,
+                                             UnresolvedConflictPolicy policy);
 
 }  // namespace prefrep
 

@@ -22,38 +22,39 @@ namespace prefrep {
 using AttributeSet = DynamicBitset;
 
 // X+ : the closure of `attrs` under `fds` (all FDs must be over `schema`).
-AttributeSet AttributeClosure(const Schema& schema,
+[[nodiscard]] AttributeSet AttributeClosure(
+    const Schema& schema, const std::vector<FunctionalDependency>& fds,
+    const AttributeSet& attrs);
+
+// True iff `fds` logically implies `fd` (via closure).
+[[nodiscard]] bool Implies(const Schema& schema,
+                           const std::vector<FunctionalDependency>& fds,
+                           const FunctionalDependency& fd);
+
+// True iff `attrs` functionally determines every attribute (a superkey).
+[[nodiscard]] bool IsSuperkey(const Schema& schema,
                               const std::vector<FunctionalDependency>& fds,
                               const AttributeSet& attrs);
 
-// True iff `fds` logically implies `fd` (via closure).
-bool Implies(const Schema& schema, const std::vector<FunctionalDependency>& fds,
-             const FunctionalDependency& fd);
-
-// True iff `attrs` functionally determines every attribute (a superkey).
-bool IsSuperkey(const Schema& schema,
-                const std::vector<FunctionalDependency>& fds,
-                const AttributeSet& attrs);
-
 // All minimal keys (candidate keys), ordered by bitset order.
 // Exponential in arity; intended for the small schemas of this domain.
-std::vector<AttributeSet> CandidateKeys(
+[[nodiscard]] std::vector<AttributeSet> CandidateKeys(
     const Schema& schema, const std::vector<FunctionalDependency>& fds);
 
 // True iff every non-trivial FD implied by `fds` has a superkey LHS.
 // It suffices to check the given FDs (standard BCNF characterization).
-bool IsBcnf(const Schema& schema,
-            const std::vector<FunctionalDependency>& fds);
+[[nodiscard]] bool IsBcnf(const Schema& schema,
+                          const std::vector<FunctionalDependency>& fds);
 
 // A minimal cover: singleton RHS, no redundant LHS attributes, no redundant
 // FDs. Deterministic for a given input order.
-std::vector<FunctionalDependency> MinimalCover(
+[[nodiscard]] std::vector<FunctionalDependency> MinimalCover(
     const Schema& schema, const std::vector<FunctionalDependency>& fds);
 
 // True iff `fds` contains (syntactically, up to attribute-set equality)
 // exactly one FD and it is a key dependency — the paper's Prop. 3 setting.
-bool IsSingleKeyDependency(const Schema& schema,
-                           const std::vector<FunctionalDependency>& fds);
+[[nodiscard]] bool IsSingleKeyDependency(
+    const Schema& schema, const std::vector<FunctionalDependency>& fds);
 
 }  // namespace prefrep
 

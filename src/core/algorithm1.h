@@ -25,19 +25,19 @@ namespace prefrep {
 // Runs Algorithm 1 choosing, at each step, the winnow candidate appearing
 // earliest in `choice_order` (a permutation of the vertices). The result is
 // always a repair, and always a common repair (element of C-Rep).
-DynamicBitset CleanDatabase(const ConflictGraph& graph,
-                            const Priority& priority,
-                            const std::vector<int>& choice_order);
+[[nodiscard]] DynamicBitset CleanDatabase(
+    const ConflictGraph& graph, const Priority& priority,
+    const std::vector<int>& choice_order);
 
 // CleanDatabase with the identity choice order (lowest tuple id first).
-DynamicBitset CleanDatabase(const ConflictGraph& graph,
-                            const Priority& priority);
+[[nodiscard]] DynamicBitset CleanDatabase(const ConflictGraph& graph,
+                                          const Priority& priority);
 
 // Fast path for total priorities: the winnow set is independent, so every
 // round can consume it wholesale (Prop. 1 guarantees choice-independence).
 // CHECK-fails if `priority` is not total for `graph`.
-DynamicBitset CleanDatabaseTotal(const ConflictGraph& graph,
-                                 const Priority& priority);
+[[nodiscard]] DynamicBitset CleanDatabaseTotal(const ConflictGraph& graph,
+                                               const Priority& priority);
 
 }  // namespace prefrep
 

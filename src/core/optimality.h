@@ -30,36 +30,40 @@ namespace prefrep {
 // Proposition 5's lifting: r1 ≪ r2 ("r2 is preferred over r1") iff every
 // x ∈ r1 \ r2 is dominated by some y ∈ r2 \ r1. Vacuously true when
 // r1 ⊆ r2 (for distinct repairs the difference is never empty).
-bool IsPreferredOver(const Priority& priority, const DynamicBitset& r1,
-                     const DynamicBitset& r2);
+[[nodiscard]] bool IsPreferredOver(const Priority& priority,
+                                   const DynamicBitset& r1,
+                                   const DynamicBitset& r2);
 
 // L: no x ∈ r' and y ∈ r \ r' with y ≻ x and (r' \ {x}) ∪ {y} consistent.
 // PTIME (Theorem 4).
-bool IsLocallyOptimal(const ConflictGraph& graph, const Priority& priority,
-                      const DynamicBitset& repair);
+[[nodiscard]] bool IsLocallyOptimal(const ConflictGraph& graph,
+                                    const Priority& priority,
+                                    const DynamicBitset& repair);
 
 // S: no nonempty X ⊆ r' and y with ∀x∈X. y ≻ x and (r' \ X) ∪ {y}
 // consistent. Equivalently: no y outside r' dominating all its neighbors
 // in r' (§4.2). PTIME (Corollary 1).
-bool IsSemiGloballyOptimal(const ConflictGraph& graph,
-                           const Priority& priority,
-                           const DynamicBitset& repair);
+[[nodiscard]] bool IsSemiGloballyOptimal(const ConflictGraph& graph,
+                                         const Priority& priority,
+                                         const DynamicBitset& repair);
 
 // G via Prop. 5: no repair r'' != r' with r' ≪ r''. The witness search
 // enumerates repairs (co-NP-complete in general, Theorem 5).
-bool IsGloballyOptimal(const ConflictGraph& graph, const Priority& priority,
-                       const DynamicBitset& repair);
+[[nodiscard]] bool IsGloballyOptimal(const ConflictGraph& graph,
+                                     const Priority& priority,
+                                     const DynamicBitset& repair);
 
 // G among a pre-materialized repair set (used when the caller already
 // enumerated all repairs).
-bool IsGloballyOptimalAmong(const Priority& priority,
-                            const DynamicBitset& repair,
-                            const std::vector<DynamicBitset>& repairs);
+[[nodiscard]] bool IsGloballyOptimalAmong(
+    const Priority& priority, const DynamicBitset& repair,
+    const std::vector<DynamicBitset>& repairs);
 
 // C via Prop. 7: simulates Algorithm 1 restricting the choices in Step 3
 // to ω≻(r) ∩ r'. PTIME (Corollary 2).
-bool IsCommonRepair(const ConflictGraph& graph, const Priority& priority,
-                    const DynamicBitset& repair);
+[[nodiscard]] bool IsCommonRepair(const ConflictGraph& graph,
+                                  const Priority& priority,
+                                  const DynamicBitset& repair);
 
 }  // namespace prefrep
 

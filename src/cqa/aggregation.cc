@@ -52,6 +52,14 @@ RepairAggregate AggregateOfRepair(const RepairProblem& problem,
   int64_t max_v = std::numeric_limits<int64_t>::min();
   DynamicBitset rows = repair;
   rows &= relation_mask;
+  RepairAggregate out;
+  if (fn == AggregateFunction::kCount) {
+    // COUNT(*) must not touch attribute values: `attribute` is a dummy
+    // index and may name a non-numeric column.
+    out.defined = true;
+    out.value = static_cast<double>(rows.Count());
+    return out;
+  }
   ForEachSetBit(rows, [&](int id) {
     int64_t v = problem.db().TupleOf(id).value(attribute).number();
     ++count;
@@ -59,12 +67,6 @@ RepairAggregate AggregateOfRepair(const RepairProblem& problem,
     min_v = std::min(min_v, v);
     max_v = std::max(max_v, v);
   });
-  RepairAggregate out;
-  if (fn == AggregateFunction::kCount) {
-    out.defined = true;
-    out.value = static_cast<double>(count);
-    return out;
-  }
   if (count == 0) return out;  // MIN/MAX/SUM/AVG of an empty input
   out.defined = true;
   switch (fn) {

@@ -16,7 +16,8 @@ namespace prefrep {
 
 // True iff the digraph (vertices [0,n), arcs as ordered pairs) has no
 // directed cycle.
-bool IsAcyclicDigraph(int n, const std::vector<std::pair<int, int>>& arcs);
+[[nodiscard]] bool IsAcyclicDigraph(
+    int n, const std::vector<std::pair<int, int>>& arcs);
 
 // A topological order of the digraph, or kFailedPrecondition if cyclic.
 Result<std::vector<int>> TopologicalOrder(

@@ -17,8 +17,9 @@ namespace prefrep {
 // Renders `graph` in DOT format. `label` supplies per-vertex labels (pass
 // e.g. [&](int id) { return db.TupleOf(id).ToString(); }); nullptr uses
 // the vertex id. `priority` may be nullptr (no orientation).
-std::string ToDot(const ConflictGraph& graph, const Priority* priority,
-                  const std::function<std::string(int)>& label = nullptr);
+[[nodiscard]] std::string ToDot(
+    const ConflictGraph& graph, const Priority* priority,
+    const std::function<std::string(int)>& label = nullptr);
 
 }  // namespace prefrep
 

@@ -28,7 +28,7 @@ bool EnumerateMaximalIndependentSets(
 
 // All maximal independent sets of the subgraph induced by `component`
 // (bitsets span the full vertex set but only touch component vertices).
-std::vector<DynamicBitset> ComponentMaximalIndependentSets(
+[[nodiscard]] std::vector<DynamicBitset> ComponentMaximalIndependentSets(
     const ConflictGraph& graph, const std::vector<int>& component);
 
 // Materializes all maximal independent sets, failing with
@@ -37,7 +37,7 @@ Result<std::vector<DynamicBitset>> AllMaximalIndependentSets(
     const ConflictGraph& graph, size_t limit = 1u << 20);
 
 // Exact number of maximal independent sets (product over components).
-BigUint CountMaximalIndependentSets(const ConflictGraph& graph);
+[[nodiscard]] BigUint CountMaximalIndependentSets(const ConflictGraph& graph);
 
 }  // namespace prefrep
 

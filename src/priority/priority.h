@@ -87,7 +87,8 @@ class Priority {
 
 // The winnow operator ω≻(r) = {t ∈ r | ¬∃ t' ∈ r. t' ≻ t} (Chomicki,
 // TODS'03), i.e. the members of `r` not dominated by any member of `r`.
-DynamicBitset Winnow(const Priority& priority, const DynamicBitset& r);
+[[nodiscard]] DynamicBitset Winnow(const Priority& priority,
+                                   const DynamicBitset& r);
 
 }  // namespace prefrep
 

@@ -17,7 +17,7 @@ namespace prefrep {
 // Pushes negations down to literals (using quantifier and De Morgan
 // dualities); the result contains kNot only directly above atoms, and
 // comparisons/constants are negated in place.
-std::unique_ptr<Query> ToNnf(const Query& query);
+[[nodiscard]] std::unique_ptr<Query> ToNnf(const Query& query);
 
 // A ground literal of a DNF disjunct: either a (possibly negated) fact
 // R(c1...ck), or a comparison between constants (pre-evaluated).

@@ -33,8 +33,8 @@ struct RepairSpaceMetrics {
 
 // Computes all metrics; `priority` may be nullptr. Repair-size bounds use
 // the per-component decomposition (exponential only within a component).
-RepairSpaceMetrics ComputeRepairSpaceMetrics(const RepairProblem& problem,
-                                             const Priority* priority);
+[[nodiscard]] RepairSpaceMetrics ComputeRepairSpaceMetrics(
+    const RepairProblem& problem, const Priority* priority);
 
 }  // namespace prefrep
 

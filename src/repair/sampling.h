@@ -47,7 +47,8 @@ class RepairSampler {
 
 // A maximal independent set built by inserting vertices in uniformly
 // random order (fast; NOT uniform over repairs in general).
-DynamicBitset GreedyRandomRepair(const ConflictGraph& graph, Rng& rng);
+[[nodiscard]] DynamicBitset GreedyRandomRepair(const ConflictGraph& graph,
+                                               Rng& rng);
 
 }  // namespace prefrep
 

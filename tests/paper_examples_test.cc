@@ -5,7 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include "base/random.h"
 #include "cleaning/cleaning.h"
+#include "core/algorithm1.h"
 #include "cqa/cqa.h"
 #include "query/parser.h"
 #include "workload/generators.h"
@@ -182,6 +184,59 @@ TEST_F(PaperExamples, RemovePolicyLosesInformation) {
   EXPECT_FALSE(problem_->IsRepair(report.kept));
   Database cleaned = scenario_.db->Induce(report.kept);
   EXPECT_TRUE(*IsConsistent(cleaned, scenario_.fds));
+}
+
+TEST_F(PaperExamples, Prop1TotalPriorityMakesCleaningChoiceIndependent) {
+  // Prop. 1: for a *total* priority Algorithm 1 computes the unique clean
+  // database regardless of the choice sequence. Make Example 3's priority
+  // total by ranking the sources s1 > s2 > s3: every conflict edge is now
+  // oriented, and the clean database is {Mary-R&D, John-PR} (Mary-R&D
+  // beats both John-R&D and Mary-IT; removing John-R&D frees John-PR).
+  int n = scenario_.db->tuple_count();
+  std::vector<int64_t> ranks(n);
+  ranks[scenario_.mary_rd] = 3;
+  ranks[scenario_.john_rd] = 2;
+  ranks[scenario_.mary_it] = 1;
+  ranks[scenario_.john_pr] = 0;
+  Priority total = Priority::FromRanking(problem_->graph(), ranks);
+  ASSERT_TRUE(total.IsTotalFor(problem_->graph()));
+
+  DynamicBitset golden = DynamicBitset::FromIndices(
+      n, {scenario_.mary_rd, scenario_.john_pr});
+  EXPECT_EQ(CleanDatabase(problem_->graph(), total), golden);
+  EXPECT_EQ(CleanDatabaseTotal(problem_->graph(), total), golden);
+
+  // Choice-independence: 10 shuffled choice orders, identical repairs.
+  Rng rng(20060329);  // EDBT 2006 vintage; any fixed seed works.
+  std::vector<int> choice_order(n);
+  for (int i = 0; i < n; ++i) choice_order[i] = i;
+  for (int trial = 0; trial < 10; ++trial) {
+    rng.Shuffle(choice_order);
+    EXPECT_EQ(CleanDatabase(problem_->graph(), total, choice_order), golden)
+        << "choice order trial " << trial;
+  }
+}
+
+TEST_F(PaperExamples, Prop1ChoiceIndependenceOnRnUnderRandomTotalRanking) {
+  // Prop. 1 on Example 4's r_6 (2^6 repairs): any ranking-derived total
+  // priority must make Algorithm 1 choice-independent there too.
+  GeneratedInstance rn = MakeRnInstance(6);
+  auto problem = RepairProblem::Create(rn.db.get(), rn.fds);
+  ASSERT_TRUE(problem.ok());
+  Rng rng(4);
+  Priority total = RandomRankingPriority(rng, problem->graph(), 1.0);
+  ASSERT_TRUE(total.IsTotalFor(problem->graph()));
+
+  DynamicBitset golden = CleanDatabase(problem->graph(), total);
+  EXPECT_TRUE(problem->IsRepair(golden));
+  EXPECT_EQ(CleanDatabaseTotal(problem->graph(), total), golden);
+  std::vector<int> choice_order(problem->tuple_count());
+  for (int i = 0; i < problem->tuple_count(); ++i) choice_order[i] = i;
+  for (int trial = 0; trial < 10; ++trial) {
+    rng.Shuffle(choice_order);
+    EXPECT_EQ(CleanDatabase(problem->graph(), total, choice_order), golden)
+        << "choice order trial " << trial;
+  }
 }
 
 TEST_F(PaperExamples, OpenQueryWhoManagesWhat) {

@@ -223,9 +223,9 @@ INSTANTIATE_TEST_SUITE_P(
                                          WorkloadClass::kCycle,
                                          WorkloadClass::kRandom),
                        ::testing::Range(0, 6)),
-    [](const ::testing::TestParamInfo<std::tuple<WorkloadClass, int>>& info) {
-      return WorkloadName(std::get<0>(info.param)) + "_trial" +
-             std::to_string(std::get<1>(info.param));
+    [](const ::testing::TestParamInfo<std::tuple<WorkloadClass, int>>& param) {
+      return WorkloadName(std::get<0>(param.param)) + "_trial" +
+             std::to_string(std::get<1>(param.param));
     });
 
 }  // namespace
