@@ -47,6 +47,21 @@ inline std::unique_ptr<Query> MustParse(std::string_view text) {
   return *std::move(q);
 }
 
+// benchmark::DoNotOptimize pins values with a "+m,r" multi-alternative asm
+// constraint that GCC 12 miscompiles at -O2 and above: the variable read
+// back after the asm can hold garbage (google/benchmark#1340). KeepAlive
+// uses the single "+m" alternative, which every compiler handles
+// correctly. Use it instead of DoNotOptimize whenever the pinned value is
+// inspected afterwards (e.g. CHECKed once timing ends).
+template <class T>
+inline void KeepAlive(T& value) {
+#if defined(__GNUC__)
+  asm volatile("" : "+m"(value) : : "memory");
+#else
+  benchmark::DoNotOptimize(value);
+#endif
+}
+
 }  // namespace prefrep::bench
 
 #endif  // PREFREP_BENCH_BENCH_COMMON_H_

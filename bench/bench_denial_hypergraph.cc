@@ -66,7 +66,7 @@ void BM_Denial_HyperedgeDetection(benchmark::State& state) {
     auto result = FindHyperedges(*setup.db, setup.constraints);
     CHECK(result.ok());
     edges = result->size();
-    benchmark::DoNotOptimize(edges);
+    KeepAlive(edges);
   }
   state.counters["tuples"] = 3.0 * groups;
   state.counters["hyperedges"] = static_cast<double>(edges);
@@ -87,7 +87,7 @@ void BM_Denial_RepairEnumeration(benchmark::State& state) {
                                  ++repairs;
                                  return true;
                                });
-    benchmark::DoNotOptimize(repairs);
+    KeepAlive(repairs);
   }
   // Each sensor keeps exactly one in-range reading: 2 choices per group.
   CHECK_EQ(repairs, size_t{1} << groups);
@@ -110,7 +110,7 @@ void BM_Denial_GroundCqa(benchmark::State& state) {
                                                *query);
     CHECK(result.ok());
     answer = *result;
-    benchmark::DoNotOptimize(answer);
+    KeepAlive(answer);
   }
   CHECK(answer);
   state.counters["tuples"] = 3.0 * groups;

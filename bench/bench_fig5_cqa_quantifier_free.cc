@@ -31,7 +31,7 @@ void BM_Fig5_QfCqa_RepPolynomial(benchmark::State& state) {
     auto result = GroundConsistentAnswer(*setup.problem, *query);
     CHECK(result.ok());
     answer = *result;
-    benchmark::DoNotOptimize(answer);
+    KeepAlive(answer);
   }
   CHECK(answer);
   state.counters["tuples"] = 2.0 * n;

@@ -47,6 +47,12 @@ class DynamicBitset {
 
   int size() const { return size_; }
 
+  // Heap footprint of one bitset over this universe (used to budget
+  // materialized repair lists without assuming the word layout).
+  size_t MemoryBytes() const {
+    return sizeof(DynamicBitset) + words_.capacity() * sizeof(uint64_t);
+  }
+
   bool Test(int i) const {
     DCHECK(InRange(i));
     return (words_[i >> 6] >> (i & 63)) & 1;

@@ -26,13 +26,12 @@ void SortAndDedup(std::vector<ConflictEdge>& edges) {
 // Looks up the relation an FD refers to, with a uniform error.
 Result<int> RelationIndexFor(const Database& db,
                              const FunctionalDependency& fd) {
-  for (int i = 0; i < db.relation_count(); ++i) {
-    if (db.relations()[i].schema().relation_name() == fd.relation_name()) {
-      return i;
-    }
+  Result<int> index = db.RelationIndex(fd.relation_name());
+  if (!index.ok()) {
+    return Status::NotFound("FD references unknown relation '" +
+                            fd.relation_name() + "'");
   }
-  return Status::NotFound("FD references unknown relation '" +
-                          fd.relation_name() + "'");
+  return index;
 }
 
 }  // namespace

@@ -1,5 +1,6 @@
 #include "core/families.h"
 
+#include <algorithm>
 #include <unordered_set>
 
 #include "core/optimality.h"
@@ -101,12 +102,45 @@ bool EnumeratePreferredRepairs(
             if (!IsSemiGloballyOptimal(graph, priority, repair)) return true;
             return callback(repair);
           });
-    case RepairFamily::kGlobal:
-      return EnumerateMaximalIndependentSets(
+    case RepairFamily::kGlobal: {
+      // The ≪-maximality certificate compares a repair only against other
+      // repairs, and the repair list is invariant across candidates:
+      // materialize it once and certify against the list, instead of
+      // re-running the MIS enumeration machinery inside every certificate
+      // (which made G-Rep enumeration pay the repair space twice over).
+      // The cap is byte-based so wide bitsets cannot OOM the process;
+      // beyond it we fall back to the seed's O(1)-memory nested form
+      // (paying one extra enumeration to discover the overflow — noise
+      // against the quadratic certificate cost that follows).
+      constexpr size_t kMaterializeBytes = size_t{256} << 20;
+      const size_t bitset_bytes =
+          DynamicBitset(graph.vertex_count()).MemoryBytes();
+      const size_t materialize_limit =
+          std::min(size_t{1} << 20, kMaterializeBytes / bitset_bytes);
+      std::vector<DynamicBitset> repairs;
+      bool materialized = EnumerateMaximalIndependentSets(
           graph, [&](const DynamicBitset& repair) {
-            if (!IsGloballyOptimal(graph, priority, repair)) return true;
-            return callback(repair);
+            if (repairs.size() >= materialize_limit) return false;
+            repairs.push_back(repair);
+            return true;
           });
+      if (!materialized) {
+        // Release the partial list before the memory-free fallback —
+        // this is the moment memory pressure is highest.
+        repairs.clear();
+        repairs.shrink_to_fit();
+        return EnumerateMaximalIndependentSets(
+            graph, [&](const DynamicBitset& repair) {
+              if (!IsGloballyOptimal(graph, priority, repair)) return true;
+              return callback(repair);
+            });
+      }
+      for (const DynamicBitset& repair : repairs) {
+        if (!IsGloballyOptimalAmong(priority, repair, repairs)) continue;
+        if (!callback(repair)) return false;
+      }
+      return true;
+    }
     case RepairFamily::kCommon: {
       CommonRepairEnumerator enumerator(graph, priority, callback);
       return enumerator.Run();

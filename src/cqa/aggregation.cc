@@ -108,10 +108,8 @@ Result<AggregateRange> AggregateConsistentRange(
     }
   }
 
-  int rel_index = -1;
-  for (int i = 0; i < problem.db().relation_count(); ++i) {
-    if (&problem.db().relations()[i] == rel) rel_index = i;
-  }
+  PREFREP_ASSIGN_OR_RETURN(int rel_index,
+                           problem.db().RelationIndex(relation));
   DynamicBitset relation_mask = problem.db().RelationMask(rel_index);
 
   AggregateRange range;
@@ -137,12 +135,8 @@ Result<AggregateRange> AggregateConsistentRange(
 
 Result<AggregateRange> CountStarRange(const RepairProblem& problem,
                                       std::string_view relation) {
-  PREFREP_ASSIGN_OR_RETURN(const Relation* rel,
-                           problem.db().relation(relation));
-  int rel_index = -1;
-  for (int i = 0; i < problem.db().relation_count(); ++i) {
-    if (&problem.db().relations()[i] == rel) rel_index = i;
-  }
+  PREFREP_ASSIGN_OR_RETURN(int rel_index,
+                           problem.db().RelationIndex(relation));
   DynamicBitset relation_mask = problem.db().RelationMask(rel_index);
 
   // Repairs decompose over connected components; the minimum (maximum)

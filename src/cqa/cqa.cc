@@ -6,6 +6,7 @@
 #include <set>
 
 #include "query/normal_form.h"
+#include "query/prepared.h"
 
 namespace prefrep {
 
@@ -25,17 +26,21 @@ Result<CqaVerdict> PreferredConsistentAnswer(const RepairProblem& problem,
                                              const Priority& priority,
                                              RepairFamily family,
                                              const Query& query) {
-  PREFREP_RETURN_IF_ERROR(ValidateQuery(problem.db(), query));
   if (!query.IsClosed()) {
+    PREFREP_RETURN_IF_ERROR(ValidateQuery(problem.db(), query));
     return Status::InvalidArgument(
         "consistent answers need a closed query; got " + query.ToString());
   }
+  // Compile once; the enumeration loop below pays only for the per-repair
+  // quantifier search (query/prepared.h).
+  PREFREP_ASSIGN_OR_RETURN(PreparedQuery prepared,
+                           PreparedQuery::Compile(problem.db(), query));
   bool seen_true = false;
   bool seen_false = false;
   Status eval_error = Status::Ok();
   EnumeratePreferredRepairs(
       problem.graph(), priority, family, [&](const DynamicBitset& repair) {
-        Result<bool> holds = EvalClosed(problem.db(), &repair, query);
+        Result<bool> holds = prepared.EvalClosed(&repair);
         if (!holds.ok()) {
           eval_error = holds.status();
           return false;
@@ -64,14 +69,15 @@ Result<OpenAnswer> PreferredConsistentAnswers(const RepairProblem& problem,
                                               const Priority& priority,
                                               RepairFamily family,
                                               const Query& query) {
-  PREFREP_RETURN_IF_ERROR(ValidateQuery(problem.db(), query));
+  PREFREP_ASSIGN_OR_RETURN(PreparedQuery prepared,
+                           PreparedQuery::Compile(problem.db(), query));
   bool first = true;
   std::set<Tuple> certain;
   std::vector<std::string> variables;
   Status eval_error = Status::Ok();
   EnumeratePreferredRepairs(
       problem.graph(), priority, family, [&](const DynamicBitset& repair) {
-        Result<OpenAnswer> answer = EvalOpen(problem.db(), &repair, query);
+        Result<OpenAnswer> answer = prepared.EvalOpen(&repair);
         if (!answer.ok()) {
           eval_error = answer.status();
           return false;
@@ -173,6 +179,18 @@ Result<bool> DisjunctSatisfiableBySomeRepair(const RepairProblem& problem,
   return search(0, chosen);
 }
 
+// The certainty test both ground engines share: `true` is the consistent
+// answer iff no repair satisfies any disjunct of the negated query's DNF.
+Result<bool> NoRepairSatisfiesAnyDisjunct(
+    const RepairProblem& problem, const std::vector<GroundDisjunct>& dnf) {
+  for (const GroundDisjunct& disjunct : dnf) {
+    PREFREP_ASSIGN_OR_RETURN(
+        bool satisfiable, DisjunctSatisfiableBySomeRepair(problem, disjunct));
+    if (satisfiable) return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 Result<bool> GroundConsistentAnswer(const RepairProblem& problem,
@@ -184,16 +202,10 @@ Result<bool> GroundConsistentAnswer(const RepairProblem& problem,
         "use PreferredConsistentAnswer for " +
         query.ToString());
   }
-  // true is the consistent answer iff no repair satisfies ¬Q.
   std::unique_ptr<Query> negated = Query::Not(query.Clone());
   PREFREP_ASSIGN_OR_RETURN(std::vector<GroundDisjunct> dnf,
                            GroundDnf(*negated));
-  for (const GroundDisjunct& disjunct : dnf) {
-    PREFREP_ASSIGN_OR_RETURN(
-        bool satisfiable, DisjunctSatisfiableBySomeRepair(problem, disjunct));
-    if (satisfiable) return false;
-  }
-  return true;
+  return NoRepairSatisfiesAnyDisjunct(problem, dnf);
 }
 
 Result<OpenAnswer> GroundConsistentOpenAnswers(const RepairProblem& problem,
@@ -209,19 +221,32 @@ Result<OpenAnswer> GroundConsistentOpenAnswers(const RepairProblem& problem,
   }
   // Candidates: answers over the full database (a superset of every
   // repair's answers, by monotonicity).
-  PREFREP_ASSIGN_OR_RETURN(OpenAnswer candidates,
-                           EvalOpen(problem.db(), nullptr, query));
+  PREFREP_ASSIGN_OR_RETURN(PreparedQuery prepared,
+                           PreparedQuery::Compile(problem.db(), query));
+  PREFREP_ASSIGN_OR_RETURN(OpenAnswer candidates, prepared.EvalOpen(nullptr));
+  // Loop-invariant skeleton: the negated query's DNF is computed once;
+  // each candidate row only substitutes its bindings into the disjunct
+  // templates (instead of re-cloning, re-NNFing and re-DNFing the query
+  // per row).
+  std::unique_ptr<Query> negated = Query::Not(query.Clone());
+  PREFREP_ASSIGN_OR_RETURN(std::vector<DisjunctTemplate> negated_dnf,
+                           QuantifierFreeDnf(*negated));
   OpenAnswer certain;
   certain.variables = candidates.variables;
+  std::map<std::string, Value> bindings;
+  std::vector<GroundDisjunct> ground_dnf(negated_dnf.size());
   for (const Tuple& row : candidates.rows) {
-    std::map<std::string, Value> bindings;
+    bindings.clear();
     for (size_t i = 0; i < certain.variables.size(); ++i) {
       bindings.emplace(certain.variables[i],
                        row.value(static_cast<int>(i)));
     }
-    std::unique_ptr<Query> ground = SubstituteVariables(query, bindings);
+    for (size_t d = 0; d < negated_dnf.size(); ++d) {
+      PREFREP_ASSIGN_OR_RETURN(ground_dnf[d],
+                               InstantiateDisjunct(negated_dnf[d], bindings));
+    }
     PREFREP_ASSIGN_OR_RETURN(bool is_certain,
-                             GroundConsistentAnswer(problem, *ground));
+                             NoRepairSatisfiesAnyDisjunct(problem, ground_dnf));
     if (is_certain) certain.rows.push_back(row);
   }
   return certain;

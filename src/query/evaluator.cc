@@ -174,14 +174,10 @@ class Evaluator {
   }
 
   bool EvalAtom(const Query& q) {
-    auto rel_result = db_.relation(q.relation);
-    CHECK(rel_result.ok()) << rel_result.status().ToString();
-    const Relation& rel = **rel_result;
-    // Relation index for mask lookups.
-    int rel_idx = -1;
-    for (int i = 0; i < db_.relation_count(); ++i) {
-      if (&db_.relations()[i] == &rel) rel_idx = i;
-    }
+    auto rel_idx_result = db_.RelationIndex(q.relation);
+    CHECK(rel_idx_result.ok()) << rel_idx_result.status().ToString();
+    int rel_idx = *rel_idx_result;
+    const Relation& rel = db_.relations()[rel_idx];
     std::vector<Value> wanted(q.terms.size());
     for (size_t i = 0; i < q.terms.size(); ++i) wanted[i] = Resolve(q.terms[i]);
     for (int row = 0; row < rel.size(); ++row) {

@@ -58,68 +58,52 @@ bool GroundLiteral::ComparisonHolds() const {
 
 namespace {
 
-Result<GroundLiteral> MakeAtomLiteral(const Query& q, bool positive) {
-  GroundLiteral lit;
+LiteralTemplate MakeAtomTemplate(const Query& q, bool positive) {
+  LiteralTemplate lit;
   lit.positive = positive;
   lit.is_atom = true;
   lit.relation = q.relation;
-  std::vector<Value> values;
-  values.reserve(q.terms.size());
-  for (const Term& t : q.terms) {
-    if (!t.is_constant()) {
-      return Status::InvalidArgument("non-ground atom in GroundDnf: " +
-                                     q.ToString());
-    }
-    values.push_back(t.constant);
-  }
-  lit.tuple = Tuple(std::move(values));
+  lit.terms = q.terms;
   return lit;
 }
 
-Result<GroundLiteral> MakeComparisonLiteral(const Query& q) {
-  if (!q.lhs.is_constant() || !q.rhs.is_constant()) {
-    return Status::InvalidArgument("non-ground comparison in GroundDnf: " +
-                                   q.ToString());
-  }
-  GroundLiteral lit;
+LiteralTemplate MakeComparisonTemplate(const Query& q) {
+  LiteralTemplate lit;
   lit.positive = true;
   lit.is_atom = false;
   lit.op = q.op;
-  lit.lhs = q.lhs.constant;
-  lit.rhs = q.rhs.constant;
+  lit.lhs = q.lhs;
+  lit.rhs = q.rhs;
   return lit;
 }
 
-// DNF of an NNF node, as a list of disjuncts.
-Result<std::vector<GroundDisjunct>> DnfOfNnf(const Query& q,
-                                             size_t max_disjuncts) {
+// DNF of an NNF node, as a list of disjunct templates.
+Result<std::vector<DisjunctTemplate>> DnfOfNnf(const Query& q,
+                                               size_t max_disjuncts) {
   switch (q.kind) {
     case QueryKind::kTrue:
-      return std::vector<GroundDisjunct>{GroundDisjunct{}};
+      return std::vector<DisjunctTemplate>{DisjunctTemplate{}};
     case QueryKind::kFalse:
-      return std::vector<GroundDisjunct>{};
-    case QueryKind::kAtom: {
-      PREFREP_ASSIGN_OR_RETURN(GroundLiteral lit, MakeAtomLiteral(q, true));
-      return std::vector<GroundDisjunct>{GroundDisjunct{std::move(lit)}};
-    }
-    case QueryKind::kComparison: {
-      PREFREP_ASSIGN_OR_RETURN(GroundLiteral lit, MakeComparisonLiteral(q));
-      return std::vector<GroundDisjunct>{GroundDisjunct{std::move(lit)}};
-    }
+      return std::vector<DisjunctTemplate>{};
+    case QueryKind::kAtom:
+      return std::vector<DisjunctTemplate>{
+          DisjunctTemplate{MakeAtomTemplate(q, true)}};
+    case QueryKind::kComparison:
+      return std::vector<DisjunctTemplate>{
+          DisjunctTemplate{MakeComparisonTemplate(q)}};
     case QueryKind::kNot: {
       const Query& child = *q.children[0];
       if (child.kind != QueryKind::kAtom) {
         return Status::Internal("NNF invariant violated: negation above " +
                                 child.ToString());
       }
-      PREFREP_ASSIGN_OR_RETURN(GroundLiteral lit,
-                               MakeAtomLiteral(child, false));
-      return std::vector<GroundDisjunct>{GroundDisjunct{std::move(lit)}};
+      return std::vector<DisjunctTemplate>{
+          DisjunctTemplate{MakeAtomTemplate(child, false)}};
     }
     case QueryKind::kOr: {
-      std::vector<GroundDisjunct> out;
+      std::vector<DisjunctTemplate> out;
       for (const auto& child : q.children) {
-        PREFREP_ASSIGN_OR_RETURN(std::vector<GroundDisjunct> part,
+        PREFREP_ASSIGN_OR_RETURN(std::vector<DisjunctTemplate> part,
                                  DnfOfNnf(*child, max_disjuncts));
         for (auto& disjunct : part) out.push_back(std::move(disjunct));
         if (out.size() > max_disjuncts) {
@@ -129,14 +113,14 @@ Result<std::vector<GroundDisjunct>> DnfOfNnf(const Query& q,
       return out;
     }
     case QueryKind::kAnd: {
-      std::vector<GroundDisjunct> acc{GroundDisjunct{}};
+      std::vector<DisjunctTemplate> acc{DisjunctTemplate{}};
       for (const auto& child : q.children) {
-        PREFREP_ASSIGN_OR_RETURN(std::vector<GroundDisjunct> part,
+        PREFREP_ASSIGN_OR_RETURN(std::vector<DisjunctTemplate> part,
                                  DnfOfNnf(*child, max_disjuncts));
-        std::vector<GroundDisjunct> next;
-        for (const GroundDisjunct& left : acc) {
-          for (const GroundDisjunct& right : part) {
-            GroundDisjunct merged = left;
+        std::vector<DisjunctTemplate> next;
+        for (const DisjunctTemplate& left : acc) {
+          for (const DisjunctTemplate& right : part) {
+            DisjunctTemplate merged = left;
             merged.insert(merged.end(), right.begin(), right.end());
             next.push_back(std::move(merged));
             if (next.size() > max_disjuncts) {
@@ -154,7 +138,57 @@ Result<std::vector<GroundDisjunct>> DnfOfNnf(const Query& q,
   }
 }
 
+Result<Value> ResolveTemplateTerm(const Term& t,
+                                  const std::map<std::string, Value>& bindings) {
+  if (t.is_constant()) return t.constant;
+  auto it = bindings.find(t.variable);
+  if (it == bindings.end()) {
+    return Status::InvalidArgument("unbound variable '" + t.variable +
+                                   "' when instantiating a DNF disjunct");
+  }
+  return it->second;
+}
+
 }  // namespace
+
+Result<std::vector<DisjunctTemplate>> QuantifierFreeDnf(
+    const Query& query, size_t max_disjuncts) {
+  if (!query.IsQuantifierFree()) {
+    return Status::InvalidArgument("query is not quantifier-free");
+  }
+  std::unique_ptr<Query> nnf = ToNnf(query);
+  return DnfOfNnf(*nnf, max_disjuncts);
+}
+
+Result<GroundDisjunct> InstantiateDisjunct(
+    const DisjunctTemplate& disjunct,
+    const std::map<std::string, Value>& bindings) {
+  GroundDisjunct out;
+  out.reserve(disjunct.size());
+  for (const LiteralTemplate& lit : disjunct) {
+    GroundLiteral ground;
+    ground.positive = lit.positive;
+    ground.is_atom = lit.is_atom;
+    if (lit.is_atom) {
+      ground.relation = lit.relation;
+      std::vector<Value> values;
+      values.reserve(lit.terms.size());
+      for (const Term& t : lit.terms) {
+        PREFREP_ASSIGN_OR_RETURN(Value v, ResolveTemplateTerm(t, bindings));
+        values.push_back(v);
+      }
+      ground.tuple = Tuple(std::move(values));
+    } else {
+      ground.op = lit.op;
+      PREFREP_ASSIGN_OR_RETURN(ground.lhs,
+                               ResolveTemplateTerm(lit.lhs, bindings));
+      PREFREP_ASSIGN_OR_RETURN(ground.rhs,
+                               ResolveTemplateTerm(lit.rhs, bindings));
+    }
+    out.push_back(std::move(ground));
+  }
+  return out;
+}
 
 Result<std::vector<GroundDisjunct>> GroundDnf(const Query& query,
                                               size_t max_disjuncts) {
@@ -164,8 +198,17 @@ Result<std::vector<GroundDisjunct>> GroundDnf(const Query& query,
   if (!query.IsGround()) {
     return Status::InvalidArgument("query is not ground");
   }
-  std::unique_ptr<Query> nnf = ToNnf(query);
-  return DnfOfNnf(*nnf, max_disjuncts);
+  PREFREP_ASSIGN_OR_RETURN(std::vector<DisjunctTemplate> templates,
+                           QuantifierFreeDnf(query, max_disjuncts));
+  static const std::map<std::string, Value> kNoBindings;
+  std::vector<GroundDisjunct> out;
+  out.reserve(templates.size());
+  for (const DisjunctTemplate& disjunct : templates) {
+    PREFREP_ASSIGN_OR_RETURN(GroundDisjunct ground,
+                             InstantiateDisjunct(disjunct, kNoBindings));
+    out.push_back(std::move(ground));
+  }
+  return out;
 }
 
 }  // namespace prefrep

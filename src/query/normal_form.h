@@ -5,7 +5,9 @@
 #ifndef PREFREP_QUERY_NORMAL_FORM_H_
 #define PREFREP_QUERY_NORMAL_FORM_H_
 
+#include <map>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "base/status.h"
@@ -43,6 +45,34 @@ using GroundDisjunct = std::vector<GroundLiteral>;
 // is exponential only in the fixed query size, not in the data).
 Result<std::vector<GroundDisjunct>> GroundDnf(const Query& query,
                                               size_t max_disjuncts = 65536);
+
+// A DNF literal that may still contain variables: a (possibly negated)
+// atom over terms, or a comparison over terms. The variable-free payload
+// of GroundLiteral is produced from it by InstantiateDisjunct.
+struct LiteralTemplate {
+  bool positive = true;
+  bool is_atom = true;
+  // kAtom payload.
+  std::string relation;
+  std::vector<Term> terms;
+  // kComparison payload.
+  ComparisonOp op = ComparisonOp::kEq;
+  Term lhs, rhs;
+};
+
+using DisjunctTemplate = std::vector<LiteralTemplate>;
+
+// DNF of a quantifier-free (not necessarily ground) query. This is the
+// loop-invariant skeleton of GroundConsistentOpenAnswers: it is computed
+// once per query, and only InstantiateDisjunct runs per candidate answer.
+Result<std::vector<DisjunctTemplate>> QuantifierFreeDnf(
+    const Query& query, size_t max_disjuncts = 65536);
+
+// Grounds `disjunct` by substituting `bindings` for its variables; fails
+// with kInvalidArgument if any variable is unbound.
+Result<GroundDisjunct> InstantiateDisjunct(
+    const DisjunctTemplate& disjunct,
+    const std::map<std::string, Value>& bindings);
 
 }  // namespace prefrep
 

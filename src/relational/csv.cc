@@ -37,7 +37,8 @@ Result<int> LoadCsv(Database& db, std::string_view relation_name,
         }
         values.push_back(Value::Number(*parsed));
       } else {
-        values.push_back(Value::Name(std::string(field)));
+        // Interns directly from the field view; no temporary string.
+        values.push_back(Value::Name(field));
       }
     }
 

@@ -16,12 +16,7 @@ Status Database::AddRelation(Schema schema) {
 
 Result<TupleId> Database::Insert(std::string_view relation_name, Tuple tuple,
                                  TupleMeta meta) {
-  auto it = relation_index_.find(std::string(relation_name));
-  if (it == relation_index_.end()) {
-    return Status::NotFound("no relation '" + std::string(relation_name) +
-                            "'");
-  }
-  int rel = it->second;
+  PREFREP_ASSIGN_OR_RETURN(int rel, RelationIndex(relation_name));
   PREFREP_ASSIGN_OR_RETURN(int row,
                            relations_[rel].AddTuple(std::move(tuple), meta));
   TupleId id = static_cast<TupleId>(locations_.size());
@@ -31,25 +26,25 @@ Result<TupleId> Database::Insert(std::string_view relation_name, Tuple tuple,
 }
 
 Result<const Relation*> Database::relation(std::string_view name) const {
-  auto it = relation_index_.find(std::string(name));
+  PREFREP_ASSIGN_OR_RETURN(int rel, RelationIndex(name));
+  return static_cast<const Relation*>(&relations_[rel]);
+}
+
+Result<int> Database::RelationIndex(std::string_view name) const {
+  auto it = relation_index_.find(name);
   if (it == relation_index_.end()) {
     return Status::NotFound("no relation '" + std::string(name) + "'");
   }
-  return static_cast<const Relation*>(&relations_[it->second]);
+  return it->second;
 }
 
 bool Database::HasRelation(std::string_view name) const {
-  return relation_index_.contains(std::string(name));
+  return relation_index_.contains(name);
 }
 
 Result<TupleId> Database::FindTuple(std::string_view relation_name,
                                     const Tuple& tuple) const {
-  auto it = relation_index_.find(std::string(relation_name));
-  if (it == relation_index_.end()) {
-    return Status::NotFound("no relation '" + std::string(relation_name) +
-                            "'");
-  }
-  int rel = it->second;
+  PREFREP_ASSIGN_OR_RETURN(int rel, RelationIndex(relation_name));
   PREFREP_ASSIGN_OR_RETURN(int row, relations_[rel].Find(tuple));
   return relation_global_ids_[rel][row];
 }

@@ -38,6 +38,9 @@ class Database {
   int relation_count() const { return static_cast<int>(relations_.size()); }
   const std::vector<Relation>& relations() const { return relations_; }
   Result<const Relation*> relation(std::string_view name) const;
+  // Index of the relation named `name` into relations() — a hash lookup,
+  // so callers never need to scan relations by name or pointer identity.
+  Result<int> RelationIndex(std::string_view name) const;
   bool HasRelation(std::string_view name) const;
 
   // Total number of tuples across all relations == size of the TupleId space.
@@ -89,8 +92,17 @@ class Database {
     int row;
   };
 
+  // Transparent hashing so string_view lookups never allocate.
+  struct StringHash {
+    using is_transparent = void;
+    size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+
   std::vector<Relation> relations_;
-  std::unordered_map<std::string, int> relation_index_;
+  std::unordered_map<std::string, int, StringHash, std::equal_to<>>
+      relation_index_;
   // Global ids of each relation's rows (inserts may interleave relations).
   std::vector<std::vector<TupleId>> relation_global_ids_;
   std::vector<Location> locations_;

@@ -1,0 +1,45 @@
+#include "relational/symbol_table.h"
+
+#include "base/logging.h"
+
+namespace prefrep {
+
+SymbolTable::~SymbolTable() {
+  for (size_t c = 0; c < kMaxChunks; ++c) {
+    std::string* chunk = chunks_[c].load(std::memory_order_relaxed);
+    if (chunk == nullptr) break;  // chunks fill in order
+    delete[] chunk;
+  }
+}
+
+SymbolTable& SymbolTable::Global() {
+  static SymbolTable* table = new SymbolTable();
+  return *table;
+}
+
+uint32_t SymbolTable::Intern(std::string_view text) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = ids_.find(text);
+  if (it != ids_.end()) return it->second;
+  size_t id = size_.load(std::memory_order_relaxed);
+  CHECK(id < kChunkSize * kMaxChunks) << "symbol table full";
+  size_t chunk_index = id / kChunkSize;
+  std::string* chunk = chunks_[chunk_index].load(std::memory_order_relaxed);
+  if (chunk == nullptr) {
+    chunk = new std::string[kChunkSize];
+    chunks_[chunk_index].store(chunk, std::memory_order_release);
+  }
+  std::string& slot = chunk[id % kChunkSize];
+  slot.assign(text);
+  ids_.emplace(std::string_view(slot), static_cast<uint32_t>(id));
+  // Publish after the string is fully constructed.
+  size_.store(id + 1, std::memory_order_release);
+  return static_cast<uint32_t>(id);
+}
+
+bool SymbolTable::Contains(std::string_view text) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ids_.contains(text);
+}
+
+}  // namespace prefrep

@@ -1,0 +1,84 @@
+// SymbolTable: interns name strings to dense uint32_t ids.
+//
+// The paper's uninterpreted domain D is a set of opaque constants whose
+// only meaningful operation is equality. Interning makes that literal:
+// every distinct name string is stored once and identified by a dense
+// id, so Value comparison and hashing are O(1) integer operations and
+// Value itself is a trivially copyable 16-byte scalar (relational/value.h).
+//
+// Ids are assigned in first-intern order and are stable for the lifetime
+// of the table. A process-wide table (SymbolTable::Global()) backs Value;
+// separate instances exist only for unit testing the container itself.
+// Interned strings are never freed — the name universe of a workload is
+// tiny compared to its tuple count.
+//
+// Concurrency: Intern (the ingest path) serializes through a mutex;
+// NameOf (the read path, hit by Value::name() and canonical name
+// ordering inside evaluation loops) is lock-free. Strings live in
+// fixed-size chunks whose addresses never change; a reader holding an id
+// handed out by Intern always sees a fully constructed string.
+
+#ifndef PREFREP_RELATIONAL_SYMBOL_TABLE_H_
+#define PREFREP_RELATIONAL_SYMBOL_TABLE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "base/logging.h"
+
+namespace prefrep {
+
+class SymbolTable {
+ public:
+  SymbolTable() = default;
+  ~SymbolTable();
+  SymbolTable(const SymbolTable&) = delete;
+  SymbolTable& operator=(const SymbolTable&) = delete;
+
+  // The process-wide table used by Value. Never destroyed (leaked on
+  // purpose so Values in static destructors stay valid).
+  static SymbolTable& Global();
+
+  // Id of `text`, interning it on first sight. Ids are dense: the k-th
+  // distinct string interned gets id k.
+  uint32_t Intern(std::string_view text);
+
+  // The string behind an id. Lock-free; the reference is stable for the
+  // lifetime of the table. Ids must come from Intern — checked even in
+  // release builds, since an out-of-range id would otherwise read another
+  // symbol's string or dereference an unpublished chunk.
+  const std::string& NameOf(uint32_t id) const {
+    CHECK(id < size()) << "symbol id " << id << " was never interned";
+    return ChunkOf(id)[id % kChunkSize];
+  }
+
+  // True iff `text` has been interned (does not intern).
+  bool Contains(std::string_view text) const;
+
+  // Number of distinct strings interned so far.
+  size_t size() const { return size_.load(std::memory_order_acquire); }
+
+ private:
+  // 4096-string chunks; chunk addresses never change once published, so
+  // readers index without synchronization beyond the acquire load.
+  static constexpr size_t kChunkSize = 4096;
+  static constexpr size_t kMaxChunks = 1 << 14;  // up to 2^26 symbols
+
+  const std::string* ChunkOf(uint32_t id) const {
+    return chunks_[id / kChunkSize].load(std::memory_order_acquire);
+  }
+
+  mutable std::mutex mu_;  // serializes Intern / map lookups
+  std::atomic<size_t> size_{0};
+  std::atomic<std::string*> chunks_[kMaxChunks] = {};
+  // Keys are views into chunk storage (stable for the table's lifetime).
+  std::unordered_map<std::string_view, uint32_t> ids_;
+};
+
+}  // namespace prefrep
+
+#endif  // PREFREP_RELATIONAL_SYMBOL_TABLE_H_

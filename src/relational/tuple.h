@@ -12,6 +12,10 @@
 
 namespace prefrep {
 
+// A tuple of interned Values. Since Value is a trivially copyable 16-byte
+// scalar, the backing vector is a flat contiguous buffer: copying a tuple
+// is one allocation plus a memcpy, and comparing/hashing touches no string
+// data.
 class Tuple {
  public:
   Tuple() = default;

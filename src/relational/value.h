@@ -3,15 +3,25 @@
 // The paper (§2) works over uninterpreted names D and natural numbers N.
 // Constants with different names are different (unique-name assumption);
 // the order predicates <, > are interpreted over N only.
+//
+// Names are interned in the process-wide SymbolTable, so a Value is a
+// trivially copyable 16-byte tagged scalar: equality and hashing are O(1)
+// integer operations regardless of name length, and tuples of Values are
+// flat contiguous buffers with no per-value heap allocation. This is the
+// foundation the repair-enumeration hot loops build on (query/prepared.h):
+// evaluating a query in 2^n repairs copies and compares values constantly,
+// and none of that should ever touch string data.
 
 #ifndef PREFREP_RELATIONAL_VALUE_H_
 #define PREFREP_RELATIONAL_VALUE_H_
 
 #include <cstdint>
 #include <string>
-#include <utility>
+#include <string_view>
+#include <type_traits>
 
 #include "base/logging.h"
+#include "relational/symbol_table.h"
 
 namespace prefrep {
 
@@ -25,16 +35,20 @@ std::string_view ValueTypeName(ValueType type);
 class Value {
  public:
   // Default: the number 0 (needed for container resizing).
-  Value() : type_(ValueType::kNumber), number_(0) {}
+  constexpr Value() : type_(ValueType::kNumber), name_id_(0), number_(0) {}
 
-  static Value Name(std::string name) {
+  // Interns `name` in SymbolTable::Global() (a no-op when already known).
+  static Value Name(std::string_view name) {
+    return InternedName(SymbolTable::Global().Intern(name));
+  }
+  // Wraps an id previously returned by SymbolTable::Global().Intern().
+  static Value InternedName(uint32_t id) {
     Value v;
     v.type_ = ValueType::kName;
-    v.number_ = 0;
-    v.name_ = std::move(name);
+    v.name_id_ = id;
     return v;
   }
-  static Value Number(int64_t n) {
+  static constexpr Value Number(int64_t n) {
     Value v;
     v.type_ = ValueType::kNumber;
     v.number_ = n;
@@ -47,7 +61,11 @@ class Value {
 
   const std::string& name() const {
     DCHECK(is_name());
-    return name_;
+    return SymbolTable::Global().NameOf(name_id_);
+  }
+  uint32_t name_id() const {
+    DCHECK(is_name());
+    return name_id_;
   }
   int64_t number() const {
     DCHECK(is_number());
@@ -56,39 +74,51 @@ class Value {
 
   // Names print raw; numbers print in decimal.
   std::string ToString() const {
-    return is_name() ? name_ : std::to_string(number_);
+    return is_name() ? name() : std::to_string(number_);
   }
 
   // Equality across the two domains is always false (the domains are
-  // disjoint), matching the paper's semantics of '='.
+  // disjoint), matching the paper's semantics of '='. O(1): interned names
+  // compare by id.
   friend bool operator==(const Value& a, const Value& b) {
     if (a.type_ != b.type_) return false;
-    return a.is_name() ? a.name_ == b.name_ : a.number_ == b.number_;
+    return a.is_name() ? a.name_id_ == b.name_id_ : a.number_ == b.number_;
   }
   friend bool operator!=(const Value& a, const Value& b) { return !(a == b); }
 
-  // Canonical total order for sorting / deduplication only. This is NOT the
+  // Canonical total order for sorting / deduplication only: numbers by
+  // value, names lexicographically (so answer sets and dumps stay in the
+  // familiar order regardless of intern order). This is NOT the
   // query-language '<' (which is defined only on numbers); see
   // query/evaluator.h for the semantic comparison.
   friend bool operator<(const Value& a, const Value& b) {
     if (a.type_ != b.type_) return a.type_ < b.type_;
-    return a.is_name() ? a.name_ < b.name_ : a.number_ < b.number_;
+    if (a.is_number()) return a.number_ < b.number_;
+    if (a.name_id_ == b.name_id_) return false;
+    return a.name() < b.name();
   }
 
   struct Hash {
     size_t operator()(const Value& v) const {
-      std::hash<std::string> hs;
-      std::hash<int64_t> hn;
-      size_t base = v.is_name() ? hs(v.name_) : hn(v.number_);
-      return base * 31 + static_cast<size_t>(v.type_);
+      // splitmix64-style mix over the 64-bit payload; O(1) for names too.
+      uint64_t x =
+          v.is_name() ? v.name_id_ : static_cast<uint64_t>(v.number_);
+      x += 0x9e3779b97f4a7c15ull + static_cast<uint64_t>(v.type_);
+      x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+      x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+      return static_cast<size_t>(x ^ (x >> 31));
     }
   };
 
  private:
   ValueType type_;
-  int64_t number_;
-  std::string name_;
+  uint32_t name_id_;  // valid when kName
+  int64_t number_;    // valid when kNumber
 };
+
+static_assert(std::is_trivially_copyable_v<Value>,
+              "Value must stay a trivially copyable scalar");
+static_assert(sizeof(Value) == 16, "Value must stay a 16-byte scalar");
 
 }  // namespace prefrep
 

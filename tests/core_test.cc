@@ -491,6 +491,21 @@ TEST(FamiliesTest, EnumerationShortCircuits) {
   EXPECT_EQ(seen, 5);
 }
 
+TEST(FamiliesTest, GlobalEnumerationShortCircuits) {
+  // The G-Rep enumerator materializes the repair list before certifying;
+  // early callback exits must still propagate as incomplete enumeration.
+  GeneratedInstance rn = MakeRnInstance(4);
+  auto problem = RepairProblem::Create(rn.db.get(), rn.fds);
+  ASSERT_TRUE(problem.ok());
+  Priority empty = Priority::Empty(problem->graph());
+  int seen = 0;
+  bool complete = EnumeratePreferredRepairs(
+      problem->graph(), empty, RepairFamily::kGlobal,
+      [&seen](const DynamicBitset&) { return ++seen < 3; });
+  EXPECT_FALSE(complete);
+  EXPECT_EQ(seen, 3);
+}
+
 TEST(FamiliesTest, PreferredRepairsLimit) {
   GeneratedInstance rn = MakeRnInstance(12);
   auto problem = RepairProblem::Create(rn.db.get(), rn.fds);

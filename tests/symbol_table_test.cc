@@ -1,0 +1,152 @@
+// Unit tests for relational/symbol_table.h and the interned Value
+// representation built on it: dedup, id stability, round-trips through the
+// CSV and SQL ingest paths.
+
+#include "relational/symbol_table.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "cqa/cqa.h"
+#include "query/prepared.h"
+#include "relational/csv.h"
+#include "relational/database.h"
+#include "relational/value.h"
+#include "sql/sql.h"
+
+namespace prefrep {
+namespace {
+
+TEST(SymbolTableTest, InterningDedupes) {
+  SymbolTable table;
+  uint32_t a = table.Intern("alpha");
+  uint32_t b = table.Intern("beta");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(table.Intern("alpha"), a);
+  EXPECT_EQ(table.Intern("beta"), b);
+  EXPECT_EQ(table.size(), 2u);
+}
+
+TEST(SymbolTableTest, IdsAreDenseInFirstInternOrder) {
+  SymbolTable table;
+  EXPECT_EQ(table.Intern("x"), 0u);
+  EXPECT_EQ(table.Intern("y"), 1u);
+  EXPECT_EQ(table.Intern("x"), 0u);
+  EXPECT_EQ(table.Intern("z"), 2u);
+}
+
+TEST(SymbolTableTest, NameOfRoundTripsAndStaysStable) {
+  SymbolTable table;
+  uint32_t id = table.Intern("stable");
+  const std::string* before = &table.NameOf(id);
+  // Force growth across deque segments; the reference must not move.
+  for (int i = 0; i < 10000; ++i) {
+    table.Intern("filler_" + std::to_string(i));
+  }
+  EXPECT_EQ(&table.NameOf(id), before);
+  EXPECT_EQ(table.NameOf(id), "stable");
+}
+
+TEST(SymbolTableTest, ContainsDoesNotIntern) {
+  SymbolTable table;
+  EXPECT_FALSE(table.Contains("ghost"));
+  EXPECT_EQ(table.size(), 0u);
+  table.Intern("ghost");
+  EXPECT_TRUE(table.Contains("ghost"));
+}
+
+TEST(SymbolTableTest, EmptyStringIsAValidSymbol) {
+  SymbolTable table;
+  uint32_t id = table.Intern("");
+  EXPECT_EQ(table.NameOf(id), "");
+  EXPECT_EQ(table.Intern(""), id);
+}
+
+// ---------------------------------------------------------- interned Value --
+
+TEST(InternedValueTest, ValueIsATriviallyCopyableScalar) {
+  static_assert(std::is_trivially_copyable_v<Value>);
+  static_assert(sizeof(Value) == 16);
+  SUCCEED();
+}
+
+TEST(InternedValueTest, SameNameSameId) {
+  Value a = Value::Name("Mary");
+  Value b = Value::Name("Mary");
+  EXPECT_EQ(a.name_id(), b.name_id());
+  EXPECT_EQ(a, b);
+  EXPECT_NE(Value::Name("Mary"), Value::Name("mary"));
+}
+
+TEST(InternedValueTest, NameRoundTrip) {
+  Value v = Value::Name("R&D");
+  EXPECT_EQ(v.name(), "R&D");
+  EXPECT_EQ(v.ToString(), "R&D");
+  EXPECT_EQ(Value::InternedName(v.name_id()), v);
+}
+
+TEST(InternedValueTest, CanonicalOrderIsLexicographicRegardlessOfInternOrder) {
+  // Intern in reverse lexicographic order; operator< must still sort
+  // lexicographically (answer sets and dumps depend on it).
+  Value z = Value::Name("zzz_order_test");
+  Value a = Value::Name("aaa_order_test");
+  EXPECT_LT(a, z);
+  EXPECT_FALSE(z < a);
+  EXPECT_FALSE(a < a);
+}
+
+TEST(InternedValueTest, HashAgreesWithEquality) {
+  Value::Hash h;
+  EXPECT_EQ(h(Value::Name("dup")), h(Value::Name("dup")));
+  // Name ids and equal numbers must not collide systematically.
+  EXPECT_NE(h(Value::Name("dup")), h(Value::Number(Value::Name("dup").name_id())));
+}
+
+// -------------------------------------------------------------- round trips --
+
+TEST(InternedValueTest, CsvRoundTripPreservesNames) {
+  Database db;
+  auto schema = Schema::Create("S", {Attribute{"A", ValueType::kName},
+                                     Attribute{"N", ValueType::kNumber}});
+  ASSERT_TRUE(schema.ok());
+  ASSERT_TRUE(db.AddRelation(*schema).ok());
+  ASSERT_TRUE(LoadCsv(db, "S", "alpha,1\nbeta,2\nalpha_2,3\n").ok());
+  auto dumped = DumpCsv(db, "S");
+  ASSERT_TRUE(dumped.ok());
+
+  Database db2;
+  ASSERT_TRUE(db2.AddRelation(*schema).ok());
+  ASSERT_TRUE(LoadCsv(db2, "S", *dumped).ok());
+  auto rel = db2.relation("S");
+  ASSERT_TRUE(rel.ok());
+  ASSERT_EQ((*rel)->size(), 3);
+  EXPECT_EQ((*rel)->tuple(0).value(0), Value::Name("alpha"));
+  EXPECT_EQ((*rel)->tuple(2).value(0).name(), "alpha_2");
+  // Identical strings from both loads share one interned id.
+  EXPECT_EQ((*rel)->tuple(0).value(0).name_id(),
+            Value::Name("alpha").name_id());
+}
+
+TEST(InternedValueTest, SqlNameLiteralsMatchIngestedNames) {
+  Database db;
+  auto schema = Schema::Create("Emp", {Attribute{"Name", ValueType::kName},
+                                       Attribute{"Salary", ValueType::kNumber}});
+  ASSERT_TRUE(schema.ok());
+  ASSERT_TRUE(db.AddRelation(*schema).ok());
+  ASSERT_TRUE(LoadCsv(db, "Emp", "Mary,40\nJohn,10\n").ok());
+
+  auto query = ParseSqlBoolean(
+      db, "SELECT e.Name FROM Emp e WHERE e.Name = 'Mary' AND e.Salary > 20");
+  ASSERT_TRUE(query.ok());
+  auto prepared = PreparedQuery::Compile(db, **query);
+  ASSERT_TRUE(prepared.ok());
+  auto holds = prepared->EvalClosed(nullptr);
+  ASSERT_TRUE(holds.ok());
+  EXPECT_TRUE(*holds);
+}
+
+}  // namespace
+}  // namespace prefrep
