@@ -41,6 +41,49 @@ DynamicBitset& DynamicBitset::Subtract(const DynamicBitset& o) {
   return *this;
 }
 
+void DynamicBitset::AssignOr(const DynamicBitset& a, const DynamicBitset& b) {
+  CHECK_EQ(size_, a.size_);
+  CHECK_EQ(size_, b.size_);
+  for (size_t i = 0; i < words_.size(); ++i) {
+    words_[i] = a.words_[i] | b.words_[i];
+  }
+}
+
+void DynamicBitset::AssignAnd(const DynamicBitset& a, const DynamicBitset& b) {
+  CHECK_EQ(size_, a.size_);
+  CHECK_EQ(size_, b.size_);
+  for (size_t i = 0; i < words_.size(); ++i) {
+    words_[i] = a.words_[i] & b.words_[i];
+  }
+}
+
+void DynamicBitset::AssignDifference(const DynamicBitset& a,
+                                     const DynamicBitset& b) {
+  CHECK_EQ(size_, a.size_);
+  CHECK_EQ(size_, b.size_);
+  for (size_t i = 0; i < words_.size(); ++i) {
+    words_[i] = a.words_[i] & ~b.words_[i];
+  }
+}
+
+int DynamicBitset::CountInWordRange(int word_begin, int word_end) const {
+  DCHECK(word_begin >= 0 && word_begin <= word_end &&
+         word_end <= WordCount());
+  int total = 0;
+  for (int i = word_begin; i < word_end; ++i) {
+    total += std::popcount(words_[i]);
+  }
+  return total;
+}
+
+uint64_t DynamicBitset::WordHashValue() const {
+  uint64_t h = 0;
+  for (size_t i = 0; i < words_.size(); ++i) {
+    h ^= WordHashMix(static_cast<int>(i), words_[i]);
+  }
+  return h;
+}
+
 DynamicBitset DynamicBitset::Complement() const {
   DynamicBitset out(size_);
   for (size_t i = 0; i < words_.size(); ++i) out.words_[i] = ~words_[i];

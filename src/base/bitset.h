@@ -7,9 +7,12 @@
 #ifndef PREFREP_BASE_BITSET_H_
 #define PREFREP_BASE_BITSET_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <initializer_list>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "base/logging.h"
@@ -48,9 +51,11 @@ class DynamicBitset {
   int size() const { return size_; }
 
   // Heap footprint of one bitset over this universe (used to budget
-  // materialized repair lists without assuming the word layout).
+  // materialized repair lists without assuming the word layout). Counts the
+  // words in use, not the vector capacity: a bitset assigned from a smaller
+  // one may retain slack capacity, and budgets must not be charged for it.
   size_t MemoryBytes() const {
-    return sizeof(DynamicBitset) + words_.capacity() * sizeof(uint64_t);
+    return sizeof(DynamicBitset) + words_.size() * sizeof(uint64_t);
   }
 
   bool Test(int i) const {
@@ -72,6 +77,17 @@ class DynamicBitset {
   bool Any() const;
   bool None() const { return !Any(); }
 
+  // Word-level access for incremental algorithms (hash maintenance,
+  // range popcounts). Words are little-endian 64-bit blocks; padding bits
+  // beyond size() are always zero.
+  int WordCount() const { return static_cast<int>(words_.size()); }
+  uint64_t Word(int word_index) const {
+    DCHECK(word_index >= 0 && word_index < WordCount());
+    return words_[word_index];
+  }
+  // Number of set bits among words [word_begin, word_end).
+  int CountInWordRange(int word_begin, int word_end) const;
+
   void Clear() {
     for (auto& w : words_) w = 0;
   }
@@ -82,6 +98,15 @@ class DynamicBitset {
   DynamicBitset& operator^=(const DynamicBitset& o);
   // Set difference: removes every element of `o`.
   DynamicBitset& Subtract(const DynamicBitset& o);
+
+  // Three-operand in-place forms: *this = a OP b, overwriting the previous
+  // contents without touching the heap (all three must share one universe).
+  // These are the workhorses of the enumeration hot loops, where `*this` is
+  // a pooled scratch buffer reused across search nodes.
+  void AssignOr(const DynamicBitset& a, const DynamicBitset& b);
+  void AssignAnd(const DynamicBitset& a, const DynamicBitset& b);
+  // *this = a \ b.
+  void AssignDifference(const DynamicBitset& a, const DynamicBitset& b);
 
   friend DynamicBitset operator|(DynamicBitset a, const DynamicBitset& b) {
     a |= b;
@@ -129,6 +154,27 @@ class DynamicBitset {
     size_t operator()(const DynamicBitset& s) const;
   };
 
+  // --- Incremental word hash -----------------------------------------------
+  //
+  // WordHashValue() equals the XOR over all words of WordHashMix(i, word_i).
+  // Because the combination is XOR and zero words mix to zero, flipping bits
+  // inside a single word updates the hash in O(1):
+  //
+  //   h ^= WordHashMix(w, old_word) ^ WordHashMix(w, new_word);
+  //
+  // Enumeration memos key on (hash, set) pairs and maintain the hash
+  // alongside the set instead of rehashing every word on every probe.
+  static uint64_t WordHashMix(int word_index, uint64_t word) {
+    if (word == 0) return 0;
+    // splitmix64 finalizer over the word salted by its index; a full-width
+    // mix keeps XOR-combined per-word hashes collision-resistant.
+    uint64_t x = word + 0x9e3779b97f4a7c15ull * (uint64_t{1} + word_index);
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+  }
+  uint64_t WordHashValue() const;
+
  private:
   bool InRange(int i) const { return i >= 0 && i < size_; }
   void ClearPadding() {
@@ -140,6 +186,76 @@ class DynamicBitset {
 
   int size_;
   std::vector<uint64_t> words_;
+};
+
+// A pool of reusable scratch bitsets over one universe. Enumeration engines
+// acquire a handle at frame setup and the buffer returns to the pool when
+// the handle dies, so steady-state search nodes never touch the heap.
+// Not thread-safe; use one pool per thread/engine instance. Handles must
+// not outlive the pool they came from.
+class BitsetPool {
+ public:
+  explicit BitsetPool(int universe_size) : universe_size_(universe_size) {
+    CHECK_GE(universe_size, 0);
+  }
+  BitsetPool(const BitsetPool&) = delete;
+  BitsetPool& operator=(const BitsetPool&) = delete;
+
+  // Owning handle; releases the buffer back to the pool on destruction.
+  class Handle {
+   public:
+    Handle() : pool_(nullptr) {}
+    Handle(Handle&& o) noexcept
+        : pool_(std::exchange(o.pool_, nullptr)), set_(std::move(o.set_)) {}
+    Handle& operator=(Handle&& o) noexcept {
+      if (this != &o) {
+        Release();
+        pool_ = std::exchange(o.pool_, nullptr);
+        set_ = std::move(o.set_);
+      }
+      return *this;
+    }
+    Handle(const Handle&) = delete;
+    Handle& operator=(const Handle&) = delete;
+    ~Handle() { Release(); }
+
+    DynamicBitset& operator*() { return *set_; }
+    const DynamicBitset& operator*() const { return *set_; }
+    DynamicBitset* operator->() { return set_.get(); }
+    const DynamicBitset* operator->() const { return set_.get(); }
+
+   private:
+    friend class BitsetPool;
+    Handle(BitsetPool* pool, std::unique_ptr<DynamicBitset> set)
+        : pool_(pool), set_(std::move(set)) {}
+    void Release() {
+      if (pool_ != nullptr && set_ != nullptr) {
+        pool_->free_.push_back(std::move(set_));
+      }
+      pool_ = nullptr;
+    }
+    BitsetPool* pool_;
+    std::unique_ptr<DynamicBitset> set_;
+  };
+
+  // An empty bitset over the pool's universe (cleared before handing out).
+  Handle Acquire() {
+    if (free_.empty()) {
+      return Handle(this, std::make_unique<DynamicBitset>(universe_size_));
+    }
+    std::unique_ptr<DynamicBitset> set = std::move(free_.back());
+    free_.pop_back();
+    set->Clear();
+    return Handle(this, std::move(set));
+  }
+
+  int universe_size() const { return universe_size_; }
+  // Buffers currently sitting in the pool (for tests).
+  size_t idle_count() const { return free_.size(); }
+
+ private:
+  int universe_size_;
+  std::vector<std::unique_ptr<DynamicBitset>> free_;
 };
 
 // Applies `fn(int)` to every element of `s` in increasing order.

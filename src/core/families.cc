@@ -1,53 +1,322 @@
 #include "core/families.h"
 
 #include <algorithm>
+#include <memory>
+#include <optional>
 #include <unordered_set>
+#include <utility>
 
 #include "core/optimality.h"
+#include "graph/components.h"
 #include "graph/mis.h"
 
 namespace prefrep {
 
 namespace {
 
-// DFS over Algorithm 1 choice sequences. States are identified by the set
-// of chosen tuples (the chosen set determines the remaining set), so each
-// distinct partial output is expanded once.
+// DFS over Algorithm 1 choice sequences on one (component-compact) graph.
+// States are identified by the set of chosen tuples (the chosen set
+// determines the remaining set), so each distinct partial output is
+// expanded once. The walk is an explicit stack over pooled frames — the
+// only per-node heap traffic is the memo insertion of a *new* state:
+// revisit probes use transparent lookup against the shared chosen-set
+// scratch, whose hash is maintained incrementally word-by-word.
 class CommonRepairEnumerator {
  public:
-  CommonRepairEnumerator(const ConflictGraph& graph, const Priority& priority,
-                         const std::function<bool(const DynamicBitset&)>& cb)
-      : graph_(graph), priority_(priority), callback_(cb) {}
-
-  bool Run() {
-    int n = graph_.vertex_count();
-    return Visit(DynamicBitset(n), DynamicBitset::AllSet(n));
+  CommonRepairEnumerator(const ConflictGraph& graph, const Priority& priority)
+      : graph_(graph),
+        priority_(priority),
+        vertex_count_(graph.vertex_count()),
+        chosen_(vertex_count_) {
+    vicinity_.reserve(vertex_count_);
+    for (int v = 0; v < vertex_count_; ++v) {
+      vicinity_.push_back(graph.Vicinity(v));
+    }
   }
 
- private:
-  bool Visit(const DynamicBitset& chosen, const DynamicBitset& remaining) {
-    if (!visited_.insert(chosen).second) return true;
-    DynamicBitset winnow = Winnow(priority_, remaining);
-    if (winnow.None()) {
-      // ≻ is acyclic, so an empty winnow implies an empty remaining set;
-      // `chosen` is a completed run of Algorithm 1.
-      return callback_(chosen);
-    }
-    for (int x = winnow.FirstSetBit(); x >= 0; x = winnow.NextSetBit(x + 1)) {
-      DynamicBitset next_chosen = chosen;
-      next_chosen.Set(x);
-      if (!Visit(next_chosen, Difference(remaining, graph_.Vicinity(x)))) {
-        return false;
+  // Visits every distinct completed Algorithm 1 output exactly once; the
+  // callback returns false to stop early. Returns true iff the walk ran to
+  // completion. The bitset passed to the callback is scratch — copy to keep.
+  template <typename Callback>
+  bool Run(Callback&& callback) {
+    chosen_.Clear();
+    chosen_hash_ = 0;
+    visited_.clear();
+    visited_.insert(MemoKey{chosen_, chosen_hash_});
+    Frame& root = FrameAt(0);
+    root.remaining = DynamicBitset::AllSet(vertex_count_);
+    root.entering = true;
+    int depth = 0;
+    while (depth >= 0) {
+      Frame& frame = *frames_[depth];
+      if (frame.entering) {
+        frame.entering = false;
+        WinnowInto(priority_, frame.remaining, frame.winnow);
+        if (frame.winnow.None()) {
+          // ≻ is acyclic, so an empty winnow implies an empty remaining
+          // set; `chosen` is a completed run of Algorithm 1.
+          if (!callback(static_cast<const DynamicBitset&>(chosen_))) {
+            return false;
+          }
+          --depth;
+          continue;
+        }
+        frame.x = -1;
       }
+      if (frame.x >= 0) FlipChosen(frame.x);  // retire the previous pick
+      int x = frame.winnow.NextSetBit(frame.x + 1);
+      if (x < 0) {
+        --depth;
+        continue;
+      }
+      frame.x = x;
+      FlipChosen(x);
+      // Probe the memo before descending: a state reached through a
+      // different choice order is expanded only once.
+      if (visited_.find(ChosenView{&chosen_, chosen_hash_}) !=
+          visited_.end()) {
+        continue;
+      }
+      visited_.insert(MemoKey{chosen_, chosen_hash_});
+      Frame& child = FrameAt(depth + 1);
+      child.remaining.AssignDifference(frame.remaining, vicinity_[x]);
+      child.entering = true;
+      ++depth;
     }
     return true;
   }
 
+ private:
+  struct Frame {
+    DynamicBitset remaining;
+    DynamicBitset winnow;
+    int x = -1;
+    bool entering = true;
+  };
+
+  struct MemoKey {
+    DynamicBitset bits;
+    uint64_t hash;
+  };
+  struct ChosenView {
+    const DynamicBitset* bits;
+    uint64_t hash;
+  };
+  struct MemoHash {
+    using is_transparent = void;
+    size_t operator()(const MemoKey& k) const {
+      return static_cast<size_t>(k.hash);
+    }
+    size_t operator()(const ChosenView& v) const {
+      return static_cast<size_t>(v.hash);
+    }
+  };
+  struct MemoEq {
+    using is_transparent = void;
+    bool operator()(const MemoKey& a, const MemoKey& b) const {
+      return a.bits == b.bits;
+    }
+    bool operator()(const ChosenView& v, const MemoKey& k) const {
+      return *v.bits == k.bits;
+    }
+    bool operator()(const MemoKey& k, const ChosenView& v) const {
+      return k.bits == *v.bits;
+    }
+  };
+
+  // Toggles `x` in the chosen scratch, updating its hash from the one
+  // changed word instead of rehashing the whole set.
+  void FlipChosen(int x) {
+    int word = x >> 6;
+    uint64_t before = chosen_.Word(word);
+    chosen_.Assign(x, !chosen_.Test(x));
+    chosen_hash_ ^= DynamicBitset::WordHashMix(word, before) ^
+                    DynamicBitset::WordHashMix(word, chosen_.Word(word));
+  }
+
+  Frame& FrameAt(int depth) {
+    while (static_cast<int>(frames_.size()) <= depth) {
+      auto frame = std::make_unique<Frame>();
+      frame->remaining = DynamicBitset(vertex_count_);
+      frame->winnow = DynamicBitset(vertex_count_);
+      frames_.push_back(std::move(frame));
+    }
+    return *frames_[depth];
+  }
+
   const ConflictGraph& graph_;
   const Priority& priority_;
-  const std::function<bool(const DynamicBitset&)>& callback_;
-  std::unordered_set<DynamicBitset, DynamicBitset::Hash> visited_;
+  int vertex_count_;
+  DynamicBitset chosen_;
+  uint64_t chosen_hash_ = 0;
+  std::vector<DynamicBitset> vicinity_;
+  std::vector<std::unique_ptr<Frame>> frames_;
+  std::unordered_set<MemoKey, MemoHash, MemoEq> visited_;
 };
+
+// Streams the members of `family` on one component graph through `emit`
+// (local universe). kGlobal is excluded — it cannot stream (the
+// ≪-certificate needs the full component repair list); see
+// MaterializeComponentFamily / the single-component path below.
+template <typename Callback>
+bool StreamComponentFamily(const ConflictGraph& graph,
+                           const Priority& priority, RepairFamily family,
+                           Callback&& emit) {
+  switch (family) {
+    case RepairFamily::kAll:
+      return MisEngine(graph).Enumerate(emit);
+    case RepairFamily::kLocal:
+      return MisEngine(graph).Enumerate([&](const DynamicBitset& repair) {
+        if (!IsLocallyOptimal(graph, priority, repair)) return true;
+        return emit(repair);
+      });
+    case RepairFamily::kSemiGlobal:
+      return MisEngine(graph).Enumerate([&](const DynamicBitset& repair) {
+        if (!IsSemiGloballyOptimal(graph, priority, repair)) return true;
+        return emit(repair);
+      });
+    case RepairFamily::kCommon:
+      return CommonRepairEnumerator(graph, priority).Run(emit);
+    case RepairFamily::kGlobal:
+      break;
+  }
+  CHECK(false) << "kGlobal cannot stream";
+  return false;
+}
+
+// Erases the repairs that are not ≪-maximal among `repairs` (which must be
+// the component's *complete* repair list). Certification is quadratic in
+// the component list — exponentially smaller than the whole-graph list the
+// pre-decomposition engine certified against.
+void FilterGloballyOptimalInPlace(const Priority& priority,
+                                  std::vector<DynamicBitset>* repairs) {
+  if (repairs->empty()) return;
+  int n = (*repairs)[0].size();
+  DynamicBitset scratch1(n);
+  DynamicBitset scratch2(n);
+  auto dominated = [&](const DynamicBitset& repair) {
+    for (const DynamicBitset& other : *repairs) {
+      if (&other == &repair) continue;
+      if (IsPreferredOver(priority, repair, other, scratch1, scratch2)) {
+        return true;
+      }
+    }
+    return false;
+  };
+  // Certify every repair against the full list before erasing any of it,
+  // then compact in place — the list may sit near the materialization
+  // budget, so no second list is allocated.
+  std::vector<char> keep(repairs->size());
+  for (size_t i = 0; i < repairs->size(); ++i) {
+    keep[i] = !dominated((*repairs)[i]);
+  }
+  size_t write = 0;
+  for (size_t i = 0; i < repairs->size(); ++i) {
+    if (keep[i]) {
+      if (write != i) (*repairs)[write] = std::move((*repairs)[i]);
+      ++write;
+    }
+  }
+  repairs->resize(write);
+}
+
+// Materializes the members of `family` on one component graph into `out`,
+// charging `used_bytes` against the shared budget. Returns false if the
+// budget would be exceeded (out and used_bytes are then meaningless).
+bool MaterializeComponentFamily(const ConflictGraph& graph,
+                                const Priority& priority, RepairFamily family,
+                                std::vector<DynamicBitset>* out,
+                                size_t* used_bytes) {
+  const size_t per_set_bytes =
+      DynamicBitset(graph.vertex_count()).MemoryBytes();
+  auto collect = [&](const DynamicBitset& repair) {
+    if (*used_bytes + per_set_bytes > kComponentListBudgetBytes) return false;
+    *used_bytes += per_set_bytes;
+    out->push_back(repair);
+    return true;
+  };
+  if (family == RepairFamily::kGlobal) {
+    // Collect the complete component repair list first; the ≪-maximality
+    // certificate compares a repair only against other repairs of the same
+    // component (priorities never cross components).
+    if (!MisEngine(graph).Enumerate(collect)) return false;
+    size_t before = out->size();
+    FilterGloballyOptimalInPlace(priority, out);
+    *used_bytes -= (before - out->size()) * per_set_bytes;
+    return true;
+  }
+  return StreamComponentFamily(graph, priority, family, collect);
+}
+
+// Streams `family` on one graph — the whole (connected) conflict graph or
+// one component's compact subgraph — through `emit`. kGlobal materializes
+// the graph's repair list first (the ≪-certificate needs it), falling back
+// to the seed's O(1)-memory nested certificate if the list is over budget.
+template <typename Emit>
+bool EnumerateFamilyOnGraph(const ConflictGraph& graph,
+                            const Priority& priority, RepairFamily family,
+                            Emit&& emit) {
+  if (family != RepairFamily::kGlobal) {
+    return StreamComponentFamily(graph, priority, family, emit);
+  }
+  std::vector<DynamicBitset> repairs;
+  size_t used_bytes = 0;
+  if (MaterializeComponentFamily(graph, priority, family, &repairs,
+                                 &used_bytes)) {
+    for (const DynamicBitset& repair : repairs) {
+      if (!emit(repair)) return false;
+    }
+    return true;
+  }
+  // Release the partial list before the memory-free fallback — this is
+  // the moment memory pressure is highest.
+  repairs.clear();
+  repairs.shrink_to_fit();
+  return MisEngine(graph).Enumerate([&](const DynamicBitset& repair) {
+    if (!IsGloballyOptimal(graph, priority, repair)) return true;
+    return emit(repair);
+  });
+}
+
+// Whole-graph streaming fallback (the seed's forms) for the pathological
+// case where even per-component lists exceed the byte budget.
+bool EnumerateWholeGraphFallback(
+    const ConflictGraph& graph, const Priority& priority, RepairFamily family,
+    const std::function<bool(const DynamicBitset&)>& callback) {
+  switch (family) {
+    case RepairFamily::kAll:
+    case RepairFamily::kLocal:
+    case RepairFamily::kSemiGlobal:
+    case RepairFamily::kCommon:
+      return StreamComponentFamily(graph, priority, family, callback);
+    case RepairFamily::kGlobal: {
+      // Nested streaming ≪-witness search with both levels on MisEngine
+      // directly: going through IsGloballyOptimal here would re-attempt
+      // the (already failed) per-component materialization inside every
+      // certificate. The outer engine's chosen-set scratch stays stable
+      // while the inner engine runs, so `repair` needs no copy.
+      int n = graph.vertex_count();
+      DynamicBitset scratch1(n);
+      DynamicBitset scratch2(n);
+      MisEngine outer(graph);
+      MisEngine inner(graph);
+      return outer.Enumerate([&](const DynamicBitset& repair) {
+        bool dominated = false;
+        inner.Enumerate([&](const DynamicBitset& other) {
+          if (other == repair) return true;
+          if (IsPreferredOver(priority, repair, other, scratch1, scratch2)) {
+            dominated = true;
+            return false;
+          }
+          return true;
+        });
+        if (dominated) return true;
+        return callback(repair);
+      });
+    }
+  }
+  return true;
+}
 
 }  // namespace
 
@@ -84,69 +353,56 @@ bool IsPreferredRepair(const ConflictGraph& graph, const Priority& priority,
   return false;
 }
 
+// Every family notion decomposes over connected components: conflicts and
+// priorities both live on conflict edges, so a set is a family member iff
+// its restriction to each component is a family member of that component
+// (for ≪-maximality: a witness differing in some component yields a
+// component-local witness, and vice versa; for C-Rep: choice steps in
+// distinct components commute, so Algorithm 1 runs factor per component).
+// Each component is searched in its own compact universe — bitsets, memo
+// keys and certificates all shrink to component size — and the product is
+// streamed lazily so early-stop callbacks still short-circuit.
 bool EnumeratePreferredRepairs(
     const ConflictGraph& graph, const Priority& priority, RepairFamily family,
     const std::function<bool(const DynamicBitset&)>& callback) {
-  switch (family) {
-    case RepairFamily::kAll:
-      return EnumerateMaximalIndependentSets(graph, callback);
-    case RepairFamily::kLocal:
-      return EnumerateMaximalIndependentSets(
-          graph, [&](const DynamicBitset& repair) {
-            if (!IsLocallyOptimal(graph, priority, repair)) return true;
-            return callback(repair);
-          });
-    case RepairFamily::kSemiGlobal:
-      return EnumerateMaximalIndependentSets(
-          graph, [&](const DynamicBitset& repair) {
-            if (!IsSemiGloballyOptimal(graph, priority, repair)) return true;
-            return callback(repair);
-          });
-    case RepairFamily::kGlobal: {
-      // The ≪-maximality certificate compares a repair only against other
-      // repairs, and the repair list is invariant across candidates:
-      // materialize it once and certify against the list, instead of
-      // re-running the MIS enumeration machinery inside every certificate
-      // (which made G-Rep enumeration pay the repair space twice over).
-      // The cap is byte-based so wide bitsets cannot OOM the process;
-      // beyond it we fall back to the seed's O(1)-memory nested form
-      // (paying one extra enumeration to discover the overflow — noise
-      // against the quadratic certificate cost that follows).
-      constexpr size_t kMaterializeBytes = size_t{256} << 20;
-      const size_t bitset_bytes =
-          DynamicBitset(graph.vertex_count()).MemoryBytes();
-      const size_t materialize_limit =
-          std::min(size_t{1} << 20, kMaterializeBytes / bitset_bytes);
-      std::vector<DynamicBitset> repairs;
-      bool materialized = EnumerateMaximalIndependentSets(
-          graph, [&](const DynamicBitset& repair) {
-            if (repairs.size() >= materialize_limit) return false;
-            repairs.push_back(repair);
-            return true;
-          });
-      if (!materialized) {
-        // Release the partial list before the memory-free fallback —
-        // this is the moment memory pressure is highest.
-        repairs.clear();
-        repairs.shrink_to_fit();
-        return EnumerateMaximalIndependentSets(
-            graph, [&](const DynamicBitset& repair) {
-              if (!IsGloballyOptimal(graph, priority, repair)) return true;
-              return callback(repair);
-            });
-      }
-      for (const DynamicBitset& repair : repairs) {
-        if (!IsGloballyOptimalAmong(priority, repair, repairs)) continue;
-        if (!callback(repair)) return false;
-      }
-      return true;
-    }
-    case RepairFamily::kCommon: {
-      CommonRepairEnumerator enumerator(graph, priority, callback);
-      return enumerator.Run();
-    }
+  if (family == RepairFamily::kAll) {
+    return EnumerateMaximalIndependentSets(graph, callback);
   }
-  return true;
+  if (SpansOneComponent(graph)) {
+    // Connected graph: no decomposition, no priority projection, no
+    // remapping — enumerate in place.
+    return EnumerateFamilyOnGraph(graph, priority, family, callback);
+  }
+  ComponentDecomposition decomposition(graph);
+  const std::vector<GraphComponent>& components = decomposition.components();
+  if (components.empty()) {
+    // Only isolated vertices: the unique repair belongs to every family.
+    return callback(decomposition.isolated());
+  }
+  std::vector<Priority> local_priorities =
+      ProjectPriorities(decomposition, priority);
+  if (components.size() == 1) {
+    // One non-singleton component plus isolated vertices: enumerate the
+    // component locally and scatter into the full universe.
+    const GraphComponent& component = decomposition.components()[0];
+    DynamicBitset scratch = decomposition.isolated();
+    return EnumerateFamilyOnGraph(
+        component.graph, local_priorities[0], family,
+        [&](const DynamicBitset& local) {
+          decomposition.Scatter(0, local, scratch);
+          return callback(scratch);
+        });
+  }
+  std::optional<bool> complete = TryEnumerateViaComponentProduct(
+      decomposition,
+      [&](int c, std::vector<DynamicBitset>* out, size_t* used_bytes) {
+        return MaterializeComponentFamily(components[c].graph,
+                                          local_priorities[c], family, out,
+                                          used_bytes);
+      },
+      callback);
+  if (complete.has_value()) return *complete;
+  return EnumerateWholeGraphFallback(graph, priority, family, callback);
 }
 
 Result<std::vector<DynamicBitset>> PreferredRepairs(

@@ -6,8 +6,16 @@ namespace prefrep {
 
 bool IsPreferredOver(const Priority& priority, const DynamicBitset& r1,
                      const DynamicBitset& r2) {
-  DynamicBitset only_r1 = Difference(r1, r2);
-  DynamicBitset only_r2 = Difference(r2, r1);
+  DynamicBitset only_r1(r1.size());
+  DynamicBitset only_r2(r1.size());
+  return IsPreferredOver(priority, r1, r2, only_r1, only_r2);
+}
+
+bool IsPreferredOver(const Priority& priority, const DynamicBitset& r1,
+                     const DynamicBitset& r2, DynamicBitset& only_r1,
+                     DynamicBitset& only_r2) {
+  only_r1.AssignDifference(r1, r2);
+  only_r2.AssignDifference(r2, r1);
   bool all_dominated = true;
   ForEachSetBit(only_r1, [&](int x) {
     if (all_dominated && !priority.DominatorsOf(x).Intersects(only_r2)) {
@@ -21,10 +29,11 @@ bool IsLocallyOptimal(const ConflictGraph& graph, const Priority& priority,
                       const DynamicBitset& repair) {
   DCHECK(graph.IsMaximalIndependent(repair));
   int n = graph.vertex_count();
+  DynamicBitset inside(n);
   for (int y = 0; y < n; ++y) {
     if (repair.Test(y)) continue;
     // (r' \ {x}) ∪ {y} is consistent iff y's only neighbor inside r' is x.
-    DynamicBitset inside = graph.Neighbors(y) & repair;
+    inside.AssignAnd(graph.Neighbors(y), repair);
     int x = inside.FirstSetBit();
     if (x < 0) continue;  // cannot happen for maximal repairs
     if (inside.NextSetBit(x + 1) >= 0) continue;  // more than one neighbor
@@ -38,11 +47,12 @@ bool IsSemiGloballyOptimal(const ConflictGraph& graph,
                            const DynamicBitset& repair) {
   DCHECK(graph.IsMaximalIndependent(repair));
   int n = graph.vertex_count();
+  DynamicBitset inside(n);
   for (int y = 0; y < n; ++y) {
     if (repair.Test(y)) continue;
     // X must equal n(y) ∩ r' (smaller X leaves a conflict with y; larger X
     // adds tuples y does not conflict with, which y cannot dominate).
-    DynamicBitset inside = graph.Neighbors(y) & repair;
+    inside.AssignAnd(graph.Neighbors(y), repair);
     if (inside.None()) continue;
     if (inside.IsSubsetOf(priority.DominatedBy(y))) return false;
   }
@@ -53,9 +63,11 @@ bool IsGloballyOptimal(const ConflictGraph& graph, const Priority& priority,
                        const DynamicBitset& repair) {
   DCHECK(graph.IsMaximalIndependent(repair));
   bool found_witness = false;
+  DynamicBitset scratch1(repair.size());
+  DynamicBitset scratch2(repair.size());
   EnumerateMaximalIndependentSets(graph, [&](const DynamicBitset& other) {
     if (other == repair) return true;
-    if (IsPreferredOver(priority, repair, other)) {
+    if (IsPreferredOver(priority, repair, other, scratch1, scratch2)) {
       found_witness = true;
       return false;  // stop enumeration
     }
@@ -67,9 +79,13 @@ bool IsGloballyOptimal(const ConflictGraph& graph, const Priority& priority,
 bool IsGloballyOptimalAmong(const Priority& priority,
                             const DynamicBitset& repair,
                             const std::vector<DynamicBitset>& repairs) {
+  DynamicBitset scratch1(repair.size());
+  DynamicBitset scratch2(repair.size());
   for (const DynamicBitset& other : repairs) {
     if (other == repair) continue;
-    if (IsPreferredOver(priority, repair, other)) return false;
+    if (IsPreferredOver(priority, repair, other, scratch1, scratch2)) {
+      return false;
+    }
   }
   return true;
 }
@@ -80,16 +96,20 @@ bool IsCommonRepair(const ConflictGraph& graph, const Priority& priority,
   int n = graph.vertex_count();
   DynamicBitset remaining = DynamicBitset::AllSet(n);
   DynamicBitset to_pick = repair;
+  DynamicBitset winnow(n);
+  DynamicBitset picks(n);
+  DynamicBitset neighbors(n);
   while (true) {
-    DynamicBitset winnow = Winnow(priority, remaining);
-    DynamicBitset picks = winnow & to_pick;
+    WinnowInto(priority, remaining, winnow);
+    picks.AssignAnd(winnow, to_pick);
     if (picks.None()) break;
     // Picking any x ∈ ω≻(r) ∩ r' keeps every other such candidate valid
     // (members of r' are pairwise non-conflicting and removals only shrink
     // domination), so all candidates can be consumed in one batch.
     to_pick.Subtract(picks);
     remaining.Subtract(picks);
-    remaining.Subtract(graph.NeighborsOfSet(picks));
+    graph.NeighborsOfSetInto(picks, neighbors);
+    remaining.Subtract(neighbors);
   }
   return remaining.None();
 }

@@ -34,6 +34,16 @@ namespace prefrep {
                                    const DynamicBitset& r1,
                                    const DynamicBitset& r2);
 
+// Allocation-free form for certificate loops: `only_r1` and `only_r2` are
+// caller-provided scratch buffers over the same universe (their contents
+// are overwritten). The G-Rep quadratic certification pass calls this
+// once per repair pair.
+[[nodiscard]] bool IsPreferredOver(const Priority& priority,
+                                   const DynamicBitset& r1,
+                                   const DynamicBitset& r2,
+                                   DynamicBitset& only_r1,
+                                   DynamicBitset& only_r2);
+
 // L: no x ∈ r' and y ∈ r \ r' with y ≻ x and (r' \ {x}) ∪ {y} consistent.
 // PTIME (Theorem 4).
 [[nodiscard]] bool IsLocallyOptimal(const ConflictGraph& graph,

@@ -45,13 +45,15 @@ struct RepairAggregate {
 RepairAggregate AggregateOfRepair(const RepairProblem& problem,
                                   const DynamicBitset& repair,
                                   const DynamicBitset& relation_mask,
-                                  int attribute, AggregateFunction fn) {
+                                  int attribute, AggregateFunction fn,
+                                  DynamicBitset& rows) {
   int64_t count = 0;
   int64_t sum = 0;
   int64_t min_v = std::numeric_limits<int64_t>::max();
   int64_t max_v = std::numeric_limits<int64_t>::min();
-  DynamicBitset rows = repair;
-  rows &= relation_mask;
+  // `rows` is caller-provided scratch: the repair enumeration loop calls
+  // this once per repair and must stay allocation-free.
+  rows.AssignAnd(repair, relation_mask);
   RepairAggregate out;
   if (fn == AggregateFunction::kCount) {
     // COUNT(*) must not touch attribute values: `attribute` is a dummy
@@ -113,10 +115,11 @@ Result<AggregateRange> AggregateConsistentRange(
   DynamicBitset relation_mask = problem.db().RelationMask(rel_index);
 
   AggregateRange range;
+  DynamicBitset rows_scratch(problem.graph().vertex_count());
   EnumeratePreferredRepairs(
       problem.graph(), priority, family, [&](const DynamicBitset& repair) {
-        RepairAggregate agg =
-            AggregateOfRepair(problem, repair, relation_mask, attr, fn);
+        RepairAggregate agg = AggregateOfRepair(problem, repair, relation_mask,
+                                                attr, fn, rows_scratch);
         if (!agg.defined) {
           range.empty_possible = true;
           return true;

@@ -151,9 +151,12 @@ Result<bool> DisjunctSatisfiableBySomeRepair(const RepairProblem& problem,
   // mutually consistent and consistent with the required facts, and must
   // not be excluded facts themselves. The search depth is the number of
   // negative literals (fixed with the query), so this is data-polynomial.
+  // Candidate masks come from a pooled scratch buffer per search level, so
+  // the backtracking itself stays off the heap.
   DynamicBitset excluded_mask(n);
   for (TupleId s : excluded) excluded_mask.Set(s);
 
+  BitsetPool pool(n);
   std::function<bool(size_t, DynamicBitset&)> search =
       [&](size_t index, DynamicBitset& chosen) -> bool {
     if (index == need_witness.size()) return true;
@@ -162,10 +165,10 @@ Result<bool> DisjunctSatisfiableBySomeRepair(const RepairProblem& problem,
       // Already blocked by a previously chosen witness.
       return search(index + 1, chosen);
     }
-    DynamicBitset candidates = graph.Neighbors(s);
-    candidates.Subtract(excluded_mask);
-    for (int w = candidates.FirstSetBit(); w >= 0;
-         w = candidates.NextSetBit(w + 1)) {
+    BitsetPool::Handle candidates = pool.Acquire();
+    candidates->AssignDifference(graph.Neighbors(s), excluded_mask);
+    for (int w = candidates->FirstSetBit(); w >= 0;
+         w = candidates->NextSetBit(w + 1)) {
       // The witness must not conflict with anything selected so far.
       if (graph.Neighbors(w).Intersects(chosen)) continue;
       chosen.Set(w);

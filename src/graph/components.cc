@@ -1,0 +1,131 @@
+#include "graph/components.h"
+
+#include <utility>
+
+namespace prefrep {
+
+ConflictGraph InducedSubgraph(const ConflictGraph& graph,
+                              const std::vector<int>& vertices) {
+  int local_count = static_cast<int>(vertices.size());
+  std::vector<int> local_of(graph.vertex_count(), -1);
+  for (int i = 0; i < local_count; ++i) {
+    CHECK(i == 0 || vertices[i - 1] < vertices[i])
+        << "InducedSubgraph needs sorted distinct vertices";
+    local_of[vertices[i]] = i;
+  }
+  std::vector<std::pair<int, int>> local_edges;
+  for (int i = 0; i < local_count; ++i) {
+    ForEachSetBit(graph.Neighbors(vertices[i]), [&](int w) {
+      // Emit each edge once from its lower endpoint.
+      if (w > vertices[i] && local_of[w] >= 0) {
+        local_edges.emplace_back(i, local_of[w]);
+      }
+    });
+  }
+  return ConflictGraph(local_count, local_edges);
+}
+
+bool SpansOneComponent(const ConflictGraph& graph) {
+  int n = graph.vertex_count();
+  if (n == 0) return false;
+  // Word-parallel BFS from vertex 0.
+  DynamicBitset visited(n);
+  DynamicBitset frontier(n);
+  DynamicBitset next(n);
+  frontier.Set(0);
+  while (frontier.Any()) {
+    visited |= frontier;
+    next.Clear();
+    ForEachSetBit(frontier, [&](int v) { next |= graph.Neighbors(v); });
+    next.Subtract(visited);
+    std::swap(frontier, next);
+  }
+  return visited.Count() == n;
+}
+
+ComponentDecomposition::ComponentDecomposition(const ConflictGraph& graph)
+    : vertex_count_(graph.vertex_count()),
+      isolated_(graph.vertex_count()),
+      component_of_(graph.vertex_count(), -1),
+      local_index_(graph.vertex_count(), -1) {
+  for (const std::vector<int>& vertices : graph.ConnectedComponents()) {
+    if (vertices.size() == 1) {
+      isolated_.Set(vertices[0]);
+      continue;
+    }
+    int c = static_cast<int>(components_.size());
+    for (size_t i = 0; i < vertices.size(); ++i) {
+      component_of_[vertices[i]] = c;
+      local_index_[vertices[i]] = static_cast<int>(i);
+    }
+    GraphComponent component;
+    component.graph = InducedSubgraph(graph, vertices);
+    component.vertices = vertices;
+    components_.push_back(std::move(component));
+  }
+}
+
+void ComponentDecomposition::Scatter(int c, const DynamicBitset& local,
+                                     DynamicBitset& global) const {
+  const GraphComponent& component = components_[c];
+  CHECK_EQ(local.size(), component.graph.vertex_count());
+  CHECK_EQ(global.size(), vertex_count_);
+  for (size_t i = 0; i < component.vertices.size(); ++i) {
+    global.Assign(component.vertices[i], local.Test(static_cast<int>(i)));
+  }
+}
+
+void ComponentDecomposition::Gather(int c, const DynamicBitset& global,
+                                    DynamicBitset& local) const {
+  const GraphComponent& component = components_[c];
+  CHECK_EQ(local.size(), component.graph.vertex_count());
+  CHECK_EQ(global.size(), vertex_count_);
+  for (size_t i = 0; i < component.vertices.size(); ++i) {
+    local.Assign(static_cast<int>(i), global.Test(component.vertices[i]));
+  }
+}
+
+ComponentProductEnumerator::ComponentProductEnumerator(
+    const ComponentDecomposition& decomposition,
+    std::vector<std::vector<DynamicBitset>> choices)
+    : decomposition_(decomposition), choices_(std::move(choices)) {
+  CHECK_EQ(choices_.size(), decomposition_.components().size());
+}
+
+bool ComponentProductEnumerator::Enumerate(
+    const std::function<bool(const DynamicBitset&)>& callback) {
+  for (const std::vector<DynamicBitset>& options : choices_) {
+    if (options.empty()) return true;  // empty product
+  }
+  int digits = static_cast<int>(choices_.size());
+  DynamicBitset scratch = decomposition_.isolated();
+  std::vector<size_t> index(digits, 0);
+  for (int c = 0; c < digits; ++c) {
+    decomposition_.Scatter(c, choices_[c][0], scratch);
+  }
+  while (true) {
+    if (!callback(scratch)) return false;
+    // Odometer advance: bump the first digit that has a next option,
+    // rewinding the ones before it. Only changed digits are re-scattered,
+    // so consecutive outputs cost O(size of the components that moved).
+    int c = 0;
+    while (c < digits && index[c] + 1 == choices_[c].size()) {
+      index[c] = 0;
+      decomposition_.Scatter(c, choices_[c][0], scratch);
+      ++c;
+    }
+    if (c == digits) return true;
+    ++index[c];
+    decomposition_.Scatter(c, choices_[c][index[c]], scratch);
+  }
+}
+
+BigUint ComponentProductEnumerator::Count() const {
+  BigUint total = BigUint::One();
+  for (const std::vector<DynamicBitset>& options : choices_) {
+    total *= BigUint(options.size());
+  }
+  return total;
+}
+
+}  // namespace prefrep

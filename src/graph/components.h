@@ -1,0 +1,136 @@
+// Connected-component decomposition of a conflict graph.
+//
+// Conflicts and priorities both live on conflict edges, so every repair
+// notion in the paper decomposes over connected components: a set is a
+// (preferred) repair of the whole graph iff its restriction to each
+// component is a (preferred) repair of that component (Staworko-Chomicki-
+// Marcinkowski exploit the same structure). The enumeration engines
+// therefore search each component in its own compact universe — bitsets,
+// memo keys and optimality certificates all shrink to component size —
+// and recombine per-component results lazily with a cross-product
+// odometer (ComponentProductEnumerator).
+
+#ifndef PREFREP_GRAPH_COMPONENTS_H_
+#define PREFREP_GRAPH_COMPONENTS_H_
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "base/biguint.h"
+#include "base/bitset.h"
+#include "graph/conflict_graph.h"
+
+namespace prefrep {
+
+// Shared budget for materialized per-component choice lists (MIS lists in
+// graph/mis.cc, family lists in core/families.cc). Only a component whose
+// own repair space is astronomical can exceed it; the enumerators then
+// fall back to whole-graph streaming forms with O(depth) memory.
+inline constexpr size_t kComponentListBudgetBytes = size_t{256} << 20;
+
+// The compact subgraph induced by `vertices` (sorted ascending): local
+// vertex i stands for global vertex vertices[i].
+[[nodiscard]] ConflictGraph InducedSubgraph(const ConflictGraph& graph,
+                                            const std::vector<int>& vertices);
+
+// True iff the graph is one connected component spanning every vertex
+// (and nonempty). The enumeration engines use this as a cheap pre-check:
+// a spanning component needs no decomposition, no priority projection and
+// no local/global remapping, keeping the fixed per-call overhead on small
+// connected inputs (a few microseconds of end-to-end CQA) near zero.
+[[nodiscard]] bool SpansOneComponent(const ConflictGraph& graph);
+
+// One non-singleton connected component in its compact local universe.
+struct GraphComponent {
+  std::vector<int> vertices;  // global ids, ascending; local i <-> vertices[i]
+  ConflictGraph graph;        // induced subgraph over local ids
+};
+
+class ComponentDecomposition {
+ public:
+  explicit ComponentDecomposition(const ConflictGraph& graph);
+
+  int vertex_count() const { return vertex_count_; }
+
+  // Non-singleton components, ordered by smallest global vertex.
+  const std::vector<GraphComponent>& components() const { return components_; }
+
+  // Degree-0 vertices; they belong to every repair of every family.
+  const DynamicBitset& isolated() const { return isolated_; }
+
+  // Component index of a global vertex, or -1 for isolated vertices.
+  int ComponentOf(int global_vertex) const {
+    return component_of_[global_vertex];
+  }
+  // Local index of a global vertex within its component (-1 if isolated).
+  int LocalIndex(int global_vertex) const {
+    return local_index_[global_vertex];
+  }
+
+  // Overwrites the bits of component c in `global` with `local`'s bits;
+  // bits outside the component are left untouched.
+  void Scatter(int c, const DynamicBitset& local, DynamicBitset& global) const;
+  // local = global restricted to component c (local universe).
+  void Gather(int c, const DynamicBitset& global, DynamicBitset& local) const;
+
+ private:
+  int vertex_count_ = 0;
+  std::vector<GraphComponent> components_;
+  DynamicBitset isolated_;
+  std::vector<int> component_of_;
+  std::vector<int> local_index_;
+};
+
+// Lazily enumerates the cross product of per-component choice lists as
+// full-universe bitsets (isolated vertices always present). `choices[c]`
+// holds local-universe bitsets for decomposition component c. The product
+// is streamed through one reusable scratch bitset — no allocation per
+// output — and the callback can stop enumeration early by returning false.
+class ComponentProductEnumerator {
+ public:
+  ComponentProductEnumerator(const ComponentDecomposition& decomposition,
+                             std::vector<std::vector<DynamicBitset>> choices);
+
+  // Visits every combination exactly once (order unspecified); returns true
+  // iff enumeration ran to completion. An empty choice list for any
+  // component makes the product empty (vacuously complete).
+  bool Enumerate(const std::function<bool(const DynamicBitset&)>& callback);
+
+  // Exact product size in BigUint arithmetic.
+  [[nodiscard]] BigUint Count() const;
+
+ private:
+  const ComponentDecomposition& decomposition_;
+  std::vector<std::vector<DynamicBitset>> choices_;
+};
+
+// Materializes one choice list per component via `produce` and streams
+// their cross product through `callback`. `produce(c, out, used_bytes)`
+// appends component c's list, charging `used_bytes` against the shared
+// kComponentListBudgetBytes budget, and returns false on overflow; this is
+// the one place the budget/product orchestration lives, shared by the MIS
+// and family enumerators. Returns nullopt when some component overflowed
+// (the caller picks its whole-graph streaming fallback), otherwise the
+// product enumeration's completion flag.
+template <typename ProduceComponent>
+std::optional<bool> TryEnumerateViaComponentProduct(
+    const ComponentDecomposition& decomposition, ProduceComponent&& produce,
+    const std::function<bool(const DynamicBitset&)>& callback) {
+  std::vector<std::vector<DynamicBitset>> lists(
+      decomposition.components().size());
+  size_t used_bytes = 0;
+  for (size_t c = 0; c < lists.size(); ++c) {
+    if (!produce(static_cast<int>(c), &lists[c], &used_bytes)) {
+      lists.clear();
+      lists.shrink_to_fit();  // free before the caller's streaming fallback
+      return std::nullopt;
+    }
+  }
+  return ComponentProductEnumerator(decomposition, std::move(lists))
+      .Enumerate(callback);
+}
+
+}  // namespace prefrep
+
+#endif  // PREFREP_GRAPH_COMPONENTS_H_

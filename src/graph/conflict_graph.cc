@@ -32,10 +32,17 @@ DynamicBitset ConflictGraph::Vicinity(int v) const {
 }
 
 DynamicBitset ConflictGraph::NeighborsOfSet(const DynamicBitset& s) const {
-  CHECK_EQ(s.size(), vertex_count_);
   DynamicBitset out(vertex_count_);
-  ForEachSetBit(s, [&](int v) { out |= adjacency_[v]; });
+  NeighborsOfSetInto(s, out);
   return out;
+}
+
+void ConflictGraph::NeighborsOfSetInto(const DynamicBitset& s,
+                                       DynamicBitset& out) const {
+  CHECK_EQ(s.size(), vertex_count_);
+  CHECK_EQ(out.size(), vertex_count_);
+  out.Clear();
+  ForEachSetBit(s, [&](int v) { out |= adjacency_[v]; });
 }
 
 bool ConflictGraph::IsIndependent(const DynamicBitset& s) const {

@@ -40,6 +40,8 @@ class ConflictGraph {
 
   // Union of n(t) over all t in `s`.
   DynamicBitset NeighborsOfSet(const DynamicBitset& s) const;
+  // Allocation-free form: overwrites `out` (same universe) with the union.
+  void NeighborsOfSetInto(const DynamicBitset& s, DynamicBitset& out) const;
 
   // True iff no two elements of `s` are adjacent (i.e. `s` is consistent).
   bool IsIndependent(const DynamicBitset& s) const;

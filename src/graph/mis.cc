@@ -1,84 +1,100 @@
 #include "graph/mis.h"
 
-#include <limits>
+#include <optional>
+#include <utility>
+
+#include "graph/components.h"
 
 namespace prefrep {
 
-namespace {
-
-// Bron–Kerbosch with pivoting, phrased for independent sets: a maximal
-// independent set of G is a maximal clique of the complement of G, and the
-// complement-neighborhood of v is "everything outside v's vicinity".
-class MisVisitor {
- public:
-  MisVisitor(const ConflictGraph& graph,
-             const std::function<bool(const DynamicBitset&)>& callback)
-      : graph_(graph), callback_(callback) {}
-
-  // Returns false if the callback requested an early stop.
-  bool Expand(DynamicBitset& chosen, DynamicBitset candidates,
-              DynamicBitset excluded) {
-    if (candidates.None() && excluded.None()) {
-      return callback_(chosen);
-    }
-    // Pivot u ∈ candidates ∪ excluded minimizing |candidates ∩ vicinity(u)|:
-    // this bounds branching to candidates inside u's vicinity.
-    int pivot = -1;
-    int best = std::numeric_limits<int>::max();
-    DynamicBitset pool = candidates | excluded;
-    ForEachSetBit(pool, [&](int u) {
-      int c = candidates.IntersectionCount(graph_.Vicinity(u));
-      if (c < best) {
-        best = c;
-        pivot = u;
-      }
-    });
-    DynamicBitset branch = candidates & graph_.Vicinity(pivot);
-    for (int v = branch.FirstSetBit(); v >= 0; v = branch.NextSetBit(v + 1)) {
-      DynamicBitset vicinity = graph_.Vicinity(v);
-      chosen.Set(v);
-      if (!Expand(chosen, Difference(candidates, vicinity),
-                  Difference(excluded, vicinity))) {
-        return false;
-      }
-      chosen.Reset(v);
-      candidates.Reset(v);
-      excluded.Set(v);
-    }
-    return true;
+MisEngine::MisEngine(const ConflictGraph& graph)
+    : graph_(graph),
+      vertex_count_(graph.vertex_count()),
+      chosen_(vertex_count_) {
+  vicinity_.reserve(vertex_count_);
+  for (int v = 0; v < vertex_count_; ++v) {
+    vicinity_.push_back(graph.Vicinity(v));
   }
+}
 
- private:
-  const ConflictGraph& graph_;
-  const std::function<bool(const DynamicBitset&)>& callback_;
-};
-
-}  // namespace
+MisEngine::Frame& MisEngine::FrameAt(int depth) {
+  while (static_cast<int>(frames_.size()) <= depth) {
+    auto frame = std::make_unique<Frame>();
+    frame->candidates = DynamicBitset(vertex_count_);
+    frame->excluded = DynamicBitset(vertex_count_);
+    frame->branch = DynamicBitset(vertex_count_);
+    frames_.push_back(std::move(frame));
+  }
+  return *frames_[depth];
+}
 
 bool EnumerateMaximalIndependentSets(
     const ConflictGraph& graph,
     const std::function<bool(const DynamicBitset&)>& callback) {
-  int n = graph.vertex_count();
-  DynamicBitset chosen(n);
-  MisVisitor visitor(graph, callback);
-  return visitor.Expand(chosen, DynamicBitset::AllSet(n), DynamicBitset(n));
+  if (SpansOneComponent(graph)) {
+    // Connected graph: no decomposition, no remapping — search in place.
+    MisEngine engine(graph);
+    return engine.Enumerate(callback);
+  }
+  ComponentDecomposition decomposition(graph);
+  const std::vector<GraphComponent>& components = decomposition.components();
+
+  if (components.empty()) {
+    // Only isolated vertices: the unique repair keeps all of them.
+    return callback(decomposition.isolated());
+  }
+
+  if (components.size() == 1) {
+    // Single component: stream straight out of the engine — no
+    // materialization, matching the memory profile of the monolithic
+    // search on connected graphs.
+    DynamicBitset scratch = decomposition.isolated();
+    MisEngine engine(components[0].graph);
+    return engine.Enumerate([&](const DynamicBitset& local) {
+      decomposition.Scatter(0, local, scratch);
+      return callback(scratch);
+    });
+  }
+
+  // Materialize each component's MIS list in its compact universe, then
+  // stream the cross product. If the lists outgrow the byte budget (only
+  // possible when one component alone has an astronomical repair space),
+  // fall back to the whole-graph streaming search.
+  std::optional<bool> complete = TryEnumerateViaComponentProduct(
+      decomposition,
+      [&](int c, std::vector<DynamicBitset>* out, size_t* used_bytes) {
+        const ConflictGraph& subgraph = components[c].graph;
+        const size_t per_set_bytes =
+            DynamicBitset(subgraph.vertex_count()).MemoryBytes();
+        MisEngine engine(subgraph);
+        return engine.Enumerate([&](const DynamicBitset& local) {
+          if (*used_bytes + per_set_bytes > kComponentListBudgetBytes) {
+            return false;
+          }
+          *used_bytes += per_set_bytes;
+          out->push_back(local);
+          return true;
+        });
+      },
+      callback);
+  if (complete.has_value()) return *complete;
+  MisEngine whole(graph);
+  return whole.Enumerate(callback);
 }
 
 std::vector<DynamicBitset> ComponentMaximalIndependentSets(
     const ConflictGraph& graph, const std::vector<int>& component) {
-  int n = graph.vertex_count();
-  DynamicBitset candidates(n);
-  for (int v : component) candidates.Set(v);
-
+  ConflictGraph subgraph = InducedSubgraph(graph, component);
+  MisEngine engine(subgraph);
   std::vector<DynamicBitset> results;
-  DynamicBitset chosen(n);
-  std::function<bool(const DynamicBitset&)> collect =
-      [&results](const DynamicBitset& s) {
-        results.push_back(s);
-        return true;
-      };
-  MisVisitor visitor(graph, collect);
-  visitor.Expand(chosen, std::move(candidates), DynamicBitset(n));
+  DynamicBitset scratch(graph.vertex_count());
+  engine.Enumerate([&](const DynamicBitset& local) {
+    for (size_t i = 0; i < component.size(); ++i) {
+      scratch.Assign(component[i], local.Test(static_cast<int>(i)));
+    }
+    results.push_back(scratch);
+    return true;
+  });
   return results;
 }
 
@@ -99,14 +115,15 @@ Result<std::vector<DynamicBitset>> AllMaximalIndependentSets(
 }
 
 BigUint CountMaximalIndependentSets(const ConflictGraph& graph) {
+  ComponentDecomposition decomposition(graph);
   BigUint total = BigUint::One();
-  for (const std::vector<int>& component : graph.ConnectedComponents()) {
-    if (component.size() == 1) continue;  // isolated vertex: one choice
+  for (const GraphComponent& component : decomposition.components()) {
     uint64_t count = 0;
-    // Count within the component only (no cross-component blowup).
-    std::vector<DynamicBitset> sets =
-        ComponentMaximalIndependentSets(graph, component);
-    count = sets.size();
+    MisEngine engine(component.graph);
+    engine.Enumerate([&count](const DynamicBitset&) {
+      ++count;
+      return true;
+    });
     total *= BigUint(count);
   }
   return total;

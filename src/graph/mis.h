@@ -1,15 +1,20 @@
 // Maximal-independent-set enumeration: the repair space of a database.
 //
-// Enumeration runs Bron–Kerbosch with pivoting (on the complement graph,
-// expressed directly with vicinity masks) independently per connected
-// component; full-graph results are combined with an odometer product.
-// Counting multiplies per-component counts in exact BigUint arithmetic
-// (Example 4 exhibits 2^n repairs).
+// MisEngine runs Bron–Kerbosch with pivoting (on the complement graph,
+// expressed directly with vicinity masks) as an explicit stack over pooled
+// frames — no bitset is allocated per search node. The whole-graph entry
+// points decompose the graph into connected components first, search each
+// component in its compact local universe, and recombine the per-component
+// results lazily with ComponentProductEnumerator (early-stop callbacks
+// still short-circuit). Counting multiplies per-component counts in exact
+// BigUint arithmetic (Example 4 exhibits 2^n repairs).
 
 #ifndef PREFREP_GRAPH_MIS_H_
 #define PREFREP_GRAPH_MIS_H_
 
 #include <functional>
+#include <limits>
+#include <memory>
 #include <vector>
 
 #include "base/biguint.h"
@@ -18,6 +23,101 @@
 #include "graph/conflict_graph.h"
 
 namespace prefrep {
+
+// Iterative Bron–Kerbosch over one (typically component-compact) graph.
+// Frames and the vicinity masks are allocated once per engine and reused
+// across Enumerate calls; the search itself never touches the heap.
+// Callbacks receive a reference to the engine's chosen-set scratch — copy
+// it to keep it.
+class MisEngine {
+ public:
+  explicit MisEngine(const ConflictGraph& graph);
+  MisEngine(const MisEngine&) = delete;
+  MisEngine& operator=(const MisEngine&) = delete;
+
+  // Visits every maximal independent set exactly once; the callback returns
+  // false to stop early. Returns true iff enumeration ran to completion.
+  template <typename Callback>
+  bool Enumerate(Callback&& callback) {
+    chosen_.Clear();
+    Frame& root = FrameAt(0);
+    root.candidates = DynamicBitset::AllSet(vertex_count_);
+    root.excluded.Clear();
+    root.entering = true;
+    int depth = 0;
+    while (depth >= 0) {
+      Frame& frame = *frames_[depth];
+      if (frame.entering) {
+        frame.entering = false;
+        if (frame.candidates.None() && frame.excluded.None()) {
+          if (!callback(static_cast<const DynamicBitset&>(chosen_))) {
+            return false;
+          }
+          --depth;
+          continue;
+        }
+        // Pivot u ∈ candidates ∪ excluded minimizing |candidates ∩
+        // vicinity(u)|: branching is then bounded to candidates inside u's
+        // vicinity. `branch` doubles as the pivot-pool scratch.
+        frame.branch.AssignOr(frame.candidates, frame.excluded);
+        int pivot = -1;
+        int best = std::numeric_limits<int>::max();
+        ForEachSetBit(frame.branch, [&](int u) {
+          int c = frame.candidates.IntersectionCount(vicinity_[u]);
+          if (c < best) {
+            best = c;
+            pivot = u;
+          }
+        });
+        frame.branch.AssignAnd(frame.candidates, vicinity_[pivot]);
+        frame.v = -1;
+      }
+      // Resume iteration over the frame's branch vertices: retire the
+      // previous branch vertex (un-choose, move candidates → excluded),
+      // then descend into the next one.
+      if (frame.v >= 0) {
+        chosen_.Reset(frame.v);
+        frame.candidates.Reset(frame.v);
+        frame.excluded.Set(frame.v);
+      }
+      int v = frame.branch.NextSetBit(frame.v + 1);
+      if (v < 0) {
+        --depth;
+        continue;
+      }
+      frame.v = v;
+      chosen_.Set(v);
+      Frame& child = FrameAt(depth + 1);
+      const DynamicBitset& vicinity = vicinity_[v];
+      child.candidates.AssignDifference(frame.candidates, vicinity);
+      child.excluded.AssignDifference(frame.excluded, vicinity);
+      child.entering = true;
+      ++depth;
+    }
+    return true;
+  }
+
+  const ConflictGraph& graph() const { return graph_; }
+
+ private:
+  struct Frame {
+    DynamicBitset candidates;
+    DynamicBitset excluded;
+    DynamicBitset branch;
+    int v = -1;
+    bool entering = true;
+  };
+
+  // Frames are pooled behind stable pointers: depth d's frame is allocated
+  // the first time the search reaches it and reused afterwards.
+  Frame& FrameAt(int depth);
+
+  const ConflictGraph& graph_;
+  int vertex_count_;
+  DynamicBitset chosen_;
+  std::vector<DynamicBitset> vicinity_;
+  std::vector<std::unique_ptr<Frame>> frames_;
+};
 
 // Visits every maximal independent set of `graph` exactly once. The callback
 // returns false to stop enumeration early. Returns true iff enumeration ran

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "graph/components.h"
 #include "graph/digraph.h"
 
 namespace prefrep {
@@ -132,12 +133,46 @@ std::string Priority::ToString() const {
 }
 
 DynamicBitset Winnow(const Priority& priority, const DynamicBitset& r) {
-  CHECK_EQ(r.size(), priority.vertex_count());
-  DynamicBitset result = r;
-  ForEachSetBit(r, [&](int t) {
-    if (priority.DominatorsOf(t).Intersects(r)) result.Reset(t);
-  });
+  DynamicBitset result(r.size());
+  WinnowInto(priority, r, result);
   return result;
+}
+
+void WinnowInto(const Priority& priority, const DynamicBitset& r,
+                DynamicBitset& out) {
+  CHECK_EQ(r.size(), priority.vertex_count());
+  CHECK(&out != &r);
+  out = r;
+  ForEachSetBit(r, [&](int t) {
+    if (priority.DominatorsOf(t).Intersects(r)) out.Reset(t);
+  });
+}
+
+std::vector<Priority> ProjectPriorities(
+    const ComponentDecomposition& decomposition, const Priority& priority) {
+  CHECK_EQ(priority.vertex_count(), decomposition.vertex_count());
+  // Bucket the arcs by component in one pass over the arc list.
+  size_t component_count = decomposition.components().size();
+  std::vector<std::vector<std::pair<int, int>>> arcs(component_count);
+  for (auto [x, y] : priority.arcs()) {
+    int c = decomposition.ComponentOf(x);
+    DCHECK(c == decomposition.ComponentOf(y))
+        << "priority arc across components";
+    DCHECK(c >= 0) << "priority arc on an isolated vertex";
+    arcs[c].emplace_back(decomposition.LocalIndex(x),
+                         decomposition.LocalIndex(y));
+  }
+  std::vector<Priority> projected;
+  projected.reserve(component_count);
+  for (size_t c = 0; c < component_count; ++c) {
+    // Restricting an acyclic conflict-edge orientation to an induced
+    // subgraph keeps it valid, so Create cannot fail here.
+    auto local = Priority::Create(decomposition.components()[c].graph,
+                                  std::move(arcs[c]));
+    CHECK(local.ok()) << local.status().ToString();
+    projected.push_back(*std::move(local));
+  }
+  return projected;
 }
 
 }  // namespace prefrep

@@ -90,6 +90,19 @@ class Priority {
 [[nodiscard]] DynamicBitset Winnow(const Priority& priority,
                                    const DynamicBitset& r);
 
+// Allocation-free form: overwrites `out` (same universe as `r`) with ω≻(r).
+// `out` must not alias `r`.
+void WinnowInto(const Priority& priority, const DynamicBitset& r,
+                DynamicBitset& out);
+
+// Restricts `priority` to each non-singleton component of `decomposition`,
+// remapped to local ids. Priority arcs always join conflicting tuples, so
+// every arc lands in exactly one component; the result has one entry per
+// decomposition.components() element.
+class ComponentDecomposition;
+[[nodiscard]] std::vector<Priority> ProjectPriorities(
+    const ComponentDecomposition& decomposition, const Priority& priority);
+
 }  // namespace prefrep
 
 #endif  // PREFREP_PRIORITY_PRIORITY_H_

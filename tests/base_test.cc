@@ -5,6 +5,7 @@
 
 #include <set>
 #include <unordered_set>
+#include <utility>
 
 #include "base/biguint.h"
 #include "base/bitset.h"
@@ -199,6 +200,95 @@ TEST(BitsetTest, ToString) {
 TEST(BitsetTest, ComplementOfSubset) {
   DynamicBitset a = DynamicBitset::FromIndices(5, {0, 2, 4});
   EXPECT_EQ(a.Complement().ToVector(), (std::vector<int>{1, 3}));
+}
+
+TEST(BitsetTest, ThreeOperandAssignForms) {
+  DynamicBitset a = DynamicBitset::FromIndices(130, {0, 64, 100, 129});
+  DynamicBitset b = DynamicBitset::FromIndices(130, {64, 101, 129});
+  DynamicBitset out(130);
+  out.AssignOr(a, b);
+  EXPECT_EQ(out.ToVector(), (std::vector<int>{0, 64, 100, 101, 129}));
+  out.AssignAnd(a, b);
+  EXPECT_EQ(out.ToVector(), (std::vector<int>{64, 129}));
+  out.AssignDifference(a, b);
+  EXPECT_EQ(out.ToVector(), (std::vector<int>{0, 100}));
+  // Self-assignment of an operand is fine: plain word-parallel loops.
+  out = a;
+  out.AssignDifference(out, b);
+  EXPECT_EQ(out.ToVector(), (std::vector<int>{0, 100}));
+}
+
+TEST(BitsetTest, CountInWordRange) {
+  DynamicBitset s = DynamicBitset::FromIndices(200, {0, 63, 64, 127, 130});
+  EXPECT_EQ(s.CountInWordRange(0, s.WordCount()), s.Count());
+  EXPECT_EQ(s.CountInWordRange(0, 1), 2);  // bits 0, 63
+  EXPECT_EQ(s.CountInWordRange(1, 2), 2);  // bits 64, 127
+  EXPECT_EQ(s.CountInWordRange(2, 3), 1);  // bit 130
+  EXPECT_EQ(s.CountInWordRange(3, 4), 0);
+  EXPECT_EQ(s.CountInWordRange(1, 1), 0);  // empty range
+}
+
+TEST(BitsetTest, MemoryBytesTracksWordsInUseNotCapacity) {
+  // Assigning a small bitset into a wide one keeps the vector's capacity;
+  // the materialization budgets must be charged for the words in use.
+  DynamicBitset wide(64 * 16);
+  size_t small_bytes = DynamicBitset(10).MemoryBytes();
+  wide = DynamicBitset(10);
+  EXPECT_EQ(wide.MemoryBytes(), small_bytes);
+  EXPECT_EQ(small_bytes, sizeof(DynamicBitset) + sizeof(uint64_t));
+}
+
+TEST(BitsetTest, WordHashValueMatchesIncrementalUpdates) {
+  DynamicBitset s(300);
+  uint64_t hash = s.WordHashValue();
+  EXPECT_EQ(hash, 0u);  // all-zero words mix to zero
+  for (int bit : {0, 63, 64, 200, 299, 64, 0}) {  // sets then clears some
+    int word = bit / 64;
+    uint64_t before = s.Word(word);
+    s.Assign(bit, !s.Test(bit));
+    hash ^= DynamicBitset::WordHashMix(word, before) ^
+            DynamicBitset::WordHashMix(word, s.Word(word));
+    EXPECT_EQ(hash, s.WordHashValue());
+  }
+  EXPECT_EQ(s.ToVector(), (std::vector<int>{63, 200, 299}));
+}
+
+TEST(BitsetTest, WordHashDistinguishesWordPositions) {
+  // The same word value in different positions must mix differently.
+  DynamicBitset a = DynamicBitset::FromIndices(128, {0});
+  DynamicBitset b = DynamicBitset::FromIndices(128, {64});
+  EXPECT_NE(a.WordHashValue(), b.WordHashValue());
+}
+
+TEST(BitsetPoolTest, ReusesReleasedBuffers) {
+  BitsetPool pool(50);
+  EXPECT_EQ(pool.idle_count(), 0u);
+  {
+    BitsetPool::Handle h1 = pool.Acquire();
+    BitsetPool::Handle h2 = pool.Acquire();
+    h1->Set(7);
+    h2->Set(8);
+    EXPECT_EQ(h1->size(), 50);
+    EXPECT_EQ(pool.idle_count(), 0u);
+  }
+  EXPECT_EQ(pool.idle_count(), 2u);
+  // Reacquired buffers come back cleared.
+  BitsetPool::Handle h = pool.Acquire();
+  EXPECT_EQ(pool.idle_count(), 1u);
+  EXPECT_TRUE(h->None());
+}
+
+TEST(BitsetPoolTest, MoveTransfersOwnership) {
+  BitsetPool pool(8);
+  BitsetPool::Handle a = pool.Acquire();
+  a->Set(3);
+  BitsetPool::Handle b = std::move(a);
+  EXPECT_TRUE(b->Test(3));
+  {
+    BitsetPool::Handle c = std::move(b);
+    EXPECT_TRUE(c->Test(3));
+  }
+  EXPECT_EQ(pool.idle_count(), 1u);
 }
 
 // ----------------------------------------------------------------- BigUint --

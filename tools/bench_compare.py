@@ -1,0 +1,205 @@
+#!/usr/bin/env python3
+"""Compare Google Benchmark JSON results against a checked-in baseline.
+
+Used by the `bench-regression` CI job and for local before/after checks:
+
+    # current results, one JSON per binary (--benchmark_out):
+    python3 tools/bench_compare.py --baseline BENCH_pr2.json out/*.json
+
+    # or compare two merged baseline files directly:
+    python3 tools/bench_compare.py --baseline BENCH_pr2.json BENCH_pr3.json
+
+Baselines are "merged" files: one top-level key per bench binary, each
+holding that binary's Google Benchmark output (see the `note` field of
+BENCH_seed.json). Current results may be merged files or plain
+`--benchmark_out` files, whose binary name is taken from the filename stem.
+
+Rows are matched by (binary, benchmark name) and compared on wall time
+(`real_time`, normalized across time units). A matched row fails the gate
+when current > --threshold x baseline. Rows present only in the current
+results (new benchmarks) or only in the baseline (removed benchmarks) are
+reported but never fail the gate, so adding benchmarks stays cheap.
+Matched rows whose baseline is faster than --min-baseline-us are also
+report-only: microsecond-scale rows swing well past any sane threshold
+from scheduler/runner variance alone, and CI compares runs from different
+machines. For exactly that cross-machine case, --normalize-by-median
+divides every ratio by the median matched ratio before thresholding: a
+runner uniformly k-times slower than the baseline machine then gates at
+~1.0x everywhere, while a genuine hot-path regression still sticks out
+above the pack. The factor is clamped to [1.0, 4.0]: a median below 1
+(the current run is mostly *faster*, e.g. an optimizing PR) must not
+tighten the gate on its untouched rows, and a median above 4 is not a
+plausible runner-speed gap, so the remainder still gates. The blind spot
+left open is a change that regresses every matched row by the same
+factor (indistinguishable from slower hardware by construction); per-row
+regressions — the realistic kind — rise above the median and fail.
+
+Exit status: 0 OK, 1 regression(s) over threshold, 2 usage/input error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+TIME_UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def fail_usage(message: str) -> "sys.NoReturn":
+    print(f"bench_compare: error: {message}", file=sys.stderr)
+    sys.exit(2)
+
+
+def row_time_ns(row: dict) -> float:
+    unit = row.get("time_unit", "ns")
+    if unit not in TIME_UNIT_NS:
+        fail_usage(f"unknown time_unit {unit!r} in row {row.get('name')!r}")
+    return float(row["real_time"]) * TIME_UNIT_NS[unit]
+
+
+def iteration_rows(document: dict) -> dict[str, dict]:
+    """name -> row for the document's plain iteration rows (no aggregates)."""
+    rows = {}
+    for row in document.get("benchmarks", []):
+        if row.get("run_type", "iteration") != "iteration":
+            continue
+        rows[row["name"]] = row
+    return rows
+
+
+def load_merged_or_single(path: pathlib.Path) -> dict[str, dict[str, dict]]:
+    """binary -> name -> row, accepting merged and --benchmark_out formats."""
+    try:
+        document = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as error:
+        fail_usage(f"cannot read {path}: {error}")
+    if "benchmarks" in document:
+        # A single binary's --benchmark_out file; strip common suffixes so
+        # `bench_foo.json` and `bench_foo.out.json` both map to `bench_foo`.
+        binary = path.name.split(".")[0]
+        return {binary: iteration_rows(document)}
+    merged = {}
+    for key, value in document.items():
+        if isinstance(value, dict) and "benchmarks" in value:
+            merged[key] = iteration_rows(value)
+    if not merged:
+        fail_usage(f"{path} holds no benchmark documents")
+    return merged
+
+
+def format_time(ns: float) -> str:
+    for unit, scale in (("s", 1e9), ("ms", 1e6), ("us", 1e3)):
+        if ns >= scale:
+            return f"{ns / scale:.3g} {unit}"
+    return f"{ns:.3g} ns"
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description="Gate benchmark results against a baseline JSON.")
+    parser.add_argument("--baseline", required=True, type=pathlib.Path,
+                        help="merged baseline file, e.g. BENCH_pr2.json")
+    parser.add_argument("--threshold", type=float, default=1.5,
+                        help="fail when current > threshold x baseline "
+                             "(default 1.5)")
+    parser.add_argument("--min-baseline-us", type=float, default=0.0,
+                        help="report-only (never fail) rows whose baseline "
+                             "wall time is below this many microseconds "
+                             "(default 0 = gate everything)")
+    parser.add_argument("--normalize-by-median", action="store_true",
+                        help="divide each ratio by the median matched ratio "
+                             "before thresholding (cancels a uniform "
+                             "machine-speed offset between baseline and "
+                             "current hardware)")
+    parser.add_argument("current", nargs="+", type=pathlib.Path,
+                        help="current result files (--benchmark_out or "
+                             "merged)")
+    args = parser.parse_args()
+    if args.threshold <= 0:
+        fail_usage("--threshold must be positive")
+
+    baseline = load_merged_or_single(args.baseline)
+    current: dict[str, dict[str, dict]] = {}
+    for path in args.current:
+        for binary, rows in load_merged_or_single(path).items():
+            current.setdefault(binary, {}).update(rows)
+
+    matched_rows = []  # (binary, name, base_ns, cur_ns, raw_ratio)
+    new_rows = []
+    removed_rows = []
+
+    for binary in sorted(current):
+        base_rows = baseline.get(binary, {})
+        if not base_rows:
+            new_rows.extend(f"{binary}:{name}" for name in current[binary])
+            continue
+        for name in sorted(current[binary]):
+            if name not in base_rows:
+                new_rows.append(f"{binary}:{name}")
+                continue
+            base_ns = row_time_ns(base_rows[name])
+            cur_ns = row_time_ns(current[binary][name])
+            ratio = cur_ns / base_ns if base_ns > 0 else float("inf")
+            matched_rows.append((binary, name, base_ns, cur_ns, ratio))
+        removed_rows.extend(f"{binary}:{name}" for name in sorted(base_rows)
+                            if name not in current[binary])
+    removed_rows.extend(f"{binary}:{name}"
+                        for binary in sorted(baseline)
+                        if binary not in current
+                        for name in sorted(baseline[binary]))
+
+    if not matched_rows:
+        fail_usage("no rows matched the baseline — wrong files?")
+
+    speed_factor = 1.0
+    if args.normalize_by_median:
+        ratios = sorted(r[4] for r in matched_rows)
+        mid = len(ratios) // 2
+        median = (ratios[mid] if len(ratios) % 2
+                  else (ratios[mid - 1] + ratios[mid]) / 2)
+        # Clamp: a median < 1 means the current run is mostly faster (an
+        # optimizing change) — that must not tighten the gate on untouched
+        # rows; a median > 4 is not a plausible runner-speed gap.
+        speed_factor = min(max(median, 1.0), 4.0)
+        print(f"bench_compare: median matched ratio {median:.3f}x; "
+              f"normalizing by {speed_factor:.3f}x "
+              f"(machine-speed offset, clamped to [1, 4])")
+
+    regressions = []
+    improvements = 0
+    for binary, name, base_ns, cur_ns, raw_ratio in matched_rows:
+        ratio = raw_ratio / speed_factor
+        status = "ok"
+        if ratio > args.threshold:
+            if base_ns < args.min_baseline_us * 1e3:
+                status = "noise"  # too fast to gate across machines
+            else:
+                status = "REGRESSION"
+                regressions.append((binary, name, ratio))
+        elif ratio < 1.0:
+            improvements += 1
+        print(f"{status:>10}  {ratio:6.2f}x  {binary}:{name}  "
+              f"{format_time(base_ns)} -> {format_time(cur_ns)}")
+
+    for entry in new_rows:
+        print(f"{'new':>10}      -    {entry}  (report-only, no baseline row)")
+    for entry in removed_rows:
+        print(f"{'removed':>10}      -    {entry}  (present only in baseline)")
+
+    print(f"\nbench_compare: {len(matched_rows)} matched rows, "
+          f"{improvements} faster, "
+          f"{len(regressions)} over {args.threshold:.2f}x threshold, "
+          f"{len(new_rows)} new, {len(removed_rows)} removed")
+    if regressions:
+        worst = max(regressions, key=lambda r: r[2])
+        print(f"bench_compare: FAIL — worst {worst[0]}:{worst[1]} "
+              f"at {worst[2]:.2f}x", file=sys.stderr)
+        return 1
+    print("bench_compare: PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
