@@ -53,7 +53,7 @@ void BM_Ablation_FamilySelectivity(benchmark::State& state) {
     auto repairs = PreferredRepairs(problem->graph(), priority, family);
     CHECK(repairs.ok());
     family_size = repairs->size();
-    benchmark::DoNotOptimize(family_size);
+    KeepAlive(family_size);
   }
   auto all = problem->AllRepairs();
   CHECK(all.ok());

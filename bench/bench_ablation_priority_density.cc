@@ -38,7 +38,7 @@ void BM_Ablation_PriorityDensity(benchmark::State& state) {
       CHECK(repairs.ok());
       total_repairs += static_cast<double>(repairs->size());
     }
-    benchmark::DoNotOptimize(total_repairs);
+    KeepAlive(total_repairs);
   }
   state.counters["avg_family_size"] = total_repairs / kSeeds;
   state.counters["density_pct"] = static_cast<double>(state.range(1));

@@ -58,7 +58,7 @@ void BM_Aggregation_FamilySweep(benchmark::State& state) {
         AggregateFunction::kSum);
     CHECK(range.ok());
     width = range->hi - range->lo;
-    benchmark::DoNotOptimize(width);
+    KeepAlive(width);
   }
   state.counters["range_width"] = width;
   state.SetLabel(std::string(RepairFamilyName(family)));

@@ -63,7 +63,7 @@ void BM_Fig1_RepairEnumeration(benchmark::State& state) {
       ++visited;
       return true;
     });
-    benchmark::DoNotOptimize(visited);
+    KeepAlive(visited);
   }
   CHECK_EQ(visited, int64_t{1} << n);
   state.counters["repairs"] = static_cast<double>(visited);

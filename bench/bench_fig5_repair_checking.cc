@@ -34,7 +34,7 @@ void BM_Fig5_RepairCheck_PolyFamilies(benchmark::State& state) {
   for (auto _ : state) {
     member = IsPreferredRepair(setup.problem->graph(), *setup.priority,
                                family, repair);
-    benchmark::DoNotOptimize(member);
+    KeepAlive(member);
   }
   CHECK(member);  // Algorithm 1 outputs are in C ⊆ G ⊆ S ⊆ L ⊆ Rep
   state.counters["tuples"] = 4.0 * groups;
@@ -55,7 +55,7 @@ void BM_Fig5_RepairCheck_Global(benchmark::State& state) {
   for (auto _ : state) {
     member = IsPreferredRepair(setup.problem->graph(), *setup.priority,
                                RepairFamily::kGlobal, repair);
-    benchmark::DoNotOptimize(member);
+    KeepAlive(member);
   }
   CHECK(member);
   state.counters["tuples"] = length;
@@ -78,7 +78,7 @@ void BM_Fig5_RepairCheck_CommonOnChains(benchmark::State& state) {
   for (auto _ : state) {
     member = IsPreferredRepair(setup.problem->graph(), *setup.priority,
                                RepairFamily::kCommon, repair);
-    benchmark::DoNotOptimize(member);
+    KeepAlive(member);
   }
   CHECK(member);
   state.counters["tuples"] = length;

@@ -1,0 +1,129 @@
+#include "base/thread_pool.h"
+
+#include "base/logging.h"
+
+namespace prefrep {
+
+ThreadPool::ThreadPool(int thread_count) : thread_count_(thread_count) {
+  CHECK_GE(thread_count, 1);
+  queues_.reserve(thread_count);
+  for (int w = 0; w < thread_count; ++w) {
+    queues_.push_back(std::make_unique<WorkerQueue>());
+  }
+  workers_.reserve(thread_count - 1);
+  for (int w = 1; w < thread_count; ++w) {
+    workers_.emplace_back([this, w] { WorkerLoop(w); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::WorkerLoop(int worker) {
+  uint64_t seen_epoch = 0;
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] { return stop_ || epoch_ != seen_epoch; });
+      if (stop_) return;
+      seen_epoch = epoch_;
+    }
+    Drain(worker);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --active_workers_;
+    }
+    parked_cv_.notify_one();
+  }
+}
+
+void ThreadPool::ParallelFor(
+    size_t task_count, const std::function<void(size_t, int)>& fn) {
+  if (task_count == 0) return;
+  {
+    // Deal the tasks and open the epoch under one lock: a straggler from
+    // the previous call must be parked before the deques refill, so it can
+    // never run a new task against the old fn.
+    std::unique_lock<std::mutex> lock(mu_);
+    parked_cv_.wait(lock, [&] { return active_workers_ == 0; });
+    fn_ = &fn;
+    remaining_.store(task_count, std::memory_order_relaxed);
+    for (size_t task = 0; task < task_count; ++task) {
+      WorkerQueue& queue = *queues_[task % thread_count_];
+      std::lock_guard<std::mutex> queue_lock(queue.mu);
+      queue.tasks.push_back(task);
+    }
+    ++epoch_;
+    active_workers_ = thread_count_ - 1;
+  }
+  work_cv_.notify_all();
+  try {
+    Drain(0);
+  } catch (...) {
+    // fn threw on the caller's lane. `fn` and everything it captures must
+    // outlive the workers' last dereference of fn_, so before unwinding:
+    // discard the undispatched tasks and wait for every worker to park
+    // (in-flight calls finish normally). remaining_ is left stale; the
+    // next ParallelFor resets it.
+    AbandonEpoch();
+    throw;
+  }
+  // The caller's deque view is empty, but stolen tasks may still be running
+  // on workers; the last task completion releases this wait.
+  std::unique_lock<std::mutex> lock(done_mu_);
+  done_cv_.wait(lock, [&] {
+    return remaining_.load(std::memory_order_acquire) == 0;
+  });
+}
+
+void ThreadPool::AbandonEpoch() {
+  for (const std::unique_ptr<WorkerQueue>& queue : queues_) {
+    std::lock_guard<std::mutex> lock(queue->mu);
+    queue->tasks.clear();
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  parked_cv_.wait(lock, [&] { return active_workers_ == 0; });
+}
+
+void ThreadPool::Drain(int worker) {
+  size_t task;
+  while (PopOwn(worker, &task) || Steal(worker, &task)) {
+    (*fn_)(task, worker);
+    if (remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      // Taking done_mu_ before notifying pairs with the predicate check in
+      // ParallelFor: the waiter either sees remaining_ == 0 or is already
+      // inside wait() when the notification fires.
+      std::lock_guard<std::mutex> lock(done_mu_);
+      done_cv_.notify_all();
+    }
+  }
+}
+
+bool ThreadPool::PopOwn(int worker, size_t* task) {
+  WorkerQueue& queue = *queues_[worker];
+  std::lock_guard<std::mutex> lock(queue.mu);
+  if (queue.tasks.empty()) return false;
+  *task = queue.tasks.front();
+  queue.tasks.pop_front();
+  return true;
+}
+
+bool ThreadPool::Steal(int thief, size_t* task) {
+  for (int offset = 1; offset < thread_count_; ++offset) {
+    WorkerQueue& queue = *queues_[(thief + offset) % thread_count_];
+    std::lock_guard<std::mutex> lock(queue.mu);
+    if (queue.tasks.empty()) continue;
+    *task = queue.tasks.back();
+    queue.tasks.pop_back();
+    return true;
+  }
+  return false;
+}
+
+}  // namespace prefrep

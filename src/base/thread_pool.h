@@ -1,0 +1,117 @@
+// Work-stealing thread pool for sharded per-component repair enumeration.
+//
+// The enumeration engines (graph/mis.cc, core/families.cc) decompose the
+// conflict graph into connected components and materialize one choice list
+// per component. Components are fully independent work units of wildly
+// uneven cost — a component's repair space is exponential in its size —
+// so the pool gives every worker its own task deque and lets idle workers
+// steal from the others; a static round-robin split would serialize on
+// whichever worker drew the largest component.
+//
+// The pool is deliberately simple and TSan-clean: deques are mutex
+// guarded (task granularity is whole-component enumeration or a chunk of
+// the repair product, microseconds to seconds, so queue overhead is
+// noise), completion is one atomic counter, and the caller's thread
+// participates as worker 0 so `thread_count` bounds total concurrency.
+
+#ifndef PREFREP_BASE_THREAD_POOL_H_
+#define PREFREP_BASE_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace prefrep {
+
+// Threading knob shared by the enumeration / CQA entry points. threads <= 1
+// selects the serial path (the default: the pre-threaded code path with no
+// pool and no synchronization). threads > 1 bounds the workers of one
+// enumeration; results are identical to serial in either mode (pinned by
+// tests/parallel_enumeration_test.cc) because every engine instance stays
+// confined to one thread and the merge steps are commutative.
+struct ParallelOptions {
+  int threads = 1;
+};
+
+// Worker count actually worth spawning for `task_count` independent tasks:
+// never more threads than tasks, never less than one.
+inline int EffectiveThreadCount(const ParallelOptions& options,
+                                size_t task_count) {
+  int threads = options.threads;
+  if (threads < 1) threads = 1;
+  if (task_count < static_cast<size_t>(threads)) {
+    threads = static_cast<int>(task_count);
+  }
+  return threads < 1 ? 1 : threads;
+}
+
+class ThreadPool {
+ public:
+  // Spawns `thread_count - 1` OS threads; the caller participates as
+  // worker 0 for the duration of each ParallelFor. thread_count >= 1.
+  explicit ThreadPool(int thread_count);
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+  ~ThreadPool();
+
+  int thread_count() const { return thread_count_; }
+
+  // Runs fn(task, worker) for every task in [0, task_count) exactly once
+  // and returns when every call has finished. `worker` is in
+  // [0, thread_count) and identifies the executing lane within this call —
+  // index per-worker state (engines, scratch, compiled queries) with it.
+  // Tasks are dealt round-robin across the per-worker deques; a worker
+  // whose deque drains steals from the back of the others. Not reentrant:
+  // fn must not call ParallelFor on the same pool.
+  //
+  // fn should not throw. If it throws on the caller's lane anyway (e.g.
+  // std::bad_alloc), ParallelFor discards the unstarted tasks, waits for
+  // in-flight calls to finish — fn and its captures stay alive until the
+  // last worker parks — and rethrows; some tasks will simply never have
+  // run. A throw on a pool worker terminates the process, as with any
+  // exception escaping a std::thread.
+  void ParallelFor(size_t task_count,
+                   const std::function<void(size_t task, int worker)>& fn);
+
+ private:
+  struct WorkerQueue {
+    std::mutex mu;
+    std::deque<size_t> tasks;
+  };
+
+  void WorkerLoop(int worker);
+  // Executes tasks until every deque (own, then victims) is empty.
+  void Drain(int worker);
+  // Clears every deque and waits for all workers to park, so the current
+  // fn can be destroyed safely. Used when fn throws out of Drain(0).
+  void AbandonEpoch();
+  bool PopOwn(int worker, size_t* task);
+  bool Steal(int thief, size_t* task);
+
+  const int thread_count_;
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;  // guards epoch_ / stop_ / active_workers_ / fn_
+  std::condition_variable work_cv_;    // workers wait here for a new epoch
+  std::condition_variable parked_cv_;  // ParallelFor waits for stragglers
+  uint64_t epoch_ = 0;
+  int active_workers_ = 0;  // workers still draining the current epoch
+  bool stop_ = false;
+  const std::function<void(size_t, int)>* fn_ = nullptr;
+
+  std::atomic<size_t> remaining_{0};
+  std::mutex done_mu_;
+  std::condition_variable done_cv_;
+};
+
+}  // namespace prefrep
+
+#endif  // PREFREP_BASE_THREAD_POOL_H_

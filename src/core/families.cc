@@ -221,17 +221,17 @@ void FilterGloballyOptimalInPlace(const Priority& priority,
 }
 
 // Materializes the members of `family` on one component graph into `out`,
-// charging `used_bytes` against the shared budget. Returns false if the
-// budget would be exceeded (out and used_bytes are then meaningless).
+// charging the shared budget. Returns false if the budget would be
+// exceeded (out is then meaningless). Safe to run concurrently for
+// distinct components: every engine it constructs is local to the call.
 bool MaterializeComponentFamily(const ConflictGraph& graph,
                                 const Priority& priority, RepairFamily family,
                                 std::vector<DynamicBitset>* out,
-                                size_t* used_bytes) {
+                                ComponentListBudget* budget) {
   const size_t per_set_bytes =
       DynamicBitset(graph.vertex_count()).MemoryBytes();
   auto collect = [&](const DynamicBitset& repair) {
-    if (*used_bytes + per_set_bytes > kComponentListBudgetBytes) return false;
-    *used_bytes += per_set_bytes;
+    if (!budget->TryCharge(per_set_bytes)) return false;
     out->push_back(repair);
     return true;
   };
@@ -242,7 +242,7 @@ bool MaterializeComponentFamily(const ConflictGraph& graph,
     if (!MisEngine(graph).Enumerate(collect)) return false;
     size_t before = out->size();
     FilterGloballyOptimalInPlace(priority, out);
-    *used_bytes -= (before - out->size()) * per_set_bytes;
+    budget->Refund((before - out->size()) * per_set_bytes);
     return true;
   }
   return StreamComponentFamily(graph, priority, family, collect);
@@ -260,9 +260,9 @@ bool EnumerateFamilyOnGraph(const ConflictGraph& graph,
     return StreamComponentFamily(graph, priority, family, emit);
   }
   std::vector<DynamicBitset> repairs;
-  size_t used_bytes = 0;
+  ComponentListBudget budget;
   if (MaterializeComponentFamily(graph, priority, family, &repairs,
-                                 &used_bytes)) {
+                                 &budget)) {
     for (const DynamicBitset& repair : repairs) {
       if (!emit(repair)) return false;
     }
@@ -365,12 +365,21 @@ bool IsPreferredRepair(const ConflictGraph& graph, const Priority& priority,
 bool EnumeratePreferredRepairs(
     const ConflictGraph& graph, const Priority& priority, RepairFamily family,
     const std::function<bool(const DynamicBitset&)>& callback) {
+  return EnumeratePreferredRepairs(graph, priority, family, ParallelOptions{},
+                                   callback);
+}
+
+bool EnumeratePreferredRepairs(
+    const ConflictGraph& graph, const Priority& priority, RepairFamily family,
+    const ParallelOptions& options,
+    const std::function<bool(const DynamicBitset&)>& callback) {
   if (family == RepairFamily::kAll) {
-    return EnumerateMaximalIndependentSets(graph, callback);
+    return EnumerateMaximalIndependentSets(graph, options, callback);
   }
   if (SpansOneComponent(graph)) {
     // Connected graph: no decomposition, no priority projection, no
-    // remapping — enumerate in place.
+    // remapping — enumerate in place. There is only one component, so
+    // options.threads has nothing to fan out over.
     return EnumerateFamilyOnGraph(graph, priority, family, callback);
   }
   ComponentDecomposition decomposition(graph);
@@ -394,11 +403,11 @@ bool EnumeratePreferredRepairs(
         });
   }
   std::optional<bool> complete = TryEnumerateViaComponentProduct(
-      decomposition,
-      [&](int c, std::vector<DynamicBitset>* out, size_t* used_bytes) {
+      decomposition, options,
+      [&](int c, std::vector<DynamicBitset>* out, ComponentListBudget* budget) {
         return MaterializeComponentFamily(components[c].graph,
                                           local_priorities[c], family, out,
-                                          used_bytes);
+                                          budget);
       },
       callback);
   if (complete.has_value()) return *complete;
@@ -408,9 +417,16 @@ bool EnumeratePreferredRepairs(
 Result<std::vector<DynamicBitset>> PreferredRepairs(
     const ConflictGraph& graph, const Priority& priority, RepairFamily family,
     size_t limit) {
+  return PreferredRepairs(graph, priority, family, ParallelOptions{}, limit);
+}
+
+Result<std::vector<DynamicBitset>> PreferredRepairs(
+    const ConflictGraph& graph, const Priority& priority, RepairFamily family,
+    const ParallelOptions& options, size_t limit) {
   std::vector<DynamicBitset> repairs;
   bool complete = EnumeratePreferredRepairs(
-      graph, priority, family, [&repairs, limit](const DynamicBitset& r) {
+      graph, priority, family, options,
+      [&repairs, limit](const DynamicBitset& r) {
         if (repairs.size() >= limit) return false;
         repairs.push_back(r);
         return true;
@@ -421,6 +437,31 @@ Result<std::vector<DynamicBitset>> PreferredRepairs(
                                      std::string(RepairFamilyName(family)));
   }
   return repairs;
+}
+
+std::optional<ComponentFamilyLists> MaterializeComponentFamilyLists(
+    const ConflictGraph& graph, const Priority& priority, RepairFamily family,
+    const ParallelOptions& options, ThreadPool* pool) {
+  ComponentFamilyLists out{ComponentDecomposition(graph), {}, {}};
+  const std::vector<GraphComponent>& components =
+      out.decomposition.components();
+  out.local_priorities = ProjectPriorities(out.decomposition, priority);
+  bool within_budget = MaterializeComponentLists(
+      out.decomposition, options,
+      [&](int c, std::vector<DynamicBitset>* list, ComponentListBudget* budget) {
+        return MaterializeComponentFamily(components[c].graph,
+                                          out.local_priorities[c], family,
+                                          list, budget);
+      },
+      &out.choices, pool);
+  if (!within_budget) return std::nullopt;
+  return out;
+}
+
+bool EnumeratePreferredRepairsStreaming(
+    const ConflictGraph& graph, const Priority& priority, RepairFamily family,
+    const std::function<bool(const DynamicBitset&)>& callback) {
+  return EnumerateWholeGraphFallback(graph, priority, family, callback);
 }
 
 }  // namespace prefrep

@@ -9,11 +9,14 @@
 #define PREFREP_CORE_FAMILIES_H_
 
 #include <functional>
+#include <optional>
 #include <string_view>
 #include <vector>
 
 #include "base/bitset.h"
 #include "base/status.h"
+#include "base/thread_pool.h"
+#include "graph/components.h"
 #include "graph/conflict_graph.h"
 #include "priority/priority.h"
 
@@ -48,10 +51,65 @@ bool EnumeratePreferredRepairs(
     const ConflictGraph& graph, const Priority& priority, RepairFamily family,
     const std::function<bool(const DynamicBitset&)>& callback);
 
+// Same, with per-component family materialization fanned out across
+// options.threads workers: each component is searched by its own engine
+// instance on one thread (engines are single-threaded by design), the
+// per-component lists merge in component order, and the product odometer
+// streams combinations through `callback` on the calling thread — so the
+// emitted sequence is identical to the serial form and options only
+// change wall-clock. threads <= 1 takes the serial path unchanged. One
+// caveat at the edge of the kComponentListBudgetBytes budget: parallel
+// G-Rep materialization holds several unfiltered lists concurrently where
+// serial holds one at a time, so a transient peak can trip the streaming
+// fallback where serial squeaks by — the repair *set* is still identical,
+// but the fallback's emission order differs from the product's.
+bool EnumeratePreferredRepairs(
+    const ConflictGraph& graph, const Priority& priority, RepairFamily family,
+    const ParallelOptions& options,
+    const std::function<bool(const DynamicBitset&)>& callback);
+
 // Materializes the family, failing with kResourceExhausted beyond `limit`.
 Result<std::vector<DynamicBitset>> PreferredRepairs(
     const ConflictGraph& graph, const Priority& priority, RepairFamily family,
     size_t limit = 1u << 20);
+Result<std::vector<DynamicBitset>> PreferredRepairs(
+    const ConflictGraph& graph, const Priority& priority, RepairFamily family,
+    const ParallelOptions& options, size_t limit = 1u << 20);
+
+// Per-component family lists in their compact local universes, together
+// with the decomposition and projected priorities that define them. The
+// input of sharded consumers: cqa.cc splits the product space across
+// worker threads by slicing one component's list
+// (ComponentProductEnumerator::EnumerateSlice).
+struct ComponentFamilyLists {
+  ComponentDecomposition decomposition;
+  std::vector<Priority> local_priorities;
+  std::vector<std::vector<DynamicBitset>> choices;
+};
+
+// Materializes every component's family list, fanning components out
+// across options.threads workers (on `pool` when given, else an
+// on-demand pool). Returns nullopt when the lists exceed
+// kComponentListBudgetBytes — callers then take a serial streaming path
+// (EnumeratePreferredRepairsStreaming, which will not re-attempt the
+// materialization that just failed). A graph with no non-singleton
+// component yields empty `choices`; its unique repair is
+// decomposition.isolated().
+[[nodiscard]] std::optional<ComponentFamilyLists>
+MaterializeComponentFamilyLists(const ConflictGraph& graph,
+                                const Priority& priority, RepairFamily family,
+                                const ParallelOptions& options,
+                                ThreadPool* pool = nullptr);
+
+// Whole-graph streaming enumeration with O(search depth) memory: the
+// forms EnumeratePreferredRepairs falls back to once per-component lists
+// exceed the byte budget. For consumers that already know the budget is
+// blown — re-running the doomed materialization would double the
+// exponential core. Emission order differs from the product-based path
+// (there is no product); the set of repairs is identical.
+bool EnumeratePreferredRepairsStreaming(
+    const ConflictGraph& graph, const Priority& priority, RepairFamily family,
+    const std::function<bool(const DynamicBitset&)>& callback);
 
 }  // namespace prefrep
 

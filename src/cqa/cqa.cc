@@ -1,14 +1,167 @@
 #include "cqa/cqa.h"
 
 #include <algorithm>
+#include <atomic>
 #include <functional>
 #include <map>
 #include <set>
+#include <utility>
 
+#include "base/thread_pool.h"
+#include "graph/components.h"
 #include "query/normal_form.h"
 #include "query/prepared.h"
 
 namespace prefrep {
+
+namespace {
+
+using DigitRange = ComponentProductEnumerator::DigitRange;
+
+// A partition of the product space of per-component family lists into
+// disjoint boxes (ComponentProductEnumerator::EnumerateSlices tasks), a
+// few per worker so the work-stealing pool can rebalance uneven boxes.
+struct CqaShardPlan {
+  std::vector<std::vector<DigitRange>> chunks;
+};
+
+// Builds ~threads*4 chunks. One component's list rarely has enough
+// entries on its own (multi-component instances often have many small
+// lists but an astronomical product), so the planner works through the
+// components by descending list length: it fixes whole digits — taking
+// the cross product of their individual indices into the chunk set —
+// while that keeps the chunk count at or under the target, then splits
+// the next digit's range to make up the remainder. Chunk count stays
+// under 2x the target; every chunk is a non-empty box (no list here is
+// empty — callers return early for empty families).
+CqaShardPlan PlanCqaShards(
+    const std::vector<std::vector<DynamicBitset>>& choices, int threads) {
+  const size_t target = static_cast<size_t>(threads) * size_t{4};
+  std::vector<int> order(choices.size());
+  for (size_t c = 0; c < order.size(); ++c) order[c] = static_cast<int>(c);
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return choices[a].size() > choices[b].size();
+  });
+  CqaShardPlan plan;
+  plan.chunks.emplace_back();  // one chunk covering the whole product
+  size_t count = 1;
+  for (int digit : order) {
+    const size_t length = choices[digit].size();
+    if (count >= target || length <= 1) break;  // nothing more to gain
+    std::vector<std::vector<DigitRange>> expanded;
+    if (count * length <= target) {
+      // Fix this digit: every chunk splits into one chunk per index.
+      expanded.reserve(plan.chunks.size() * length);
+      for (const std::vector<DigitRange>& chunk : plan.chunks) {
+        for (size_t i = 0; i < length; ++i) {
+          expanded.push_back(chunk);
+          expanded.back().push_back({digit, i, i + 1});
+        }
+      }
+      count *= length;
+    } else {
+      // Last digit: split its range just enough to reach the target.
+      size_t splits = std::min(length, (target + count - 1) / count);
+      expanded.reserve(plan.chunks.size() * splits);
+      for (const std::vector<DigitRange>& chunk : plan.chunks) {
+        for (size_t s = 0; s < splits; ++s) {
+          expanded.push_back(chunk);
+          expanded.back().push_back(
+              {digit, length * s / splits, length * (s + 1) / splits});
+        }
+      }
+      count *= splits;
+    }
+    plan.chunks = std::move(expanded);
+  }
+  return plan;
+}
+
+// The enumeration driver a serial CQA loop runs on: either the standard
+// product-based EnumeratePreferredRepairs or, when the caller already
+// knows the component lists exceed the byte budget, the streaming
+// fallback (re-attempting the doomed materialization would run the
+// exponential core twice).
+using EnumerateRepairsFn = std::function<bool(
+    const std::function<bool(const DynamicBitset&)>& callback)>;
+
+// Runs `eval_repair(chunk, worker, repair)` over every repair of the
+// product, sharded across the caller's work-stealing pool; `abort` is
+// shared with the callbacks so any shard can stop the others (after a
+// worker error, or once the merged result can no longer change).
+// eval_repair returning false also raises `abort`. The callback always
+// runs with `worker` < pool.thread_count(), so callers index per-worker
+// state (compiled query copies) with it and per-chunk state (partial
+// results, Status slots) with `chunk`.
+void ForEachRepairSharded(
+    const ComponentFamilyLists& lists, const CqaShardPlan& plan,
+    ThreadPool& pool, std::atomic<bool>* abort,
+    const std::function<bool(size_t chunk, int worker,
+                             const DynamicBitset& repair)>& eval_repair) {
+  pool.ParallelFor(plan.chunks.size(), [&](size_t chunk, int worker) {
+    if (abort->load(std::memory_order_relaxed)) return;
+    ComponentProductEnumerator product(lists.decomposition, &lists.choices);
+    product.EnumerateSlices(
+        plan.chunks[chunk],
+        [&](const DynamicBitset& repair) {
+          if (!eval_repair(chunk, worker, repair)) {
+            abort->store(true, std::memory_order_relaxed);
+            return false;
+          }
+          return !abort->load(std::memory_order_relaxed);
+        });
+  });
+}
+
+// Drops from `keep` every row not also in `other`. The serial loop, the
+// per-chunk partials and the chunk merge all intersect through this one
+// helper — their behavioral identity is what makes the sharded answer set
+// provably equal to the serial one.
+void IntersectInPlace(std::set<Tuple>* keep, const std::set<Tuple>& other) {
+  for (auto it = keep->begin(); it != keep->end();) {
+    it = other.contains(*it) ? std::next(it) : keep->erase(it);
+  }
+}
+
+// The one orchestration point both CQA entry points share: picks the
+// sharded or serial loop for `options` and hands it the right enumeration
+// driver. threads > 1 materializes the per-component lists once (a single
+// pool serves both materialization and eval sharding) and dispatches to
+// `sharded(lists, pool)`; when the lists blow the byte budget it runs
+// `serial` over the streaming fallback — with O(depth) memory, instead of
+// re-running the materialization that just failed. Connected graphs take
+// the serial path at every thread count: there the serial enumerator
+// streams in place with early-stop, so materializing up front (the
+// sharded prerequisite) could cost unboundedly more than the verdict
+// needs — on multi-component graphs the serial path materializes the
+// very same per-component lists, so sharding adds no memory or
+// materialization the serial run wouldn't. threads <= 1, and instances
+// with no component to shard over (a single repair of isolated
+// vertices), also run `serial` over the standard enumerator.
+template <typename ShardedFn, typename SerialFn>
+auto RunCqa(const RepairProblem& problem, const Priority& priority,
+            RepairFamily family, const ParallelOptions& options,
+            const ShardedFn& sharded, const SerialFn& serial) {
+  if (options.threads > 1 && !SpansOneComponent(problem.graph())) {
+    ThreadPool pool(options.threads);
+    std::optional<ComponentFamilyLists> lists = MaterializeComponentFamilyLists(
+        problem.graph(), priority, family, options, &pool);
+    if (!lists.has_value()) {
+      return serial([&](const std::function<bool(const DynamicBitset&)>& cb) {
+        return EnumeratePreferredRepairsStreaming(problem.graph(), priority,
+                                                  family, cb);
+      });
+    }
+    if (!lists->choices.empty()) {
+      return sharded(*lists, pool);
+    }
+  }
+  return serial([&](const std::function<bool(const DynamicBitset&)>& cb) {
+    return EnumeratePreferredRepairs(problem.graph(), priority, family, cb);
+  });
+}
+
+}  // namespace
 
 std::string_view CqaVerdictName(CqaVerdict verdict) {
   switch (verdict) {
@@ -22,10 +175,80 @@ std::string_view CqaVerdictName(CqaVerdict verdict) {
   return "?";
 }
 
+namespace {
+
+// Sharded verdict: every worker evaluates its repair slices with a
+// private copy of the compiled query and reports which outcomes it saw
+// into one shared bit mask (bit 0: satisfying repair, bit 1: falsifying).
+// OR-ing outcome bits is commutative, so the merged mask — and therefore
+// the verdict — is exactly what the serial loop computes; once both bits
+// are set no further repair can change it and every shard stops.
+Result<CqaVerdict> ShardedConsistentAnswer(const ComponentFamilyLists& lists,
+                                           const PreparedQuery& prepared,
+                                           ThreadPool& pool) {
+  for (const std::vector<DynamicBitset>& list : lists.choices) {
+    // An empty component list makes the family empty: vacuously true,
+    // matching the serial loop (whose callback never runs).
+    if (list.empty()) return CqaVerdict::kCertainlyTrue;
+  }
+  CqaShardPlan plan = PlanCqaShards(lists.choices, pool.thread_count());
+  std::vector<PreparedQuery> worker_query(pool.thread_count(), prepared);
+  std::vector<Status> chunk_status(plan.chunks.size(), Status::Ok());
+  std::atomic<uint32_t> seen_mask{0};
+  std::atomic<bool> abort{false};
+  ForEachRepairSharded(
+      lists, plan, pool, &abort,
+      [&](size_t chunk, int worker, const DynamicBitset& repair) {
+        Result<bool> holds = worker_query[worker].EvalClosed(&repair);
+        if (!holds.ok()) {
+          chunk_status[chunk] = holds.status();
+          return false;
+        }
+        uint32_t bit = *holds ? 1u : 2u;
+        uint32_t mask =
+            seen_mask.fetch_or(bit, std::memory_order_relaxed) | bit;
+        return mask != 3u;  // stop every shard once both observed
+      });
+  for (const Status& status : chunk_status) {
+    PREFREP_RETURN_IF_ERROR(status);
+  }
+  uint32_t mask = seen_mask.load(std::memory_order_relaxed);
+  if (mask == 3u) return CqaVerdict::kUndetermined;
+  if (mask == 2u) return CqaVerdict::kCertainlyFalse;
+  return CqaVerdict::kCertainlyTrue;
+}
+
+// The serial verdict loop, over whichever enumeration driver fits the
+// caller's situation (see EnumerateRepairsFn).
+Result<CqaVerdict> SerialConsistentAnswer(const PreparedQuery& prepared,
+                                          const EnumerateRepairsFn& enumerate) {
+  bool seen_true = false;
+  bool seen_false = false;
+  Status eval_error = Status::Ok();
+  enumerate([&](const DynamicBitset& repair) {
+    Result<bool> holds = prepared.EvalClosed(&repair);
+    if (!holds.ok()) {
+      eval_error = holds.status();
+      return false;
+    }
+    (*holds ? seen_true : seen_false) = true;
+    return !(seen_true && seen_false);  // stop once both observed
+  });
+  PREFREP_RETURN_IF_ERROR(eval_error);
+  if (seen_true && seen_false) return CqaVerdict::kUndetermined;
+  if (seen_false) return CqaVerdict::kCertainlyFalse;
+  // All repairs satisfy Q (or the family was empty, which P1-families
+  // never are; vacuously true then).
+  return CqaVerdict::kCertainlyTrue;
+}
+
+}  // namespace
+
 Result<CqaVerdict> PreferredConsistentAnswer(const RepairProblem& problem,
                                              const Priority& priority,
                                              RepairFamily family,
-                                             const Query& query) {
+                                             const Query& query,
+                                             ParallelOptions options) {
   if (!query.IsClosed()) {
     PREFREP_RETURN_IF_ERROR(ValidateQuery(problem.db(), query));
     return Status::InvalidArgument(
@@ -35,70 +258,140 @@ Result<CqaVerdict> PreferredConsistentAnswer(const RepairProblem& problem,
   // quantifier search (query/prepared.h).
   PREFREP_ASSIGN_OR_RETURN(PreparedQuery prepared,
                            PreparedQuery::Compile(problem.db(), query));
-  bool seen_true = false;
-  bool seen_false = false;
-  Status eval_error = Status::Ok();
-  EnumeratePreferredRepairs(
-      problem.graph(), priority, family, [&](const DynamicBitset& repair) {
-        Result<bool> holds = prepared.EvalClosed(&repair);
-        if (!holds.ok()) {
-          eval_error = holds.status();
-          return false;
-        }
-        (*holds ? seen_true : seen_false) = true;
-        return !(seen_true && seen_false);  // stop once both observed
+  return RunCqa(
+      problem, priority, family, options,
+      [&](const ComponentFamilyLists& lists, ThreadPool& pool) {
+        return ShardedConsistentAnswer(lists, prepared, pool);
+      },
+      [&](const EnumerateRepairsFn& enumerate) {
+        return SerialConsistentAnswer(prepared, enumerate);
       });
-  PREFREP_RETURN_IF_ERROR(eval_error);
-  if (seen_true && seen_false) return CqaVerdict::kUndetermined;
-  if (seen_false) return CqaVerdict::kCertainlyFalse;
-  // All repairs satisfy Q (or the family was empty, which P1-families
-  // never are; vacuously true then).
-  return CqaVerdict::kCertainlyTrue;
 }
 
 Result<bool> IsConsistentlyTrue(const RepairProblem& problem,
                                 const Priority& priority, RepairFamily family,
-                                const Query& query) {
+                                const Query& query, ParallelOptions options) {
   PREFREP_ASSIGN_OR_RETURN(
       CqaVerdict verdict,
-      PreferredConsistentAnswer(problem, priority, family, query));
+      PreferredConsistentAnswer(problem, priority, family, query, options));
   return verdict == CqaVerdict::kCertainlyTrue;
 }
 
-Result<OpenAnswer> PreferredConsistentAnswers(const RepairProblem& problem,
-                                              const Priority& priority,
-                                              RepairFamily family,
-                                              const Query& query) {
-  PREFREP_ASSIGN_OR_RETURN(PreparedQuery prepared,
-                           PreparedQuery::Compile(problem.db(), query));
+namespace {
+
+// Sharded open answers: every worker intersects the answer sets of the
+// repairs in its slices into a per-chunk partial set; set intersection is
+// commutative and associative, so intersecting the partials (in any
+// order) equals the serial running intersection. A chunk whose partial
+// empties proves the global intersection empty and stops the rest.
+Result<OpenAnswer> ShardedConsistentAnswers(const ComponentFamilyLists& lists,
+                                            const PreparedQuery& prepared,
+                                            ThreadPool& pool) {
+  for (const std::vector<DynamicBitset>& list : lists.choices) {
+    // Empty family: no repair ever ran, matching the serial loop's empty
+    // OpenAnswer (variables included — they are set on the first repair).
+    if (list.empty()) return OpenAnswer{};
+  }
+  CqaShardPlan plan = PlanCqaShards(lists.choices, pool.thread_count());
+  std::vector<PreparedQuery> worker_query(pool.thread_count(), prepared);
+  std::vector<Status> chunk_status(plan.chunks.size(), Status::Ok());
+  struct ChunkPartial {
+    std::set<Tuple> rows;
+    bool any = false;
+  };
+  std::vector<ChunkPartial> partial(plan.chunks.size());
+  std::atomic<bool> emptied{false};
+  std::atomic<bool> abort{false};
+  ForEachRepairSharded(
+      lists, plan, pool, &abort,
+      [&](size_t chunk, int worker, const DynamicBitset& repair) {
+        Result<OpenAnswer> answer = worker_query[worker].EvalOpen(&repair);
+        if (!answer.ok()) {
+          chunk_status[chunk] = answer.status();
+          return false;
+        }
+        ChunkPartial& mine = partial[chunk];
+        if (!mine.any) {
+          mine.rows.insert(answer->rows.begin(), answer->rows.end());
+          mine.any = true;
+        } else {
+          std::set<Tuple> here(answer->rows.begin(), answer->rows.end());
+          IntersectInPlace(&mine.rows, here);
+        }
+        if (mine.rows.empty()) {
+          emptied.store(true, std::memory_order_relaxed);
+          return false;
+        }
+        return true;
+      });
+  for (const Status& status : chunk_status) {
+    PREFREP_RETURN_IF_ERROR(status);
+  }
+  OpenAnswer out;
+  out.variables = prepared.free_variables();
+  if (emptied.load(std::memory_order_relaxed)) return out;
+  // No shard emptied (and none aborted), so every chunk saw all of its
+  // repairs: the certain answers are the intersection of the partials.
+  std::set<Tuple> certain = std::move(partial[0].rows);
+  for (size_t chunk = 1; chunk < partial.size(); ++chunk) {
+    IntersectInPlace(&certain, partial[chunk].rows);
+  }
+  out.rows.assign(certain.begin(), certain.end());
+  return out;
+}
+
+}  // namespace
+
+namespace {
+
+// The serial open-answer loop, over whichever enumeration driver fits the
+// caller's situation (see EnumerateRepairsFn).
+Result<OpenAnswer> SerialConsistentAnswers(const PreparedQuery& prepared,
+                                           const EnumerateRepairsFn& enumerate) {
   bool first = true;
   std::set<Tuple> certain;
   std::vector<std::string> variables;
   Status eval_error = Status::Ok();
-  EnumeratePreferredRepairs(
-      problem.graph(), priority, family, [&](const DynamicBitset& repair) {
-        Result<OpenAnswer> answer = prepared.EvalOpen(&repair);
-        if (!answer.ok()) {
-          eval_error = answer.status();
-          return false;
-        }
-        if (first) {
-          variables = answer->variables;
-          certain.insert(answer->rows.begin(), answer->rows.end());
-          first = false;
-        } else {
-          std::set<Tuple> here(answer->rows.begin(), answer->rows.end());
-          for (auto it = certain.begin(); it != certain.end();) {
-            it = here.contains(*it) ? std::next(it) : certain.erase(it);
-          }
-        }
-        return !certain.empty() || first;  // nothing left to lose: stop
-      });
+  enumerate([&](const DynamicBitset& repair) {
+    Result<OpenAnswer> answer = prepared.EvalOpen(&repair);
+    if (!answer.ok()) {
+      eval_error = answer.status();
+      return false;
+    }
+    if (first) {
+      variables = answer->variables;
+      certain.insert(answer->rows.begin(), answer->rows.end());
+      first = false;
+    } else {
+      std::set<Tuple> here(answer->rows.begin(), answer->rows.end());
+      IntersectInPlace(&certain, here);
+    }
+    return !certain.empty() || first;  // nothing left to lose: stop
+  });
   PREFREP_RETURN_IF_ERROR(eval_error);
   OpenAnswer out;
   out.variables = std::move(variables);
   out.rows.assign(certain.begin(), certain.end());
   return out;
+}
+
+}  // namespace
+
+Result<OpenAnswer> PreferredConsistentAnswers(const RepairProblem& problem,
+                                              const Priority& priority,
+                                              RepairFamily family,
+                                              const Query& query,
+                                              ParallelOptions options) {
+  PREFREP_ASSIGN_OR_RETURN(PreparedQuery prepared,
+                           PreparedQuery::Compile(problem.db(), query));
+  return RunCqa(
+      problem, priority, family, options,
+      [&](const ComponentFamilyLists& lists, ThreadPool& pool) {
+        return ShardedConsistentAnswers(lists, prepared, pool);
+      },
+      [&](const EnumerateRepairsFn& enumerate) {
+        return SerialConsistentAnswers(prepared, enumerate);
+      });
 }
 
 namespace {

@@ -16,6 +16,7 @@
 #include <string_view>
 
 #include "base/status.h"
+#include "base/thread_pool.h"
 #include "core/families.h"
 #include "priority/priority.h"
 #include "query/ast.h"
@@ -35,23 +36,41 @@ std::string_view CqaVerdictName(CqaVerdict verdict);
 // Evaluates the closed query in every preferred repair of `family` under
 // `priority` (enumeration stops as soon as both a satisfying and a
 // falsifying repair have been seen).
+//
+// options.threads > 1 shards the work two ways: per-component family
+// lists are materialized by parallel workers (core/families.h), then the
+// repair product is split into slices evaluated concurrently, each worker
+// holding a private copy of the compiled query. Per-shard partial
+// verdicts ("saw a satisfying / falsifying repair") merge by a
+// commutative OR, so the verdict is identical to the serial result; a
+// shared flag stops every shard once both outcomes have been observed.
 Result<CqaVerdict> PreferredConsistentAnswer(const RepairProblem& problem,
                                              const Priority& priority,
                                              RepairFamily family,
-                                             const Query& query);
+                                             const Query& query,
+                                             ParallelOptions options = {});
 
 // Convenience: true iff `true` is the X-consistent answer (Definition 3).
 Result<bool> IsConsistentlyTrue(const RepairProblem& problem,
                                 const Priority& priority, RepairFamily family,
-                                const Query& query);
+                                const Query& query,
+                                ParallelOptions options = {});
 
 // Consistent answers to an *open* query: the assignments of its free
 // variables satisfying it in every preferred repair (the intersection of
 // the per-repair answer sets).
+//
+// options.threads > 1 shards exactly like PreferredConsistentAnswer; each
+// worker intersects the answer sets of its repair slice and the per-shard
+// partial intersections combine by the same commutative set intersection,
+// so the answer set is identical to the serial result. A shard whose
+// partial intersection empties proves the global answer empty and stops
+// the others.
 Result<OpenAnswer> PreferredConsistentAnswers(const RepairProblem& problem,
                                               const Priority& priority,
                                               RepairFamily family,
-                                              const Query& query);
+                                              const Query& query,
+                                              ParallelOptions options = {});
 
 // Polynomial-time consistent answers for ground quantifier-free queries
 // under the plain Rep semantics: true iff the query holds in every repair.

@@ -88,41 +88,79 @@ void ComponentDecomposition::Gather(int c, const DynamicBitset& global,
 ComponentProductEnumerator::ComponentProductEnumerator(
     const ComponentDecomposition& decomposition,
     std::vector<std::vector<DynamicBitset>> choices)
-    : decomposition_(decomposition), choices_(std::move(choices)) {
-  CHECK_EQ(choices_.size(), decomposition_.components().size());
+    : decomposition_(decomposition),
+      owned_choices_(std::move(choices)),
+      choices_(&owned_choices_) {
+  CHECK_EQ(choices_->size(), decomposition_.components().size());
+}
+
+ComponentProductEnumerator::ComponentProductEnumerator(
+    const ComponentDecomposition& decomposition,
+    const std::vector<std::vector<DynamicBitset>>* choices)
+    : decomposition_(decomposition), choices_(choices) {
+  CHECK_EQ(choices_->size(), decomposition_.components().size());
 }
 
 bool ComponentProductEnumerator::Enumerate(
     const std::function<bool(const DynamicBitset&)>& callback) {
-  for (const std::vector<DynamicBitset>& options : choices_) {
-    if (options.empty()) return true;  // empty product
+  return EnumerateSlices({}, callback);
+}
+
+bool ComponentProductEnumerator::EnumerateSlices(
+    const std::vector<DigitRange>& ranges,
+    const std::function<bool(const DynamicBitset&)>& callback) {
+  const std::vector<std::vector<DynamicBitset>>& choices = *choices_;
+  int digits = static_cast<int>(choices.size());
+  if (digits == 0) {
+    // No non-singleton components: the unique combination keeps exactly
+    // the isolated vertices.
+    DynamicBitset scratch = decomposition_.isolated();
+    return callback(scratch);
   }
-  int digits = static_cast<int>(choices_.size());
+  std::vector<size_t> begins(digits, 0);
+  std::vector<size_t> ends(digits);
+  for (int d = 0; d < digits; ++d) ends[d] = choices[d].size();
+  for (const DigitRange& range : ranges) {
+    CHECK(range.digit >= 0 && range.digit < digits);
+    CHECK_LE(range.end, choices[range.digit].size());
+    begins[range.digit] = range.begin;
+    ends[range.digit] = range.end;
+  }
+  for (int d = 0; d < digits; ++d) {
+    if (begins[d] >= ends[d]) return true;  // empty box (or empty list)
+  }
   DynamicBitset scratch = decomposition_.isolated();
-  std::vector<size_t> index(digits, 0);
-  for (int c = 0; c < digits; ++c) {
-    decomposition_.Scatter(c, choices_[c][0], scratch);
+  std::vector<size_t> index(digits);
+  for (int d = 0; d < digits; ++d) {
+    index[d] = begins[d];
+    decomposition_.Scatter(d, choices[d][index[d]], scratch);
   }
   while (true) {
     if (!callback(scratch)) return false;
     // Odometer advance: bump the first digit that has a next option,
     // rewinding the ones before it. Only changed digits are re-scattered,
     // so consecutive outputs cost O(size of the components that moved).
-    int c = 0;
-    while (c < digits && index[c] + 1 == choices_[c].size()) {
-      index[c] = 0;
-      decomposition_.Scatter(c, choices_[c][0], scratch);
-      ++c;
+    int d = 0;
+    while (d < digits && index[d] + 1 == ends[d]) {
+      index[d] = begins[d];
+      decomposition_.Scatter(d, choices[d][index[d]], scratch);
+      ++d;
     }
-    if (c == digits) return true;
-    ++index[c];
-    decomposition_.Scatter(c, choices_[c][index[c]], scratch);
+    if (d == digits) return true;
+    ++index[d];
+    decomposition_.Scatter(d, choices[d][index[d]], scratch);
   }
+}
+
+bool ComponentProductEnumerator::EnumerateSlice(
+    int c, size_t begin, size_t end,
+    const std::function<bool(const DynamicBitset&)>& callback) {
+  return EnumerateSlices({{c, begin, end}}, callback);
 }
 
 BigUint ComponentProductEnumerator::Count() const {
   BigUint total = BigUint::One();
-  for (const std::vector<DynamicBitset>& options : choices_) {
+  for (const std::vector<DynamicBitset>& options : *choices_) {
     total *= BigUint(options.size());
   }
   return total;

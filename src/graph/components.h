@@ -13,12 +13,15 @@
 #ifndef PREFREP_GRAPH_COMPONENTS_H_
 #define PREFREP_GRAPH_COMPONENTS_H_
 
+#include <atomic>
 #include <functional>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "base/biguint.h"
 #include "base/bitset.h"
+#include "base/thread_pool.h"
 #include "graph/conflict_graph.h"
 
 namespace prefrep {
@@ -28,6 +31,36 @@ namespace prefrep {
 // own repair space is astronomical can exceed it; the enumerators then
 // fall back to whole-graph streaming forms with O(depth) memory.
 inline constexpr size_t kComponentListBudgetBytes = size_t{256} << 20;
+
+// One byte budget charged by every producer of one enumeration call.
+// Thread-safe so parallel per-component producers share it; in the serial
+// path the atomics are uncontended and cost nothing measurable next to
+// the list append they guard.
+class ComponentListBudget {
+ public:
+  // Charges `bytes` unless the running total would exceed
+  // kComponentListBudgetBytes; returns false (without charging) on
+  // overflow. Whether any charge overflows depends only on the grand
+  // total, not on thread interleaving, except transient peaks of
+  // producers that refund (G-Rep's post-filter shrink) — there a parallel
+  // run can overflow where serial would squeak by. Both outcomes are
+  // correct: overflow only selects the streaming fallback.
+  [[nodiscard]] bool TryCharge(size_t bytes) {
+    size_t after = used_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+    if (after > kComponentListBudgetBytes) {
+      used_.fetch_sub(bytes, std::memory_order_relaxed);
+      return false;
+    }
+    return true;
+  }
+  void Refund(size_t bytes) {
+    used_.fetch_sub(bytes, std::memory_order_relaxed);
+  }
+  size_t used() const { return used_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<size_t> used_{0};
+};
 
 // The compact subgraph induced by `vertices` (sorted ascending): local
 // vertex i stands for global vertex vertices[i].
@@ -91,41 +124,118 @@ class ComponentProductEnumerator {
  public:
   ComponentProductEnumerator(const ComponentDecomposition& decomposition,
                              std::vector<std::vector<DynamicBitset>> choices);
+  // Borrowing form for sharded consumers: several enumerators (one per
+  // worker thread) walk disjoint slices of one read-only choice table.
+  // `choices` must outlive the enumerator.
+  ComponentProductEnumerator(
+      const ComponentDecomposition& decomposition,
+      const std::vector<std::vector<DynamicBitset>>* choices);
+
+  // Not copyable/movable: choices_ may point into owned_choices_, and the
+  // defaulted operations would leave the copy aimed at the source's
+  // buffer.
+  ComponentProductEnumerator(const ComponentProductEnumerator&) = delete;
+  ComponentProductEnumerator& operator=(const ComponentProductEnumerator&) =
+      delete;
 
   // Visits every combination exactly once (order unspecified); returns true
   // iff enumeration ran to completion. An empty choice list for any
   // component makes the product empty (vacuously complete).
   bool Enumerate(const std::function<bool(const DynamicBitset&)>& callback);
 
+  // A constraint on one digit of the product: component `digit`'s choice
+  // index ranges over [begin, end) instead of its full list.
+  struct DigitRange {
+    int digit;
+    size_t begin;
+    size_t end;
+  };
+
+  // Enumerates the box of the product where each constrained component
+  // ranges over its DigitRange and every unconstrained component over its
+  // full list (`ranges` may name each digit at most once). Boxes that
+  // partition the full box partition the product — this is how cqa.cc
+  // shards the per-repair evaluation loop across workers. Any empty range
+  // makes the box a vacuously complete empty slice.
+  bool EnumerateSlices(const std::vector<DigitRange>& ranges,
+                       const std::function<bool(const DynamicBitset&)>& callback);
+
+  // Single-digit convenience form of EnumerateSlices.
+  bool EnumerateSlice(int c, size_t begin, size_t end,
+                      const std::function<bool(const DynamicBitset&)>& callback);
+
   // Exact product size in BigUint arithmetic.
   [[nodiscard]] BigUint Count() const;
 
  private:
   const ComponentDecomposition& decomposition_;
-  std::vector<std::vector<DynamicBitset>> choices_;
+  std::vector<std::vector<DynamicBitset>> owned_choices_;
+  const std::vector<std::vector<DynamicBitset>>* choices_;
 };
 
-// Materializes one choice list per component via `produce` and streams
-// their cross product through `callback`. `produce(c, out, used_bytes)`
-// appends component c's list, charging `used_bytes` against the shared
-// kComponentListBudgetBytes budget, and returns false on overflow; this is
-// the one place the budget/product orchestration lives, shared by the MIS
-// and family enumerators. Returns nullopt when some component overflowed
+// Fills lists[c] for every component by running `produce` — serially, or
+// fanned out over a work-stealing pool when options.threads > 1 and there
+// is more than one component. `produce(c, out, budget)` appends component
+// c's choice list, charging the shared budget, and returns false on
+// overflow; it must be safe to run concurrently for distinct c (engines
+// constructed inside a produce call are per-task and therefore confined
+// to one thread). Pass `pool` to reuse a caller-owned ThreadPool (cqa.cc
+// shares one pool between materialization and eval sharding); with
+// nullptr a pool is created on demand. Returns false when any component
+// overflowed the budget.
+template <typename ProduceComponent>
+[[nodiscard]] bool MaterializeComponentLists(
+    const ComponentDecomposition& decomposition,
+    const ParallelOptions& options, ProduceComponent&& produce,
+    std::vector<std::vector<DynamicBitset>>* lists,
+    ThreadPool* pool = nullptr) {
+  const size_t count = decomposition.components().size();
+  lists->assign(count, {});
+  ComponentListBudget budget;
+  int threads = EffectiveThreadCount(options, count);
+  if (threads <= 1) {
+    for (size_t c = 0; c < count; ++c) {
+      if (!produce(static_cast<int>(c), &(*lists)[c], &budget)) return false;
+    }
+    return true;
+  }
+  std::atomic<bool> overflow{false};
+  auto run = [&](ThreadPool& p) {
+    p.ParallelFor(count, [&](size_t c, int /*worker*/) {
+      if (overflow.load(std::memory_order_relaxed)) return;
+      if (!produce(static_cast<int>(c), &(*lists)[c], &budget)) {
+        overflow.store(true, std::memory_order_relaxed);
+      }
+    });
+  };
+  if (pool != nullptr) {
+    run(*pool);
+  } else {
+    ThreadPool own_pool(threads);
+    run(own_pool);
+  }
+  return !overflow.load(std::memory_order_relaxed);
+}
+
+// Materializes one choice list per component via `produce` (see
+// MaterializeComponentLists for its contract and the threading model) and
+// streams their cross product through `callback`; this is the one place
+// the budget/product orchestration lives, shared by the MIS and family
+// enumerators. Returns nullopt when some component overflowed the budget
 // (the caller picks its whole-graph streaming fallback), otherwise the
 // product enumeration's completion flag.
 template <typename ProduceComponent>
 std::optional<bool> TryEnumerateViaComponentProduct(
-    const ComponentDecomposition& decomposition, ProduceComponent&& produce,
+    const ComponentDecomposition& decomposition,
+    const ParallelOptions& options, ProduceComponent&& produce,
     const std::function<bool(const DynamicBitset&)>& callback) {
-  std::vector<std::vector<DynamicBitset>> lists(
-      decomposition.components().size());
-  size_t used_bytes = 0;
-  for (size_t c = 0; c < lists.size(); ++c) {
-    if (!produce(static_cast<int>(c), &lists[c], &used_bytes)) {
-      lists.clear();
-      lists.shrink_to_fit();  // free before the caller's streaming fallback
-      return std::nullopt;
-    }
+  std::vector<std::vector<DynamicBitset>> lists;
+  if (!MaterializeComponentLists(decomposition, options,
+                                 std::forward<ProduceComponent>(produce),
+                                 &lists)) {
+    lists.clear();
+    lists.shrink_to_fit();  // free before the caller's streaming fallback
+    return std::nullopt;
   }
   return ComponentProductEnumerator(decomposition, std::move(lists))
       .Enumerate(callback);

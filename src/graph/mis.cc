@@ -31,6 +31,12 @@ MisEngine::Frame& MisEngine::FrameAt(int depth) {
 bool EnumerateMaximalIndependentSets(
     const ConflictGraph& graph,
     const std::function<bool(const DynamicBitset&)>& callback) {
+  return EnumerateMaximalIndependentSets(graph, ParallelOptions{}, callback);
+}
+
+bool EnumerateMaximalIndependentSets(
+    const ConflictGraph& graph, const ParallelOptions& options,
+    const std::function<bool(const DynamicBitset&)>& callback) {
   if (SpansOneComponent(graph)) {
     // Connected graph: no decomposition, no remapping — search in place.
     MisEngine engine(graph);
@@ -61,17 +67,14 @@ bool EnumerateMaximalIndependentSets(
   // possible when one component alone has an astronomical repair space),
   // fall back to the whole-graph streaming search.
   std::optional<bool> complete = TryEnumerateViaComponentProduct(
-      decomposition,
-      [&](int c, std::vector<DynamicBitset>* out, size_t* used_bytes) {
+      decomposition, options,
+      [&](int c, std::vector<DynamicBitset>* out, ComponentListBudget* budget) {
         const ConflictGraph& subgraph = components[c].graph;
         const size_t per_set_bytes =
             DynamicBitset(subgraph.vertex_count()).MemoryBytes();
         MisEngine engine(subgraph);
         return engine.Enumerate([&](const DynamicBitset& local) {
-          if (*used_bytes + per_set_bytes > kComponentListBudgetBytes) {
-            return false;
-          }
-          *used_bytes += per_set_bytes;
+          if (!budget->TryCharge(per_set_bytes)) return false;
           out->push_back(local);
           return true;
         });
@@ -100,9 +103,14 @@ std::vector<DynamicBitset> ComponentMaximalIndependentSets(
 
 Result<std::vector<DynamicBitset>> AllMaximalIndependentSets(
     const ConflictGraph& graph, size_t limit) {
+  return AllMaximalIndependentSets(graph, ParallelOptions{}, limit);
+}
+
+Result<std::vector<DynamicBitset>> AllMaximalIndependentSets(
+    const ConflictGraph& graph, const ParallelOptions& options, size_t limit) {
   std::vector<DynamicBitset> results;
   bool complete = EnumerateMaximalIndependentSets(
-      graph, [&results, limit](const DynamicBitset& s) {
+      graph, options, [&results, limit](const DynamicBitset& s) {
         if (results.size() >= limit) return false;
         results.push_back(s);
         return true;

@@ -20,6 +20,7 @@
 #include "base/biguint.h"
 #include "base/bitset.h"
 #include "base/status.h"
+#include "base/thread_pool.h"
 #include "graph/conflict_graph.h"
 
 namespace prefrep {
@@ -126,6 +127,19 @@ bool EnumerateMaximalIndependentSets(
     const ConflictGraph& graph,
     const std::function<bool(const DynamicBitset&)>& callback);
 
+// Same, with per-component materialization fanned out across
+// options.threads workers (each component searched by its own MisEngine on
+// one thread). The callback always runs on the calling thread, in the same
+// order as the serial form, so options only change wall-clock, never
+// results (caveat: within a hair of the kComponentListBudgetBytes budget,
+// concurrent producers' transient peak can trip the whole-graph streaming
+// fallback where serial would not — same MIS set, different order).
+// Connected graphs take the serial streaming path unchanged — there is
+// only one component to search.
+bool EnumerateMaximalIndependentSets(
+    const ConflictGraph& graph, const ParallelOptions& options,
+    const std::function<bool(const DynamicBitset&)>& callback);
+
 // All maximal independent sets of the subgraph induced by `component`
 // (bitsets span the full vertex set but only touch component vertices).
 [[nodiscard]] std::vector<DynamicBitset> ComponentMaximalIndependentSets(
@@ -135,6 +149,9 @@ bool EnumerateMaximalIndependentSets(
 // kResourceExhausted if there are more than `limit`.
 Result<std::vector<DynamicBitset>> AllMaximalIndependentSets(
     const ConflictGraph& graph, size_t limit = 1u << 20);
+Result<std::vector<DynamicBitset>> AllMaximalIndependentSets(
+    const ConflictGraph& graph, const ParallelOptions& options,
+    size_t limit = 1u << 20);
 
 // Exact number of maximal independent sets (product over components).
 [[nodiscard]] BigUint CountMaximalIndependentSets(const ConflictGraph& graph);

@@ -218,6 +218,64 @@ Priority RandomDagPriority(Rng& rng, const ConflictGraph& graph,
   return *std::move(priority);
 }
 
+ConflictGraph MakeComponentPathsGraph(Rng& rng,
+                                      const std::vector<int>& component_sizes) {
+  int n = 0;
+  for (int size : component_sizes) {
+    CHECK_GE(size, 1);
+    n += size;
+  }
+  std::vector<int> relabel = rng.Permutation(n);
+  std::vector<std::pair<int, int>> edges;
+  edges.reserve(static_cast<size_t>(n));
+  int base = 0;
+  for (int size : component_sizes) {
+    for (int i = 1; i < size; ++i) {
+      edges.emplace_back(relabel[base + i - 1], relabel[base + i]);
+    }
+    base += size;
+  }
+  return ConflictGraph(n, edges);
+}
+
+GeneratedInstance MakeComponentsInstance(
+    Rng& rng, const std::vector<int>& component_sizes) {
+  GeneratedInstance out;
+  out.db = std::make_unique<Database>();
+  Schema schema = NumericSchema("R", {"K", "V", "W"});
+  CHECK(out.db->AddRelation(schema).ok());
+  out.fds.push_back(MustFd(schema, "K -> V"));
+  for (size_t g = 0; g < component_sizes.size(); ++g) {
+    int size = component_sizes[g];
+    CHECK_GE(size, 1);
+    // The first `classes` tuples seed one V-class each (so no class is
+    // empty and the component really is a >= 2-part multipartite graph);
+    // the rest land in random classes.
+    int classes =
+        size >= 2 ? static_cast<int>(rng.UniformRange(2, size)) : 1;
+    for (int j = 0; j < size; ++j) {
+      int v = j < classes ? j : static_cast<int>(rng.UniformInt(classes));
+      MustInsert(*out.db, "R",
+                 Tuple::Of(Value::Number(static_cast<int64_t>(g)),
+                           Value::Number(v), Value::Number(j)));
+    }
+  }
+  return out;
+}
+
+GeneratedInstance MakeComponentsInstance(Rng& rng, int components,
+                                         int min_size, int max_size) {
+  CHECK_GE(components, 0);
+  CHECK_GE(min_size, 1);
+  CHECK_GE(max_size, min_size);
+  std::vector<int> sizes;
+  sizes.reserve(components);
+  for (int i = 0; i < components; ++i) {
+    sizes.push_back(static_cast<int>(rng.UniformRange(min_size, max_size)));
+  }
+  return MakeComponentsInstance(rng, sizes);
+}
+
 GeneratedInstance MakeIntegrationWorkload(Rng& rng, int sources, int keys,
                                           double coverage,
                                           int value_domain) {

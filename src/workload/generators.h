@@ -87,6 +87,32 @@ Priority RandomRankingPriority(Rng& rng, const ConflictGraph& graph,
 Priority RandomDagPriority(Rng& rng, const ConflictGraph& graph,
                            double density);
 
+// A conflict graph that is the disjoint union of paths: component i is a
+// path of component_sizes[i] vertices (size 1 = isolated vertex), with
+// global vertex ids interleaved by a random permutation so components are
+// never contiguous id ranges. A path's repair space is Fibonacci in its
+// length, so per-component enumeration cost is controllable and
+// exponential — the knob the parallel property tests and the thread-
+// scaling bench both need.
+[[nodiscard]] ConflictGraph MakeComponentPathsGraph(
+    Rng& rng, const std::vector<int>& component_sizes);
+
+// Database-backed multi-component instance over R(K, V, W) with FD
+// K -> V: group i holds component_sizes[i] tuples with key i, split
+// across >= 2 V-classes (same-class tuples agree on V and never conflict;
+// cross-class tuples conflict), so every group of size >= 2 is one
+// connected complete-multipartite conflict component and size-1 groups
+// are isolated vertices. W makes tuples distinct. Used by the parallel
+// CQA equivalence tests, which need a database and queries, not just a
+// graph.
+GeneratedInstance MakeComponentsInstance(Rng& rng,
+                                         const std::vector<int>& component_sizes);
+
+// Convenience: `components` groups with sizes uniform in
+// [min_size, max_size].
+GeneratedInstance MakeComponentsInstance(Rng& rng, int components,
+                                         int min_size, int max_size);
+
 // Data-integration workload (the paper's §1 motivation, scaled up): the
 // union of `sources` individually consistent sources over R(K, V) with key
 // FD K -> V. Each source covers each key in [0, keys) with probability

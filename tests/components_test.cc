@@ -254,6 +254,58 @@ TEST(ComponentProductEnumeratorTest, EmptyChoiceListMakesEmptyProduct) {
   EXPECT_EQ(seen, 0);
 }
 
+TEST(ComponentProductEnumeratorTest, DisjointBoxesPartitionTheProduct) {
+  // Same 3 x P4 setup as EarlyStopShortCircuits: 3 components with 3
+  // repairs each, product 27. Partition the product the way the CQA shard
+  // planner does — fix one digit entirely, split another into ranges,
+  // leave the third unconstrained — and check the boxes' outputs union to
+  // exactly the full enumeration with no repair visited twice.
+  std::vector<std::pair<int, int>> edges;
+  for (int i = 0; i < 3; ++i) {
+    int b = 4 * i;
+    edges.insert(edges.end(), {{b, b + 1}, {b + 1, b + 2}, {b + 2, b + 3}});
+  }
+  ConflictGraph g(12, edges);
+  ComponentDecomposition d(g);
+  std::vector<std::vector<DynamicBitset>> choices;
+  for (const GraphComponent& c : d.components()) {
+    auto repairs = AllMaximalIndependentSets(c.graph);
+    ASSERT_TRUE(repairs.ok());
+    choices.push_back(*std::move(repairs));
+  }
+  ComponentProductEnumerator full(d, &choices);
+  SetOfSets expected;
+  EXPECT_TRUE(full.Enumerate([&expected](const DynamicBitset& r) {
+    expected.insert(r.ToVector());
+    return true;
+  }));
+  EXPECT_EQ(expected.size(), 27u);
+
+  using DigitRange = ComponentProductEnumerator::DigitRange;
+  SetOfSets seen;
+  for (size_t i = 0; i < 3; ++i) {            // digit 0 fixed per index
+    for (auto [lo, hi] : {std::pair<size_t, size_t>{0, 2}, {2, 3}}) {
+      ComponentProductEnumerator box(d, &choices);
+      EXPECT_TRUE(box.EnumerateSlices(
+          {DigitRange{0, i, i + 1}, DigitRange{1, lo, hi}},
+          [&seen](const DynamicBitset& r) {
+            EXPECT_TRUE(seen.insert(r.ToVector()).second)
+                << "repair visited by two boxes: " << r.ToString();
+            return true;
+          }));
+    }
+  }
+  EXPECT_EQ(seen, expected);
+
+  // An empty range makes the box a vacuously complete empty slice.
+  ComponentProductEnumerator empty_box(d, &choices);
+  EXPECT_TRUE(empty_box.EnumerateSlices({DigitRange{2, 1, 1}},
+                                        [](const DynamicBitset&) {
+                                          ADD_FAILURE() << "empty box emitted";
+                                          return true;
+                                        }));
+}
+
 // --------------------------------------------- composition property --
 
 TEST(ComponentsPropertyTest, ComposedEnumerationMatchesWholeGraph) {

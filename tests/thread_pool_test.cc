@@ -1,0 +1,167 @@
+// Tests for the work-stealing thread pool (base/thread_pool.h): exactly-
+// once task execution, worker-index discipline, stealing under skewed
+// task costs, and reuse across ParallelFor calls. The suite is written to
+// be meaningful under --gtest_repeat (the TSan CI job reruns it many
+// times to shake out scheduling-dependent interleavings).
+
+#include "base/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace prefrep {
+namespace {
+
+TEST(ParallelOptionsTest, EffectiveThreadCountClamps) {
+  EXPECT_EQ(EffectiveThreadCount(ParallelOptions{1}, 100), 1);
+  EXPECT_EQ(EffectiveThreadCount(ParallelOptions{0}, 100), 1);
+  EXPECT_EQ(EffectiveThreadCount(ParallelOptions{-3}, 100), 1);
+  EXPECT_EQ(EffectiveThreadCount(ParallelOptions{4}, 100), 4);
+  EXPECT_EQ(EffectiveThreadCount(ParallelOptions{8}, 3), 3);
+  EXPECT_EQ(EffectiveThreadCount(ParallelOptions{8}, 0), 1);
+}
+
+TEST(ThreadPoolTest, RunsEveryTaskExactlyOnce) {
+  constexpr size_t kTasks = 1000;
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> runs(kTasks);
+  pool.ParallelFor(kTasks, [&](size_t task, int worker) {
+    ASSERT_LT(task, kTasks);
+    ASSERT_GE(worker, 0);
+    ASSERT_LT(worker, pool.thread_count());
+    runs[task].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (size_t t = 0; t < kTasks; ++t) {
+    EXPECT_EQ(runs[t].load(), 1) << "task " << t;
+  }
+}
+
+TEST(ThreadPoolTest, SingleThreadPoolRunsInlineOnCaller) {
+  ThreadPool pool(1);
+  std::thread::id caller = std::this_thread::get_id();
+  int count = 0;
+  pool.ParallelFor(64, [&](size_t, int worker) {
+    EXPECT_EQ(worker, 0);
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    ++count;  // safe: single thread
+  });
+  EXPECT_EQ(count, 64);
+}
+
+TEST(ThreadPoolTest, WorkerIndexIdentifiesOneThreadPerCall) {
+  ThreadPool pool(4);
+  std::mutex mu;
+  std::map<int, std::set<std::thread::id>> threads_of_worker;
+  pool.ParallelFor(256, [&](size_t, int worker) {
+    std::lock_guard<std::mutex> lock(mu);
+    threads_of_worker[worker].insert(std::this_thread::get_id());
+  });
+  for (const auto& [worker, ids] : threads_of_worker) {
+    EXPECT_EQ(ids.size(), 1u) << "worker " << worker
+                              << " ran on more than one thread";
+  }
+  // Worker 0 is the calling thread.
+  if (threads_of_worker.contains(0)) {
+    EXPECT_EQ(*threads_of_worker[0].begin(), std::this_thread::get_id());
+  }
+}
+
+TEST(ThreadPoolTest, StealsAcrossSkewedTaskCosts) {
+  // Task 0 (dealt to worker 0's deque together with 4 and 8) is slow; the
+  // tasks queued behind it must complete via stealing even while worker 0
+  // is stuck. Exactly-once still holds under the resulting interleavings.
+  ThreadPool pool(4);
+  constexpr size_t kTasks = 12;
+  std::vector<std::atomic<int>> runs(kTasks);
+  pool.ParallelFor(kTasks, [&](size_t task, int) {
+    if (task == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    runs[task].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (size_t t = 0; t < kTasks; ++t) {
+    EXPECT_EQ(runs[t].load(), 1) << "task " << t;
+  }
+}
+
+TEST(ThreadPoolTest, ReusableAcrossSequentialParallelForCalls) {
+  ThreadPool pool(3);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<int> sum{0};
+    pool.ParallelFor(round + 1, [&](size_t task, int) {
+      sum.fetch_add(static_cast<int>(task) + 1, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(sum.load(), (round + 1) * (round + 2) / 2) << "round " << round;
+  }
+}
+
+TEST(ThreadPoolTest, ZeroTasksReturnsImmediately) {
+  ThreadPool pool(4);
+  bool ran = false;
+  pool.ParallelFor(0, [&](size_t, int) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPoolTest, MoreThreadsThanTasks) {
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> runs(3);
+  pool.ParallelFor(3, [&](size_t task, int worker) {
+    ASSERT_LT(worker, 8);
+    runs[task].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (size_t t = 0; t < 3; ++t) EXPECT_EQ(runs[t].load(), 1);
+}
+
+TEST(ThreadPoolTest, DestructionWithNoWorkIsClean) {
+  for (int i = 0; i < 10; ++i) {
+    ThreadPool pool(4);  // construct + destroy without ParallelFor
+  }
+}
+
+TEST(ThreadPoolTest, CallerLaneThrowPropagatesAndPoolStaysUsable) {
+  // fn throwing on the caller's lane must rethrow out of ParallelFor only
+  // after every worker parks (fn and its captures stay alive until then),
+  // and the pool must run a fresh epoch cleanly afterwards. Throwing is
+  // keyed to worker 0 — only the caller's lane — because an exception on
+  // a pool thread would std::terminate by contract.
+  ThreadPool pool(4);
+  // Pool lanes hold their first task until the caller has thrown (a
+  // worker's first move is always PopOwn from its round-robin share, so
+  // the caller's own deque — and a task to throw from — can't be stolen
+  // dry first), making the caller-lane throw deterministic.
+  std::atomic<bool> threw{false};
+  bool caught = false;
+  try {
+    pool.ParallelFor(64, [&](size_t, int worker) {
+      if (worker == 0) {
+        threw.store(true, std::memory_order_relaxed);
+        throw std::runtime_error("caller lane");
+      }
+      while (!threw.load(std::memory_order_relaxed)) {
+        std::this_thread::yield();
+      }
+    });
+  } catch (const std::runtime_error&) {
+    caught = true;
+  }
+  EXPECT_TRUE(caught);
+  // Reuse: the abandoned epoch must not leak into the next one.
+  std::vector<std::atomic<int>> runs(100);
+  pool.ParallelFor(100, [&](size_t task, int) {
+    runs[task].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (size_t t = 0; t < 100; ++t) {
+    EXPECT_EQ(runs[t].load(), 1) << "task " << t;
+  }
+}
+
+}  // namespace
+}  // namespace prefrep

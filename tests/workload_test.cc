@@ -4,6 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
 #include "constraints/fd_theory.h"
 #include "cqa/cqa.h"
 #include "query/parser.h"
@@ -135,6 +138,66 @@ TEST(WorkloadTest, IntegrationWorkloadConflictsOnlyAcrossSources) {
   RepairProblem problem = MustProblem(inst);
   for (auto [u, v] : problem.graph().edges()) {
     EXPECT_NE(inst.db->MetaOf(u).source_id, inst.db->MetaOf(v).source_id);
+  }
+}
+
+TEST(WorkloadTest, ComponentPathsGraphHasRequestedComponents) {
+  Rng rng(2026);
+  ConflictGraph g = MakeComponentPathsGraph(rng, {1, 3, 5, 1, 4});
+  EXPECT_EQ(g.vertex_count(), 14);
+  // Edges: (3-1) + (5-1) + (4-1) = 9; paths are acyclic so component
+  // sizes are recoverable from the component list.
+  EXPECT_EQ(g.edge_count(), 9);
+  std::vector<size_t> sizes;
+  for (const auto& component : g.ConnectedComponents()) {
+    sizes.push_back(component.size());
+  }
+  std::sort(sizes.begin(), sizes.end());
+  EXPECT_EQ(sizes, (std::vector<size_t>{1, 1, 3, 4, 5}));
+  // Every vertex of a path has degree <= 2.
+  for (int v = 0; v < g.vertex_count(); ++v) {
+    EXPECT_LE(g.Degree(v), 2);
+  }
+}
+
+TEST(WorkloadTest, ComponentPathsGraphDeterministicForSeed) {
+  Rng rng1(77), rng2(77);
+  ConflictGraph a = MakeComponentPathsGraph(rng1, {4, 6, 2});
+  ConflictGraph b = MakeComponentPathsGraph(rng2, {4, 6, 2});
+  EXPECT_EQ(a.edges(), b.edges());
+}
+
+TEST(WorkloadTest, ComponentsInstanceGroupsAreComponents) {
+  Rng rng(31337);
+  std::vector<int> sizes = {4, 1, 6, 3, 1, 5};
+  GeneratedInstance inst = MakeComponentsInstance(rng, sizes);
+  RepairProblem problem = MustProblem(inst);
+  int total = 0;
+  for (int s : sizes) total += s;
+  EXPECT_EQ(problem.graph().vertex_count(), total);
+  // Conflicts only join tuples of the same key (= same group).
+  for (auto [u, v] : problem.graph().edges()) {
+    EXPECT_EQ(inst.db->TupleOf(u).value(0), inst.db->TupleOf(v).value(0));
+  }
+  // Groups of size >= 2 are connected (>= 2 V-classes, complete
+  // multipartite); size-1 groups are isolated vertices.
+  std::vector<size_t> component_sizes;
+  for (const auto& component : problem.graph().ConnectedComponents()) {
+    component_sizes.push_back(component.size());
+  }
+  std::sort(component_sizes.begin(), component_sizes.end());
+  EXPECT_EQ(component_sizes, (std::vector<size_t>{1, 1, 3, 4, 5, 6}));
+}
+
+TEST(WorkloadTest, ComponentsInstanceConvenienceRespectsBounds) {
+  Rng rng(8);
+  GeneratedInstance inst = MakeComponentsInstance(rng, 5, 2, 4);
+  RepairProblem problem = MustProblem(inst);
+  auto components = problem.graph().ConnectedComponents();
+  EXPECT_EQ(components.size(), 5u);  // min_size 2 forbids isolated vertices
+  for (const auto& component : components) {
+    EXPECT_GE(component.size(), 2u);
+    EXPECT_LE(component.size(), 4u);
   }
 }
 
