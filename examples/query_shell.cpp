@@ -14,6 +14,7 @@
 //   repairs [limit]                            list (preferred) repairs
 //   ask <first-order query>                    closed-query verdict
 //   answers <first-order query>                open-query certain answers
+//   explain <first-order query>                show the CQA planner tier
 //   sql <SELECT ...>                           SQL certain answers
 //   show                                       dump the database
 //   quit
@@ -34,6 +35,7 @@
 #include "base/strings.h"
 #include "cleaning/cleaning.h"
 #include "cqa/cqa.h"
+#include "cqa/planner.h"
 #include "graph/dot.h"
 #include "query/parser.h"
 #include "relational/csv.h"
@@ -86,6 +88,7 @@ class Shell {
     if (command == "repairs") return ShowRepairs(args);
     if (command == "ask") return Ask(args);
     if (command == "answers") return Answers(args);
+    if (command == "explain") return Explain(args);
     if (command == "sql") return Sql(args);
     if (command == "show") {
       std::printf("%s", db_.ToString().c_str());
@@ -107,7 +110,7 @@ class Shell {
         "priority edge <winner> <loser>     orient one conflict edge\n"
         "family rep|l|s|g|c                 choose repair family\n"
         "conflicts | stats | dot | repairs [n] | show\n"
-        "ask <query> | answers <query> | sql <select>\n"
+        "ask <query> | answers <query> | explain <query> | sql <select>\n"
         "quit\n");
     return Status::Ok();
   }
@@ -336,26 +339,44 @@ class Shell {
   Status Ask(const std::string& args) {
     PREFREP_RETURN_IF_ERROR(Refresh());
     PREFREP_ASSIGN_OR_RETURN(std::unique_ptr<Query> query, ParseQuery(args));
+    CqaPlan executed;
     PREFREP_ASSIGN_OR_RETURN(
         CqaVerdict verdict,
-        PreferredConsistentAnswer(*problem_, *priority_, family_, *query));
-    std::printf("%s under %s\n", std::string(CqaVerdictName(verdict)).c_str(),
-                std::string(RepairFamilyName(family_)).c_str());
+        PlannedConsistentAnswer(*problem_, *priority_, family_, *query, {},
+                                &executed));
+    std::printf("%s under %s  [%s]\n",
+                std::string(CqaVerdictName(verdict)).c_str(),
+                std::string(RepairFamilyName(family_)).c_str(),
+                std::string(CqaTierName(executed.tier)).c_str());
     return Status::Ok();
   }
 
   Status Answers(const std::string& args) {
     PREFREP_RETURN_IF_ERROR(Refresh());
     PREFREP_ASSIGN_OR_RETURN(std::unique_ptr<Query> query, ParseQuery(args));
+    CqaPlan executed;
     PREFREP_ASSIGN_OR_RETURN(
         OpenAnswer answer,
-        PreferredConsistentAnswers(*problem_, *priority_, family_, *query));
-    std::printf("certain answers (%s):\n",
-                StrJoin(answer.variables, ", ").c_str());
+        PlannedConsistentAnswers(*problem_, *priority_, family_, *query, {},
+                                 &executed));
+    std::printf("certain answers (%s):  [%s]\n",
+                StrJoin(answer.variables, ", ").c_str(),
+                std::string(CqaTierName(executed.tier)).c_str());
     for (const Tuple& row : answer.rows) {
       std::printf("  %s\n", row.ToString().c_str());
     }
     std::printf("(%zu row(s))\n", answer.rows.size());
+    return Status::Ok();
+  }
+
+  Status Explain(const std::string& args) {
+    PREFREP_RETURN_IF_ERROR(Refresh());
+    PREFREP_ASSIGN_OR_RETURN(std::unique_ptr<Query> query, ParseQuery(args));
+    CqaRequest request = query->IsClosed() ? CqaRequest::kVerdict
+                                           : CqaRequest::kOpenAnswers;
+    CqaPlan plan =
+        ExplainPlan(*problem_, *priority_, family_, *query, request);
+    std::printf("%s\n", plan.ToString().c_str());
     return Status::Ok();
   }
 

@@ -336,6 +336,10 @@ std::string_view RepairFamilyName(RepairFamily family) {
   return "?";
 }
 
+RepairFamily EffectiveFamily(const Priority& priority, RepairFamily family) {
+  return PriorityIsEmpty(priority) ? RepairFamily::kAll : family;
+}
+
 bool IsPreferredRepair(const ConflictGraph& graph, const Priority& priority,
                        RepairFamily family, const DynamicBitset& repair) {
   switch (family) {

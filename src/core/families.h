@@ -38,6 +38,24 @@ inline constexpr RepairFamily kAllFamilies[] = {
     RepairFamily::kAll, RepairFamily::kLocal, RepairFamily::kSemiGlobal,
     RepairFamily::kGlobal, RepairFamily::kCommon};
 
+// True iff `priority` resolves no conflict at all (no arcs). Under an
+// empty priority nothing is ever dominated, so the non-discrimination
+// property P3 (§3, pinned by tests/properties_test.cc) collapses every
+// family to plain Rep: L/S/G-optimality hold vacuously and every repair
+// is an Algorithm 1 output.
+inline bool PriorityIsEmpty(const Priority& priority) {
+  return priority.arc_count() == 0;
+}
+
+// The family actually in force: `family` itself, except that an empty
+// priority collapses every family to RepairFamily::kAll (see
+// PriorityIsEmpty). The CQA planner normalizes through this before
+// choosing an algorithm — it both unlocks the polynomial Rep-only fast
+// paths for all five families and lets the enumeration tier skip the
+// per-repair optimality filters (G-Rep's quadratic certificate, C-Rep's
+// memoized choice-tree walk) when they cannot reject anything.
+RepairFamily EffectiveFamily(const Priority& priority, RepairFamily family);
+
 // X-repair checking (problem (i) of §4.1): is `repair` — assumed to be a
 // repair — a member of family X under `priority`?
 bool IsPreferredRepair(const ConflictGraph& graph, const Priority& priority,

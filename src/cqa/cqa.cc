@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "base/thread_pool.h"
+#include "cqa/planner.h"
 #include "graph/components.h"
 #include "query/normal_form.h"
 #include "query/prepared.h"
@@ -249,6 +250,17 @@ Result<CqaVerdict> PreferredConsistentAnswer(const RepairProblem& problem,
                                              RepairFamily family,
                                              const Query& query,
                                              ParallelOptions options) {
+  CqaPlannerOptions planner_options;
+  planner_options.parallel = options;
+  return PlannedConsistentAnswer(problem, priority, family, query,
+                                 planner_options);
+}
+
+Result<CqaVerdict> EnumeratedConsistentAnswer(const RepairProblem& problem,
+                                              const Priority& priority,
+                                              RepairFamily family,
+                                              const Query& query,
+                                              ParallelOptions options) {
   if (!query.IsClosed()) {
     PREFREP_RETURN_IF_ERROR(ValidateQuery(problem.db(), query));
     return Status::InvalidArgument(
@@ -382,6 +394,17 @@ Result<OpenAnswer> PreferredConsistentAnswers(const RepairProblem& problem,
                                               RepairFamily family,
                                               const Query& query,
                                               ParallelOptions options) {
+  CqaPlannerOptions planner_options;
+  planner_options.parallel = options;
+  return PlannedConsistentAnswers(problem, priority, family, query,
+                                  planner_options);
+}
+
+Result<OpenAnswer> EnumeratedConsistentAnswers(const RepairProblem& problem,
+                                               const Priority& priority,
+                                               RepairFamily family,
+                                               const Query& query,
+                                               ParallelOptions options) {
   PREFREP_ASSIGN_OR_RETURN(PreparedQuery prepared,
                            PreparedQuery::Compile(problem.db(), query));
   return RunCqa(
@@ -490,7 +513,8 @@ Result<bool> NoRepairSatisfiesAnyDisjunct(
 }  // namespace
 
 Result<bool> GroundConsistentAnswer(const RepairProblem& problem,
-                                    const Query& query) {
+                                    const Query& query,
+                                    size_t max_dnf_disjuncts) {
   PREFREP_RETURN_IF_ERROR(ValidateQuery(problem.db(), query));
   if (!query.IsGround() || !query.IsQuantifierFree()) {
     return Status::InvalidArgument(
@@ -500,12 +524,13 @@ Result<bool> GroundConsistentAnswer(const RepairProblem& problem,
   }
   std::unique_ptr<Query> negated = Query::Not(query.Clone());
   PREFREP_ASSIGN_OR_RETURN(std::vector<GroundDisjunct> dnf,
-                           GroundDnf(*negated));
+                           GroundDnf(*negated, max_dnf_disjuncts));
   return NoRepairSatisfiesAnyDisjunct(problem, dnf);
 }
 
 Result<OpenAnswer> GroundConsistentOpenAnswers(const RepairProblem& problem,
-                                               const Query& query) {
+                                               const Query& query,
+                                               size_t max_dnf_disjuncts) {
   if (!query.IsQuantifierFree()) {
     return Status::InvalidArgument(
         "GroundConsistentOpenAnswers needs a quantifier-free query");
@@ -526,7 +551,7 @@ Result<OpenAnswer> GroundConsistentOpenAnswers(const RepairProblem& problem,
   // per row).
   std::unique_ptr<Query> negated = Query::Not(query.Clone());
   PREFREP_ASSIGN_OR_RETURN(std::vector<DisjunctTemplate> negated_dnf,
-                           QuantifierFreeDnf(*negated));
+                           QuantifierFreeDnf(*negated, max_dnf_disjuncts));
   OpenAnswer certain;
   certain.variables = candidates.variables;
   std::map<std::string, Value> bindings;
@@ -549,13 +574,16 @@ Result<OpenAnswer> GroundConsistentOpenAnswers(const RepairProblem& problem,
 }
 
 Result<CqaVerdict> GroundConsistentVerdict(const RepairProblem& problem,
-                                           const Query& query) {
-  PREFREP_ASSIGN_OR_RETURN(bool certainly_true,
-                           GroundConsistentAnswer(problem, query));
+                                           const Query& query,
+                                           size_t max_dnf_disjuncts) {
+  PREFREP_ASSIGN_OR_RETURN(
+      bool certainly_true,
+      GroundConsistentAnswer(problem, query, max_dnf_disjuncts));
   if (certainly_true) return CqaVerdict::kCertainlyTrue;
   std::unique_ptr<Query> negated = Query::Not(query.Clone());
-  PREFREP_ASSIGN_OR_RETURN(bool certainly_false,
-                           GroundConsistentAnswer(problem, *negated));
+  PREFREP_ASSIGN_OR_RETURN(
+      bool certainly_false,
+      GroundConsistentAnswer(problem, *negated, max_dnf_disjuncts));
   if (certainly_false) return CqaVerdict::kCertainlyFalse;
   return CqaVerdict::kUndetermined;
 }

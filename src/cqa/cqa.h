@@ -9,6 +9,8 @@
 // short-circuiting; for the family Rep and *ground quantifier-free*
 // queries, GroundConsistentAnswer implements the polynomial
 // conflict-graph algorithm (Chomicki–Marcinkowski; first row of Fig. 5).
+// The Preferred* entry points route through the planner in
+// cqa/planner.h, which picks between these engines per call.
 
 #ifndef PREFREP_CQA_CQA_H_
 #define PREFREP_CQA_CQA_H_
@@ -21,6 +23,7 @@
 #include "priority/priority.h"
 #include "query/ast.h"
 #include "query/evaluator.h"
+#include "query/normal_form.h"
 #include "repair/repair.h"
 
 namespace prefrep {
@@ -34,8 +37,21 @@ enum class CqaVerdict {
 std::string_view CqaVerdictName(CqaVerdict verdict);
 
 // Evaluates the closed query in every preferred repair of `family` under
-// `priority` (enumeration stops as soon as both a satisfying and a
-// falsifying repair have been seen).
+// `priority`. Routes through the CQA planner (cqa/planner.h): trivial
+// instances and polynomially answerable plans never touch the repair
+// product; everything else runs the enumeration engine below. The
+// verdict is identical whichever tier fires (pinned by the differential
+// suite in tests/planner_test.cc).
+Result<CqaVerdict> PreferredConsistentAnswer(const RepairProblem& problem,
+                                             const Priority& priority,
+                                             RepairFamily family,
+                                             const Query& query,
+                                             ParallelOptions options = {});
+
+// The tier-2 engine, planner-free: always evaluates the closed query in
+// every preferred repair (enumeration stops as soon as both a satisfying
+// and a falsifying repair have been seen). The planner's fallback and
+// the reference side of the differential tests.
 //
 // options.threads > 1 shards the work two ways: per-component family
 // lists are materialized by parallel workers (core/families.h), then the
@@ -44,11 +60,11 @@ std::string_view CqaVerdictName(CqaVerdict verdict);
 // verdicts ("saw a satisfying / falsifying repair") merge by a
 // commutative OR, so the verdict is identical to the serial result; a
 // shared flag stops every shard once both outcomes have been observed.
-Result<CqaVerdict> PreferredConsistentAnswer(const RepairProblem& problem,
-                                             const Priority& priority,
-                                             RepairFamily family,
-                                             const Query& query,
-                                             ParallelOptions options = {});
+Result<CqaVerdict> EnumeratedConsistentAnswer(const RepairProblem& problem,
+                                              const Priority& priority,
+                                              RepairFamily family,
+                                              const Query& query,
+                                              ParallelOptions options = {});
 
 // Convenience: true iff `true` is the X-consistent answer (Definition 3).
 Result<bool> IsConsistentlyTrue(const RepairProblem& problem,
@@ -58,40 +74,53 @@ Result<bool> IsConsistentlyTrue(const RepairProblem& problem,
 
 // Consistent answers to an *open* query: the assignments of its free
 // variables satisfying it in every preferred repair (the intersection of
-// the per-repair answer sets).
-//
-// options.threads > 1 shards exactly like PreferredConsistentAnswer; each
-// worker intersects the answer sets of its repair slice and the per-shard
-// partial intersections combine by the same commutative set intersection,
-// so the answer set is identical to the serial result. A shard whose
-// partial intersection empties proves the global answer empty and stops
-// the others.
+// the per-repair answer sets). Routes through the CQA planner like
+// PreferredConsistentAnswer.
 Result<OpenAnswer> PreferredConsistentAnswers(const RepairProblem& problem,
                                               const Priority& priority,
                                               RepairFamily family,
                                               const Query& query,
                                               ParallelOptions options = {});
 
+// Tier-2 engine for open queries, planner-free.
+//
+// options.threads > 1 shards exactly like EnumeratedConsistentAnswer;
+// each worker intersects the answer sets of its repair slice and the
+// per-shard partial intersections combine by the same commutative set
+// intersection, so the answer set is identical to the serial result. A
+// shard whose partial intersection empties proves the global answer
+// empty and stops the others.
+Result<OpenAnswer> EnumeratedConsistentAnswers(const RepairProblem& problem,
+                                               const Priority& priority,
+                                               RepairFamily family,
+                                               const Query& query,
+                                               ParallelOptions options = {});
+
 // Polynomial-time consistent answers for ground quantifier-free queries
 // under the plain Rep semantics: true iff the query holds in every repair.
 // Negates the query, converts to DNF, and decides per disjunct whether
 // some repair satisfies it via a bounded witness search over conflict
-// neighborhoods (data-polynomial for a fixed query).
-Result<bool> GroundConsistentAnswer(const RepairProblem& problem,
-                                    const Query& query);
+// neighborhoods (data-polynomial for a fixed query). An adversarially
+// nested query whose DNF exceeds `max_dnf_disjuncts` fails with
+// kResourceExhausted (the planner then falls back to enumeration).
+Result<bool> GroundConsistentAnswer(
+    const RepairProblem& problem, const Query& query,
+    size_t max_dnf_disjuncts = kDefaultDnfDisjunctBudget);
 
 // Full three-valued verdict computed with two GroundConsistentAnswer
 // calls (on Q and not Q).
-Result<CqaVerdict> GroundConsistentVerdict(const RepairProblem& problem,
-                                           const Query& query);
+Result<CqaVerdict> GroundConsistentVerdict(
+    const RepairProblem& problem, const Query& query,
+    size_t max_dnf_disjuncts = kDefaultDnfDisjunctBudget);
 
 // Polynomial consistent answers for *open* negation-free quantifier-free
 // queries under plain Rep: the candidate answers are computed on the full
 // (inconsistent) database — sound because negation-free queries are
 // monotone — and each candidate's ground instantiation is certified with
 // GroundConsistentAnswer.
-Result<OpenAnswer> GroundConsistentOpenAnswers(const RepairProblem& problem,
-                                               const Query& query);
+Result<OpenAnswer> GroundConsistentOpenAnswers(
+    const RepairProblem& problem, const Query& query,
+    size_t max_dnf_disjuncts = kDefaultDnfDisjunctBudget);
 
 }  // namespace prefrep
 

@@ -1,0 +1,330 @@
+#include "cqa/planner.h"
+
+#include <memory>
+#include <utility>
+
+#include "query/normal_form.h"
+#include "query/prepared.h"
+
+namespace prefrep {
+
+std::string_view CqaTierName(CqaTier tier) {
+  switch (tier) {
+    case CqaTier::kSingleRepair:
+      return "single-repair";
+    case CqaTier::kGroundFastPath:
+      return "ground-fast-path";
+    case CqaTier::kEnumeration:
+      return "enumeration";
+  }
+  return "?";
+}
+
+std::string CqaPlan::ToString() const {
+  std::string out = "tier ";
+  switch (tier) {
+    case CqaTier::kSingleRepair:
+      out += "0";
+      break;
+    case CqaTier::kGroundFastPath:
+      out += "1";
+      break;
+    case CqaTier::kEnumeration:
+      out += "2";
+      break;
+  }
+  out += " (" + std::string(CqaTierName(tier)) + ")";
+  if (!reason.empty()) out += ": " + reason;
+  return out;
+}
+
+namespace {
+
+// The routing rationale shared by every plan: how the family was
+// normalized, phrased for CqaPlan::reason.
+std::string FamilyNote(const CqaPlan& plan) {
+  if (plan.family_collapsed) {
+    return std::string(RepairFamilyName(plan.requested_family)) +
+           " collapsed to Rep (empty priority)";
+  }
+  return std::string(RepairFamilyName(plan.requested_family));
+}
+
+// True iff the tier-1 engine's DNF conversions for this request fit the
+// budget. Query-size-dependent work only (the conversion is capped at
+// the budget itself), so planning stays data-independent.
+bool DnfFitsBudget(const Query& query, CqaRequest request,
+                   size_t max_dnf_disjuncts) {
+  std::unique_ptr<Query> negated = Query::Not(query.Clone());
+  if (!QuantifierFreeDnf(*negated, max_dnf_disjuncts).ok()) return false;
+  if (request == CqaRequest::kVerdict) {
+    // GroundConsistentVerdict may also DNF the un-negated query (for the
+    // certainly-false test).
+    if (!QuantifierFreeDnf(query, max_dnf_disjuncts).ok()) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+CqaPlan ExplainPlan(const RepairProblem& problem, const Priority& priority,
+                    RepairFamily family, const Query& query,
+                    CqaRequest request, const CqaPlannerOptions& options) {
+  CqaPlan plan;
+  plan.requested_family = family;
+  plan.effective_family = EffectiveFamily(priority, family);
+  plan.family_collapsed = plan.effective_family != family;
+  if (options.force_tier.has_value()) {
+    plan.tier = *options.force_tier;
+    plan.reason = "forced by options";
+    return plan;
+  }
+  // Tier 0: a conflict-free database has exactly one repair — itself —
+  // under every family and priority, so one evaluation answers the call.
+  if (problem.graph().edge_count() == 0) {
+    plan.tier = CqaTier::kSingleRepair;
+    plan.reason = "conflict-free database: the unique repair is the "
+                  "database itself";
+    return plan;
+  }
+  QueryShape shape = ClassifyQuery(query);
+  // Tier 1 is sound only under plain Rep semantics.
+  if (plan.effective_family == RepairFamily::kAll) {
+    if (request == CqaRequest::kVerdict && shape.ground &&
+        shape.quantifier_free) {
+      if (DnfFitsBudget(query, request, options.max_dnf_disjuncts)) {
+        plan.tier = CqaTier::kGroundFastPath;
+        plan.reason = FamilyNote(plan) +
+                      "; ground quantifier-free query -> polynomial "
+                      "conflict-graph verdict";
+        return plan;
+      }
+      plan.reason = FamilyNote(plan) +
+                    "; DNF budget exceeded -> enumeration fallback";
+      return plan;
+    }
+    if (request == CqaRequest::kOpenAnswers && shape.quantifier_free &&
+        shape.negation_free) {
+      if (DnfFitsBudget(query, request, options.max_dnf_disjuncts)) {
+        plan.tier = CqaTier::kGroundFastPath;
+        plan.reason = FamilyNote(plan) +
+                      "; quantifier-free negation-free query -> monotone "
+                      "candidate certification";
+        return plan;
+      }
+      plan.reason = FamilyNote(plan) +
+                    "; DNF budget exceeded -> enumeration fallback";
+      return plan;
+    }
+    plan.reason =
+        FamilyNote(plan) + "; query shape outside the polynomial class";
+    return plan;
+  }
+  plan.reason = FamilyNote(plan) +
+                " with a non-empty priority: no polynomial route known";
+  return plan;
+}
+
+namespace {
+
+// Runs the tier-0 evaluation. PreparedQuery (not the reference
+// evaluator) on purpose: the enumeration tier evaluates through
+// PreparedQuery, and the two deliberately diverge on shadowed binder
+// names (see query/prepared.h) — tier choice must never change an
+// answer.
+Result<CqaVerdict> SingleRepairVerdict(const RepairProblem& problem,
+                                       const Query& query) {
+  PREFREP_ASSIGN_OR_RETURN(PreparedQuery prepared,
+                           PreparedQuery::Compile(problem.db(), query));
+  PREFREP_ASSIGN_OR_RETURN(bool holds, prepared.EvalClosed(nullptr));
+  return holds ? CqaVerdict::kCertainlyTrue : CqaVerdict::kCertainlyFalse;
+}
+
+Result<OpenAnswer> SingleRepairAnswers(const RepairProblem& problem,
+                                       const Query& query) {
+  PREFREP_ASSIGN_OR_RETURN(PreparedQuery prepared,
+                           PreparedQuery::Compile(problem.db(), query));
+  return prepared.EvalOpen(nullptr);
+}
+
+Status ForcedTierError(CqaTier tier, const std::string& why) {
+  return Status::InvalidArgument("cannot force tier " +
+                                 std::string(CqaTierName(tier)) + ": " + why);
+}
+
+// Validates a forced tier against the same eligibility rules ExplainPlan
+// uses, so a forced fast path can never produce an unsound answer.
+Status CheckForcedTier(const RepairProblem& problem, const CqaPlan& plan,
+                       const Query& query, CqaRequest request) {
+  switch (plan.tier) {
+    case CqaTier::kEnumeration:
+      return Status::Ok();
+    case CqaTier::kSingleRepair:
+      if (problem.graph().edge_count() != 0) {
+        return ForcedTierError(plan.tier, "database has conflicts");
+      }
+      return Status::Ok();
+    case CqaTier::kGroundFastPath: {
+      if (plan.effective_family != RepairFamily::kAll) {
+        return ForcedTierError(
+            plan.tier, "family " +
+                           std::string(RepairFamilyName(
+                               plan.effective_family)) +
+                           " under a non-empty priority is not "
+                           "Rep-equivalent");
+      }
+      QueryShape shape = ClassifyQuery(query);
+      if (request == CqaRequest::kVerdict &&
+          !(shape.ground && shape.quantifier_free)) {
+        return ForcedTierError(plan.tier,
+                               "query is not ground quantifier-free");
+      }
+      if (request == CqaRequest::kOpenAnswers &&
+          !(shape.quantifier_free && shape.negation_free)) {
+        return ForcedTierError(
+            plan.tier, "query is not quantifier-free and negation-free");
+      }
+      return Status::Ok();
+    }
+  }
+  return Status::Internal("unknown tier");
+}
+
+}  // namespace
+
+Result<CqaVerdict> PlannedConsistentAnswer(const RepairProblem& problem,
+                                           const Priority& priority,
+                                           RepairFamily family,
+                                           const Query& query,
+                                           const CqaPlannerOptions& options,
+                                           CqaPlan* executed) {
+  // Entry-point contract shared with the enumeration engine: closed
+  // queries only, same diagnostics either way.
+  if (!query.IsClosed()) {
+    PREFREP_RETURN_IF_ERROR(ValidateQuery(problem.db(), query));
+    return Status::InvalidArgument(
+        "consistent answers need a closed query; got " + query.ToString());
+  }
+  CqaPlan plan = ExplainPlan(problem, priority, family, query,
+                             CqaRequest::kVerdict, options);
+  const bool forced = options.force_tier.has_value();
+  if (forced) {
+    PREFREP_RETURN_IF_ERROR(
+        CheckForcedTier(problem, plan, query, CqaRequest::kVerdict));
+  }
+  if (executed != nullptr) *executed = plan;
+  switch (plan.tier) {
+    case CqaTier::kSingleRepair:
+      return SingleRepairVerdict(problem, query);
+    case CqaTier::kGroundFastPath: {
+      Result<CqaVerdict> verdict =
+          GroundConsistentVerdict(problem, query, options.max_dnf_disjuncts);
+      if (forced || verdict.ok() ||
+          verdict.status().code() != StatusCode::kResourceExhausted) {
+        return verdict;
+      }
+      // Runtime fallback: the DNF blew the budget after all. ExplainPlan
+      // pre-checks the conversion, so this is belt-and-braces.
+      plan.tier = CqaTier::kEnumeration;
+      plan.reason = FamilyNote(plan) +
+                    "; DNF budget exceeded at runtime -> enumeration";
+      if (executed != nullptr) *executed = plan;
+      break;
+    }
+    case CqaTier::kEnumeration:
+      break;
+  }
+  // A forced enumeration is the differential reference: it runs the
+  // *requested* family so the planner's normalization is itself under
+  // test; planned enumeration runs the (equivalent) effective family.
+  RepairFamily enumerate_as =
+      forced ? plan.requested_family : plan.effective_family;
+  return EnumeratedConsistentAnswer(problem, priority, enumerate_as, query,
+                                    options.parallel);
+}
+
+Result<OpenAnswer> PlannedConsistentAnswers(const RepairProblem& problem,
+                                            const Priority& priority,
+                                            RepairFamily family,
+                                            const Query& query,
+                                            const CqaPlannerOptions& options,
+                                            CqaPlan* executed) {
+  CqaPlan plan = ExplainPlan(problem, priority, family, query,
+                             CqaRequest::kOpenAnswers, options);
+  const bool forced = options.force_tier.has_value();
+  if (forced) {
+    PREFREP_RETURN_IF_ERROR(
+        CheckForcedTier(problem, plan, query, CqaRequest::kOpenAnswers));
+  }
+  if (executed != nullptr) *executed = plan;
+  switch (plan.tier) {
+    case CqaTier::kSingleRepair:
+      return SingleRepairAnswers(problem, query);
+    case CqaTier::kGroundFastPath: {
+      Result<OpenAnswer> answers = GroundConsistentOpenAnswers(
+          problem, query, options.max_dnf_disjuncts);
+      if (forced || answers.ok() ||
+          answers.status().code() != StatusCode::kResourceExhausted) {
+        return answers;
+      }
+      plan.tier = CqaTier::kEnumeration;
+      plan.reason = FamilyNote(plan) +
+                    "; DNF budget exceeded at runtime -> enumeration";
+      if (executed != nullptr) *executed = plan;
+      break;
+    }
+    case CqaTier::kEnumeration:
+      break;
+  }
+  RepairFamily enumerate_as =
+      forced ? plan.requested_family : plan.effective_family;
+  return EnumeratedConsistentAnswers(problem, priority, enumerate_as, query,
+                                     options.parallel);
+}
+
+Result<AggregateRange> PlannedAggregateRange(
+    const RepairProblem& problem, const Priority& priority,
+    RepairFamily family, std::string_view relation,
+    std::string_view attribute, AggregateFunction fn,
+    const CqaPlannerOptions& options, CqaPlan* executed) {
+  CqaPlan plan;
+  plan.requested_family = family;
+  plan.effective_family = EffectiveFamily(priority, family);
+  plan.family_collapsed = plan.effective_family != family;
+  const bool forced = options.force_tier.has_value();
+  bool count_star_eligible = fn == AggregateFunction::kCount &&
+                             plan.effective_family == RepairFamily::kAll;
+  if (forced) {
+    plan.tier = *options.force_tier;
+    plan.reason = "forced by options";
+    if (plan.tier == CqaTier::kSingleRepair) {
+      return ForcedTierError(plan.tier,
+                             "aggregation has no single-repair tier");
+    }
+    if (plan.tier == CqaTier::kGroundFastPath && !count_star_eligible) {
+      return ForcedTierError(
+          plan.tier, "only COUNT under a Rep-equivalent plan has a "
+                     "polynomial range");
+    }
+  } else if (count_star_eligible) {
+    plan.tier = CqaTier::kGroundFastPath;
+    plan.reason = FamilyNote(plan) +
+                  "; COUNT(*) range decomposes over conflict components";
+  } else {
+    plan.tier = CqaTier::kEnumeration;
+    plan.reason =
+        FamilyNote(plan) + "; " +
+        std::string(AggregateFunctionName(fn)) +
+        " range needs the per-repair aggregate -> enumeration";
+  }
+  if (executed != nullptr) *executed = plan;
+  if (plan.tier == CqaTier::kGroundFastPath) {
+    return CountStarRange(problem, relation);
+  }
+  RepairFamily enumerate_as =
+      forced ? plan.requested_family : plan.effective_family;
+  return AggregateConsistentRange(problem, priority, enumerate_as, relation,
+                                  attribute, fn);
+}
+
+}  // namespace prefrep

@@ -342,6 +342,46 @@ bool IsNegationFree(const Query& query) {
   return true;
 }
 
+namespace {
+
+// One recursive pass collecting every flat flag of QueryShape (the
+// non-local `closed` and the grammar-shaped `conjunctive` reuse the
+// reference predicates).
+void CollectShape(const Query& q, QueryShape& shape) {
+  switch (q.kind) {
+    case QueryKind::kAtom:
+      shape.has_atom = true;
+      for (const Term& t : q.terms) {
+        if (t.is_variable()) shape.ground = false;
+      }
+      break;
+    case QueryKind::kComparison:
+      if (q.lhs.is_variable() || q.rhs.is_variable()) shape.ground = false;
+      break;
+    case QueryKind::kNot:
+      shape.negation_free = false;
+      break;
+    case QueryKind::kExists:
+    case QueryKind::kForAll:
+      shape.ground = false;
+      shape.quantifier_free = false;
+      break;
+    default:
+      break;
+  }
+  for (const auto& child : q.children) CollectShape(*child, shape);
+}
+
+}  // namespace
+
+QueryShape ClassifyQuery(const Query& query) {
+  QueryShape shape;
+  CollectShape(query, shape);
+  shape.closed = query.IsClosed();
+  shape.conjunctive = query.IsConjunctive();
+  return shape;
+}
+
 std::string Query::ToString() const {
   switch (kind) {
     case QueryKind::kTrue:

@@ -113,6 +113,21 @@ struct Query {
   std::string ToString() const;
 };
 
+// Structural classification of a query, one field per Figure 5 column
+// the CQA planner (cqa/planner.h) routes on. Computed in a single pass;
+// the individual predicates above stay as the reference definitions
+// (ClassifyQuery is pinned against them in tests/query_test.cc).
+struct QueryShape {
+  bool closed = true;           // no free variables
+  bool ground = true;           // no variables at all (implies QF)
+  bool quantifier_free = true;  // no ∀/∃ anywhere
+  bool conjunctive = false;     // ∃-quantified conjunction of atoms/cmps
+  bool negation_free = true;    // no kNot anywhere (monotone)
+  bool has_atom = false;        // references at least one relation
+};
+
+QueryShape ClassifyQuery(const Query& query);
+
 // A deep copy of `query` with every *free* occurrence of the given
 // variables replaced by the corresponding constants (bound occurrences
 // under a shadowing quantifier are left alone).

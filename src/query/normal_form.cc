@@ -77,9 +77,33 @@ LiteralTemplate MakeComparisonTemplate(const Query& q) {
   return lit;
 }
 
+// Both DNF budgets in one struct, plus the shared overflow checks. The
+// literal budget is the real memory bound: max_disjuncts alone caps the
+// row count, but And-of-Or nesting multiplies row *width* at the same
+// time, so the product is what must stay bounded.
+struct DnfBudget {
+  size_t max_disjuncts;
+  size_t max_literals;
+
+  Status Check(const std::vector<DisjunctTemplate>& dnf,
+               size_t literal_count) const {
+    if (dnf.size() > max_disjuncts) {
+      return Status::ResourceExhausted(
+          "DNF too large: over " + std::to_string(max_disjuncts) +
+          " disjuncts");
+    }
+    if (literal_count > max_literals) {
+      return Status::ResourceExhausted(
+          "DNF too large: over " + std::to_string(max_literals) +
+          " literals");
+    }
+    return Status::Ok();
+  }
+};
+
 // DNF of an NNF node, as a list of disjunct templates.
 Result<std::vector<DisjunctTemplate>> DnfOfNnf(const Query& q,
-                                               size_t max_disjuncts) {
+                                               const DnfBudget& budget) {
   switch (q.kind) {
     case QueryKind::kTrue:
       return std::vector<DisjunctTemplate>{DisjunctTemplate{}};
@@ -102,13 +126,15 @@ Result<std::vector<DisjunctTemplate>> DnfOfNnf(const Query& q,
     }
     case QueryKind::kOr: {
       std::vector<DisjunctTemplate> out;
+      size_t literals = 0;
       for (const auto& child : q.children) {
         PREFREP_ASSIGN_OR_RETURN(std::vector<DisjunctTemplate> part,
-                                 DnfOfNnf(*child, max_disjuncts));
-        for (auto& disjunct : part) out.push_back(std::move(disjunct));
-        if (out.size() > max_disjuncts) {
-          return Status::ResourceExhausted("DNF too large");
+                                 DnfOfNnf(*child, budget));
+        for (auto& disjunct : part) {
+          literals += disjunct.size();
+          out.push_back(std::move(disjunct));
         }
+        PREFREP_RETURN_IF_ERROR(budget.Check(out, literals));
       }
       return out;
     }
@@ -116,16 +142,16 @@ Result<std::vector<DisjunctTemplate>> DnfOfNnf(const Query& q,
       std::vector<DisjunctTemplate> acc{DisjunctTemplate{}};
       for (const auto& child : q.children) {
         PREFREP_ASSIGN_OR_RETURN(std::vector<DisjunctTemplate> part,
-                                 DnfOfNnf(*child, max_disjuncts));
+                                 DnfOfNnf(*child, budget));
         std::vector<DisjunctTemplate> next;
+        size_t literals = 0;
         for (const DisjunctTemplate& left : acc) {
           for (const DisjunctTemplate& right : part) {
             DisjunctTemplate merged = left;
             merged.insert(merged.end(), right.begin(), right.end());
+            literals += merged.size();
             next.push_back(std::move(merged));
-            if (next.size() > max_disjuncts) {
-              return Status::ResourceExhausted("DNF too large");
-            }
+            PREFREP_RETURN_IF_ERROR(budget.Check(next, literals));
           }
         }
         acc = std::move(next);
@@ -152,12 +178,12 @@ Result<Value> ResolveTemplateTerm(const Term& t,
 }  // namespace
 
 Result<std::vector<DisjunctTemplate>> QuantifierFreeDnf(
-    const Query& query, size_t max_disjuncts) {
+    const Query& query, size_t max_disjuncts, size_t max_literals) {
   if (!query.IsQuantifierFree()) {
     return Status::InvalidArgument("query is not quantifier-free");
   }
   std::unique_ptr<Query> nnf = ToNnf(query);
-  return DnfOfNnf(*nnf, max_disjuncts);
+  return DnfOfNnf(*nnf, DnfBudget{max_disjuncts, max_literals});
 }
 
 Result<GroundDisjunct> InstantiateDisjunct(
@@ -191,15 +217,17 @@ Result<GroundDisjunct> InstantiateDisjunct(
 }
 
 Result<std::vector<GroundDisjunct>> GroundDnf(const Query& query,
-                                              size_t max_disjuncts) {
+                                              size_t max_disjuncts,
+                                              size_t max_literals) {
   if (!query.IsQuantifierFree()) {
     return Status::InvalidArgument("query is not quantifier-free");
   }
   if (!query.IsGround()) {
     return Status::InvalidArgument("query is not ground");
   }
-  PREFREP_ASSIGN_OR_RETURN(std::vector<DisjunctTemplate> templates,
-                           QuantifierFreeDnf(query, max_disjuncts));
+  PREFREP_ASSIGN_OR_RETURN(
+      std::vector<DisjunctTemplate> templates,
+      QuantifierFreeDnf(query, max_disjuncts, max_literals));
   static const std::map<std::string, Value> kNoBindings;
   std::vector<GroundDisjunct> out;
   out.reserve(templates.size());

@@ -39,12 +39,23 @@ struct GroundLiteral {
 
 using GroundDisjunct = std::vector<GroundLiteral>;
 
+// Default budgets for the DNF conversion: the blowup is exponential in
+// the (fixed) query size, not in the data, but an adversarially nested
+// query can still balloon — both the disjunct count and the total
+// literal count (disjunct count x disjunct width) are capped so the
+// conversion degrades to kResourceExhausted instead of OOM, mirroring
+// the enumeration engine's materialization byte budget. The CQA planner
+// reacts to kResourceExhausted by falling back to enumeration.
+inline constexpr size_t kDefaultDnfDisjunctBudget = 65536;
+inline constexpr size_t kDefaultDnfLiteralBudget = size_t{1} << 20;
+
 // Converts a ground quantifier-free query to disjunctive normal form.
 // Fails with kInvalidArgument on non-ground/quantified input and with
-// kResourceExhausted if the DNF would exceed `max_disjuncts` (the blowup
-// is exponential only in the fixed query size, not in the data).
-Result<std::vector<GroundDisjunct>> GroundDnf(const Query& query,
-                                              size_t max_disjuncts = 65536);
+// kResourceExhausted if the DNF would exceed `max_disjuncts` disjuncts
+// or `max_literals` literals in total.
+Result<std::vector<GroundDisjunct>> GroundDnf(
+    const Query& query, size_t max_disjuncts = kDefaultDnfDisjunctBudget,
+    size_t max_literals = kDefaultDnfLiteralBudget);
 
 // A DNF literal that may still contain variables: a (possibly negated)
 // atom over terms, or a comparison over terms. The variable-free payload
@@ -66,7 +77,8 @@ using DisjunctTemplate = std::vector<LiteralTemplate>;
 // loop-invariant skeleton of GroundConsistentOpenAnswers: it is computed
 // once per query, and only InstantiateDisjunct runs per candidate answer.
 Result<std::vector<DisjunctTemplate>> QuantifierFreeDnf(
-    const Query& query, size_t max_disjuncts = 65536);
+    const Query& query, size_t max_disjuncts = kDefaultDnfDisjunctBudget,
+    size_t max_literals = kDefaultDnfLiteralBudget);
 
 // Grounds `disjunct` by substituting `bindings` for its variables; fails
 // with kInvalidArgument if any variable is unbound.

@@ -59,6 +59,42 @@ TEST(AstTest, ShadowingQuantifierKeepsOuterFree) {
   EXPECT_EQ(q->FreeVariables(), (std::set<std::string>{"x"}));
 }
 
+TEST(AstTest, ClassifyQueryMatchesReferencePredicates) {
+  // The planner's single-pass QueryShape must agree with the per-predicate
+  // walks it replaces, across every shape class it distinguishes.
+  const char* samples[] = {
+      "true",
+      "not false",
+      "R(1, 2)",
+      "not R(1, 2)",
+      "R(1, 2) and not R(2, 2)",
+      "R(x, 1)",
+      "R(x, y) or R(y, x)",
+      "R(x, 1) and x < 3",
+      "exists x . R(x, 1)",
+      "exists x, y . R(x, y) and x < y",
+      "forall x . R(x, 1)",
+      "exists x . not R(x, 1)",
+      "R(x, 1) and (exists x . R(x, 2))",
+  };
+  for (const char* text : samples) {
+    auto q = MustParse(text);
+    QueryShape shape = ClassifyQuery(*q);
+    EXPECT_EQ(shape.closed, q->IsClosed()) << text;
+    EXPECT_EQ(shape.ground, q->IsGround()) << text;
+    EXPECT_EQ(shape.quantifier_free, q->IsQuantifierFree()) << text;
+    EXPECT_EQ(shape.conjunctive, q->IsConjunctive()) << text;
+  }
+  EXPECT_FALSE(ClassifyQuery(*MustParse("true")).has_atom);
+  EXPECT_TRUE(ClassifyQuery(*MustParse("true")).negation_free);
+  EXPECT_TRUE(ClassifyQuery(*MustParse("R(x, y)")).has_atom);
+  EXPECT_FALSE(ClassifyQuery(*MustParse("not R(1, 1)")).negation_free);
+  // Comparisons with variables break groundness but not atomlessness.
+  QueryShape cmp = ClassifyQuery(*MustParse("x < 3"));
+  EXPECT_FALSE(cmp.ground);
+  EXPECT_FALSE(cmp.has_atom);
+}
+
 TEST(AstTest, Classification) {
   EXPECT_TRUE(MustParse("R(1, 2)")->IsGround());
   EXPECT_TRUE(MustParse("R(1, 2) and not R(2, 2)")->IsQuantifierFree());
