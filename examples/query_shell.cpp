@@ -16,8 +16,14 @@
 //   answers <first-order query>                open-query certain answers
 //   explain <first-order query>                show the CQA planner tier
 //   sql <SELECT ...>                           SQL certain answers
+//   timeout <ms>                               per-query deadline (0 = off)
+//   budget <mb>                                repair-list byte budget
+//                                              (0 = default 256 MB)
 //   show                                       dump the database
 //   quit
+//
+// Ctrl-C cancels the query in flight (cooperatively, via the query's
+// ExecutionContext) instead of killing the shell.
 //
 // Example session:
 //   relation Mgr Name:name Dept:name Salary:number Reports:number
@@ -26,12 +32,19 @@
 //   fd Mgr Dept -> Name Salary Reports
 //   ask exists x,y,z . Mgr(Mary,x,y,z)
 
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 
+#include "base/exec_context.h"
 #include "base/strings.h"
 #include "cleaning/cleaning.h"
 #include "cqa/cqa.h"
@@ -45,6 +58,45 @@
 using namespace prefrep;
 
 namespace {
+
+// The context of the query currently executing, if any. The SIGINT
+// handler may only touch this pointer and call RequestCancel() through
+// it — both are lock-free atomics, so the handler is async-signal-safe.
+std::atomic<ExecutionContext*> g_active_context{nullptr};
+
+void HandleSigint(int) {
+  ExecutionContext* context = g_active_context.load(std::memory_order_acquire);
+  if (context != nullptr) {
+    context->RequestCancel();
+    return;
+  }
+  // No query in flight: stay alive and nudge (write() is signal-safe).
+  constexpr char kMsg[] = "\n(interrupt; type 'quit' to exit)\n> ";
+  [[maybe_unused]] ssize_t n = write(STDOUT_FILENO, kMsg, sizeof(kMsg) - 1);
+}
+
+void InstallSigintHandler() {
+  struct sigaction action = {};
+  action.sa_handler = HandleSigint;
+  sigemptyset(&action.sa_mask);
+  // SA_RESTART keeps the prompt's blocking getline() from failing when a
+  // stray Ctrl-C arrives between queries.
+  action.sa_flags = SA_RESTART;
+  sigaction(SIGINT, &action, nullptr);
+}
+
+// Publishes a query's context to the SIGINT handler for its duration.
+class ScopedActiveContext {
+ public:
+  explicit ScopedActiveContext(ExecutionContext* context) {
+    g_active_context.store(context, std::memory_order_release);
+  }
+  ~ScopedActiveContext() {
+    g_active_context.store(nullptr, std::memory_order_release);
+  }
+  ScopedActiveContext(const ScopedActiveContext&) = delete;
+  ScopedActiveContext& operator=(const ScopedActiveContext&) = delete;
+};
 
 class Shell {
  public:
@@ -90,6 +142,8 @@ class Shell {
     if (command == "answers") return Answers(args);
     if (command == "explain") return Explain(args);
     if (command == "sql") return Sql(args);
+    if (command == "timeout") return SetTimeout(args);
+    if (command == "budget") return SetBudget(args);
     if (command == "show") {
       std::printf("%s", db_.ToString().c_str());
       return Status::Ok();
@@ -111,7 +165,11 @@ class Shell {
         "family rep|l|s|g|c                 choose repair family\n"
         "conflicts | stats | dot | repairs [n] | show\n"
         "ask <query> | answers <query> | explain <query> | sql <select>\n"
-        "quit\n");
+        "timeout <ms>                       per-query deadline (0 = off)\n"
+        "budget <mb>                        repair-list byte budget "
+        "(0 = default)\n"
+        "quit                               (Ctrl-C cancels a running "
+        "query)\n");
     return Status::Ok();
   }
 
@@ -324,26 +382,77 @@ class Shell {
       PREFREP_ASSIGN_OR_RETURN(int64_t v, ParseInt64(args));
       limit = static_cast<size_t>(v);
     }
+    std::unique_ptr<ExecutionContext> context = MakeContext();
+    ScopedActiveContext active(context.get());
+    ParallelOptions options;
+    options.context = context.get();
     size_t shown = 0;
-    EnumeratePreferredRepairs(problem_->graph(), *priority_, family_,
+    EnumeratePreferredRepairs(problem_->graph(), *priority_, family_, options,
                               [&](const DynamicBitset& repair) {
+                                if (context->ShouldStop()) return false;
                                 std::printf("  %s\n",
                                             repair.ToString().c_str());
                                 return ++shown < limit;
                               });
+    if (context->interrupted()) return context->StatusWithStats();
     std::printf("(%zu %s repair(s) shown, limit %zu)\n", shown,
                 std::string(RepairFamilyName(family_)).c_str(), limit);
     return Status::Ok();
   }
 
+  Status SetTimeout(const std::string& args) {
+    PREFREP_ASSIGN_OR_RETURN(int64_t ms, ParseInt64(StripWhitespace(args)));
+    if (ms < 0) return Status::InvalidArgument("timeout must be >= 0 ms");
+    timeout_ms_ = ms;
+    if (timeout_ms_ == 0) {
+      std::printf("timeout off\n");
+    } else {
+      std::printf("timeout = %lld ms per query\n",
+                  static_cast<long long>(timeout_ms_));
+    }
+    return Status::Ok();
+  }
+
+  Status SetBudget(const std::string& args) {
+    PREFREP_ASSIGN_OR_RETURN(int64_t mb, ParseInt64(StripWhitespace(args)));
+    if (mb < 0) return Status::InvalidArgument("budget must be >= 0 MB");
+    budget_mb_ = static_cast<size_t>(mb);
+    if (budget_mb_ == 0) {
+      std::printf("budget = default (%zu MB)\n",
+                  ExecutionLimits{}.component_list_budget_bytes >> 20);
+    } else {
+      std::printf("budget = %zu MB of materialized repair lists\n",
+                  budget_mb_);
+    }
+    return Status::Ok();
+  }
+
+  // One fresh context per query — interrupts latch, so contexts are
+  // single-use. Carries the shell's timeout/budget knobs.
+  std::unique_ptr<ExecutionContext> MakeContext() const {
+    ExecutionLimits limits;
+    if (budget_mb_ > 0) {
+      limits.component_list_budget_bytes = budget_mb_ << 20;
+    }
+    auto context = std::make_unique<ExecutionContext>(limits);
+    if (timeout_ms_ > 0) {
+      context->SetDeadlineAfter(std::chrono::milliseconds(timeout_ms_));
+    }
+    return context;
+  }
+
   Status Ask(const std::string& args) {
     PREFREP_RETURN_IF_ERROR(Refresh());
     PREFREP_ASSIGN_OR_RETURN(std::unique_ptr<Query> query, ParseQuery(args));
+    std::unique_ptr<ExecutionContext> context = MakeContext();
+    ScopedActiveContext active(context.get());
+    CqaPlannerOptions options;
+    options.parallel.context = context.get();
     CqaPlan executed;
     PREFREP_ASSIGN_OR_RETURN(
         CqaVerdict verdict,
-        PlannedConsistentAnswer(*problem_, *priority_, family_, *query, {},
-                                &executed));
+        PlannedConsistentAnswer(*problem_, *priority_, family_, *query,
+                                options, &executed));
     std::printf("%s under %s  [%s]\n",
                 std::string(CqaVerdictName(verdict)).c_str(),
                 std::string(RepairFamilyName(family_)).c_str(),
@@ -354,11 +463,15 @@ class Shell {
   Status Answers(const std::string& args) {
     PREFREP_RETURN_IF_ERROR(Refresh());
     PREFREP_ASSIGN_OR_RETURN(std::unique_ptr<Query> query, ParseQuery(args));
+    std::unique_ptr<ExecutionContext> context = MakeContext();
+    ScopedActiveContext active(context.get());
+    CqaPlannerOptions options;
+    options.parallel.context = context.get();
     CqaPlan executed;
     PREFREP_ASSIGN_OR_RETURN(
         OpenAnswer answer,
-        PlannedConsistentAnswers(*problem_, *priority_, family_, *query, {},
-                                 &executed));
+        PlannedConsistentAnswers(*problem_, *priority_, family_, *query,
+                                 options, &executed));
     std::printf("certain answers (%s):  [%s]\n",
                 StrJoin(answer.variables, ", ").c_str(),
                 std::string(CqaTierName(executed.tier)).c_str());
@@ -384,9 +497,14 @@ class Shell {
     PREFREP_RETURN_IF_ERROR(Refresh());
     PREFREP_ASSIGN_OR_RETURN(std::unique_ptr<Query> query,
                              ParseSql(db_, args));
+    std::unique_ptr<ExecutionContext> context = MakeContext();
+    ScopedActiveContext active(context.get());
+    ParallelOptions options;
+    options.context = context.get();
     PREFREP_ASSIGN_OR_RETURN(
         OpenAnswer answer,
-        PreferredConsistentAnswers(*problem_, *priority_, family_, *query));
+        PreferredConsistentAnswers(*problem_, *priority_, family_, *query,
+                                   options));
     std::printf("certain answers (%s):\n",
                 StrJoin(answer.variables, ", ").c_str());
     for (const Tuple& row : answer.rows) {
@@ -402,8 +520,13 @@ class Shell {
   std::unique_ptr<Priority> priority_;
   RepairFamily family_ = RepairFamily::kGlobal;
   bool dirty_ = true;
+  int64_t timeout_ms_ = 0;  // 0 = no deadline
+  size_t budget_mb_ = 0;    // 0 = ExecutionLimits default
 };
 
 }  // namespace
 
-int main() { return Shell().Run(); }
+int main() {
+  InstallSigintHandler();
+  return Shell().Run();
+}

@@ -1,0 +1,84 @@
+#include "base/failpoint.h"
+
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+namespace prefrep::failpoint {
+namespace {
+
+struct ArmedSite {
+  std::function<void()> action;
+  int skip = 0;
+  int limit = -1;  // < 0: unlimited
+  uint64_t hits = 0;
+  int fired = 0;
+};
+
+std::mutex& RegistryMutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+std::unordered_map<std::string, ArmedSite>& Registry() {
+  static auto* registry = new std::unordered_map<std::string, ArmedSite>();
+  return *registry;
+}
+
+}  // namespace
+
+namespace internal {
+
+std::atomic<int> g_armed_count{0};
+
+void Evaluate(const char* site) {
+  std::function<void()> action;
+  {
+    std::lock_guard<std::mutex> lock(RegistryMutex());
+    auto it = Registry().find(site);
+    if (it == Registry().end()) return;
+    ArmedSite& armed = it->second;
+    const uint64_t hit = armed.hits++;
+    if (hit < static_cast<uint64_t>(armed.skip)) return;
+    if (armed.limit >= 0 && armed.fired >= armed.limit) return;
+    ++armed.fired;
+    action = armed.action;  // copy; invoke outside the lock (it may throw)
+  }
+  if (action) action();
+}
+
+}  // namespace internal
+
+void Arm(std::string_view site, std::function<void()> action, int skip,
+         int limit) {
+  if (!kEnabled) return;
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  auto [it, inserted] = Registry().try_emplace(std::string(site));
+  it->second = ArmedSite{std::move(action), skip, limit, 0, 0};
+  if (inserted) {
+    internal::g_armed_count.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void Disarm(std::string_view site) {
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  if (Registry().erase(std::string(site)) > 0) {
+    internal::g_armed_count.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void DisarmAll() {
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  internal::g_armed_count.fetch_sub(static_cast<int>(Registry().size()),
+                                    std::memory_order_relaxed);
+  Registry().clear();
+}
+
+uint64_t HitCount(std::string_view site) {
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  auto it = Registry().find(std::string(site));
+  return it == Registry().end() ? 0 : it->second.hits;
+}
+
+}  // namespace prefrep::failpoint

@@ -1,0 +1,88 @@
+// Test-only failpoint registry for fault injection.
+//
+// Long-running engines mark named sites with PREFREP_FAILPOINT("site.name").
+// Tests arm a site with an action (throw bad_alloc, expire a deadline via a
+// captured ExecutionContext, count hits, ...) to exercise error paths that
+// are otherwise unreachable deterministically. In release builds (NDEBUG)
+// the macro compiles to nothing; in debug builds a disarmed site costs one
+// relaxed atomic load of a global counter.
+//
+// Usage (test side):
+//   failpoint::ScopedFailpoint fp("thread_pool.task",
+//                                 [] { throw std::bad_alloc(); });
+//   ... run the workload; assert the surfaced Status ...
+//
+// Actions may fire concurrently from pool workers; the registry copies the
+// action out of the lock before invoking it, so actions must not call back
+// into Arm/Disarm. Tests must guard on failpoint::kEnabled (GTEST_SKIP in
+// release) since the same test binaries run in Release CI legs.
+
+#ifndef PREFREP_BASE_FAILPOINT_H_
+#define PREFREP_BASE_FAILPOINT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string_view>
+
+namespace prefrep::failpoint {
+
+#ifdef NDEBUG
+inline constexpr bool kEnabled = false;
+#else
+inline constexpr bool kEnabled = true;
+#endif
+
+// Arms `site`: the action fires on every hit after the first `skip` hits,
+// at most `limit` times (limit < 0 means unlimited). Re-arming replaces the
+// previous registration. No-op in release builds.
+void Arm(std::string_view site, std::function<void()> action, int skip = 0,
+         int limit = -1);
+
+// Disarms one site / all sites. Hit counts for disarmed sites are dropped.
+void Disarm(std::string_view site);
+void DisarmAll();
+
+// Number of times an armed `site` was reached (including skipped hits);
+// 0 if the site is not armed.
+uint64_t HitCount(std::string_view site);
+
+// RAII arm/disarm for test scoping.
+class ScopedFailpoint {
+ public:
+  ScopedFailpoint(std::string_view site, std::function<void()> action,
+                  int skip = 0, int limit = -1)
+      : site_(site) {
+    Arm(site_, std::move(action), skip, limit);
+  }
+  ~ScopedFailpoint() { Disarm(site_); }
+
+  ScopedFailpoint(const ScopedFailpoint&) = delete;
+  ScopedFailpoint& operator=(const ScopedFailpoint&) = delete;
+
+  uint64_t hit_count() const { return HitCount(site_); }
+
+ private:
+  std::string_view site_;
+};
+
+namespace internal {
+// Non-zero while any site is armed; the disarmed fast path reads only this.
+extern std::atomic<int> g_armed_count;
+void Evaluate(const char* site);
+
+inline void MaybeEvaluate(const char* site) {
+  if (g_armed_count.load(std::memory_order_relaxed) == 0) return;
+  Evaluate(site);
+}
+}  // namespace internal
+
+}  // namespace prefrep::failpoint
+
+#ifdef NDEBUG
+#define PREFREP_FAILPOINT(site) ((void)0)
+#else
+#define PREFREP_FAILPOINT(site) ::prefrep::failpoint::internal::MaybeEvaluate(site)
+#endif
+
+#endif  // PREFREP_BASE_FAILPOINT_H_

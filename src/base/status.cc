@@ -24,6 +24,10 @@ std::string_view StatusCodeName(StatusCode code) {
       return "internal";
     case StatusCode::kParseError:
       return "parse_error";
+    case StatusCode::kCancelled:
+      return "cancelled";
+    case StatusCode::kDeadlineExceeded:
+      return "deadline_exceeded";
   }
   return "unknown";
 }

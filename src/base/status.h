@@ -27,6 +27,8 @@ enum class StatusCode {
   kResourceExhausted,
   kInternal,
   kParseError,
+  kCancelled,          // caller requested cancellation (cooperative)
+  kDeadlineExceeded,   // the execution context's deadline expired
 };
 
 // Returns a stable lower-case name for `code` (e.g. "invalid_argument").
@@ -70,6 +72,12 @@ class [[nodiscard]] Status {
   }
   static Status ParseError(std::string msg) {
     return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

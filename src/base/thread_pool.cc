@@ -1,8 +1,29 @@
 #include "base/thread_pool.h"
 
+#include <exception>
+#include <new>
+#include <string>
+
+#include "base/exec_context.h"
+#include "base/failpoint.h"
 #include "base/logging.h"
 
 namespace prefrep {
+namespace {
+
+Status StatusFromException(std::exception_ptr error) {
+  try {
+    std::rethrow_exception(error);
+  } catch (const std::bad_alloc&) {
+    return Status::ResourceExhausted("worker allocation failed (bad_alloc)");
+  } catch (const std::exception& e) {
+    return Status::Internal(std::string("worker exception: ") + e.what());
+  } catch (...) {
+    return Status::Internal("worker exception of unknown type");
+  }
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(int thread_count) : thread_count_(thread_count) {
   CHECK_GE(thread_count, 1);
@@ -43,16 +64,24 @@ void ThreadPool::WorkerLoop(int worker) {
   }
 }
 
-void ThreadPool::ParallelFor(
-    size_t task_count, const std::function<void(size_t, int)>& fn) {
-  if (task_count == 0) return;
+Status ThreadPool::ParallelFor(size_t task_count,
+                               const std::function<void(size_t, int)>& fn,
+                               ExecutionContext* context) {
+  if (task_count == 0) return Status::Ok();
   {
     // Deal the tasks and open the epoch under one lock: a straggler from
     // the previous call must be parked before the deques refill, so it can
-    // never run a new task against the old fn.
+    // never run a new task against the old fn. The same parked guarantee
+    // makes resetting the epoch failure state here race-free.
     std::unique_lock<std::mutex> lock(mu_);
     parked_cv_.wait(lock, [&] { return active_workers_ == 0; });
     fn_ = &fn;
+    context_ = context;
+    epoch_abort_.store(false, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> error_lock(error_mu_);
+      epoch_error_ = Status::Ok();
+    }
     remaining_.store(task_count, std::memory_order_relaxed);
     for (size_t task = 0; task < task_count; ++task) {
       WorkerQueue& queue = *queues_[task % thread_count_];
@@ -63,38 +92,52 @@ void ThreadPool::ParallelFor(
     active_workers_ = thread_count_ - 1;
   }
   work_cv_.notify_all();
-  try {
-    Drain(0);
-  } catch (...) {
-    // fn threw on the caller's lane. `fn` and everything it captures must
-    // outlive the workers' last dereference of fn_, so before unwinding:
-    // discard the undispatched tasks and wait for every worker to park
-    // (in-flight calls finish normally). remaining_ is left stale; the
-    // next ParallelFor resets it.
-    AbandonEpoch();
-    throw;
-  }
+  Drain(0);
   // The caller's deque view is empty, but stolen tasks may still be running
-  // on workers; the last task completion releases this wait.
-  std::unique_lock<std::mutex> lock(done_mu_);
-  done_cv_.wait(lock, [&] {
-    return remaining_.load(std::memory_order_acquire) == 0;
-  });
+  // on workers; the last task completion releases this wait, after which fn
+  // and its captures are safe to destroy.
+  {
+    std::unique_lock<std::mutex> lock(done_mu_);
+    done_cv_.wait(lock, [&] {
+      return remaining_.load(std::memory_order_acquire) == 0;
+    });
+  }
+  Status error;
+  {
+    std::lock_guard<std::mutex> lock(error_mu_);
+    error = epoch_error_;
+  }
+  if (!error.ok()) {
+    if (context != nullptr) context->Fail(error);
+    return error;
+  }
+  // A cancel/deadline observed mid-epoch skipped the remaining tasks; the
+  // caller sees the context's latched status rather than a silent partial
+  // completion.
+  if (context != nullptr) return context->status();
+  return Status::Ok();
 }
 
-void ThreadPool::AbandonEpoch() {
-  for (const std::unique_ptr<WorkerQueue>& queue : queues_) {
-    std::lock_guard<std::mutex> lock(queue->mu);
-    queue->tasks.clear();
-  }
-  std::unique_lock<std::mutex> lock(mu_);
-  parked_cv_.wait(lock, [&] { return active_workers_ == 0; });
+void ThreadPool::CaptureEpochError(std::exception_ptr error) {
+  std::lock_guard<std::mutex> lock(error_mu_);
+  if (epoch_error_.ok()) epoch_error_ = StatusFromException(error);
+  epoch_abort_.store(true, std::memory_order_relaxed);
 }
 
 void ThreadPool::Drain(int worker) {
   size_t task;
   while (PopOwn(worker, &task) || Steal(worker, &task)) {
-    (*fn_)(task, worker);
+    const bool skip =
+        epoch_abort_.load(std::memory_order_relaxed) ||
+        (context_ != nullptr && context_->ShouldStop());
+    if (!skip) {
+      try {
+        PREFREP_FAILPOINT("thread_pool.task");
+        (*fn_)(task, worker);
+      } catch (...) {
+        CaptureEpochError(std::current_exception());
+      }
+    }
     if (remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
       // Taking done_mu_ before notifying pairs with the predicate check in
       // ParallelFor: the waiter either sees remaining_ == 0 or is already

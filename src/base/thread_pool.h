@@ -28,7 +28,11 @@
 #include <thread>
 #include <vector>
 
+#include "base/status.h"
+
 namespace prefrep {
+
+class ExecutionContext;
 
 // Threading knob shared by the enumeration / CQA entry points. threads <= 1
 // selects the serial path (the default: the pre-threaded code path with no
@@ -36,8 +40,14 @@ namespace prefrep {
 // enumeration; results are identical to serial in either mode (pinned by
 // tests/parallel_enumeration_test.cc) because every engine instance stays
 // confined to one thread and the merge steps are commutative.
+//
+// `context`, when set, governs the whole call: engines poll it at step
+// boundaries, pool workers observe its cancellation token between tasks,
+// and byte budgets / DNF caps are drawn from its ExecutionLimits. Null means
+// ungoverned (the historical defaults).
 struct ParallelOptions {
   int threads = 1;
+  ExecutionContext* context = nullptr;
 };
 
 // Worker count actually worth spawning for `task_count` independent tasks:
@@ -63,22 +73,27 @@ class ThreadPool {
 
   int thread_count() const { return thread_count_; }
 
-  // Runs fn(task, worker) for every task in [0, task_count) exactly once
-  // and returns when every call has finished. `worker` is in
-  // [0, thread_count) and identifies the executing lane within this call —
-  // index per-worker state (engines, scratch, compiled queries) with it.
-  // Tasks are dealt round-robin across the per-worker deques; a worker
-  // whose deque drains steals from the back of the others. Not reentrant:
-  // fn must not call ParallelFor on the same pool.
+  // Runs fn(task, worker) for tasks in [0, task_count) and returns when
+  // every dispatched call has finished. `worker` is in [0, thread_count)
+  // and identifies the executing lane within this call — index per-worker
+  // state (engines, scratch, compiled queries) with it. Tasks are dealt
+  // round-robin across the per-worker deques; a worker whose deque drains
+  // steals from the back of the others. Not reentrant: fn must not call
+  // ParallelFor on the same pool.
   //
-  // fn should not throw. If it throws on the caller's lane anyway (e.g.
-  // std::bad_alloc), ParallelFor discards the unstarted tasks, waits for
-  // in-flight calls to finish — fn and its captures stay alive until the
-  // last worker parks — and rethrows; some tasks will simply never have
-  // run. A throw on a pool worker terminates the process, as with any
-  // exception escaping a std::thread.
-  void ParallelFor(size_t task_count,
-                   const std::function<void(size_t task, int worker)>& fn);
+  // Returns OK when every task ran to completion. A throw out of fn on ANY
+  // lane (caller or pool worker) is captured — never std::terminate — and
+  // surfaced as the returned Status (bad_alloc -> kResourceExhausted,
+  // other std::exception -> kInternal); the first failure wins and the
+  // remaining undispatched tasks are skipped. When `context` is set,
+  // workers additionally observe its cancellation token between tasks and
+  // a captured failure is latched into the context via Fail(); an
+  // interrupted context yields its kCancelled / kDeadlineExceeded status.
+  // Either way fn and its captures stay alive until the last in-flight
+  // call finishes; some tasks may simply never have run.
+  [[nodiscard]] Status ParallelFor(
+      size_t task_count, const std::function<void(size_t task, int worker)>& fn,
+      ExecutionContext* context = nullptr);
 
  private:
   struct WorkerQueue {
@@ -87,11 +102,10 @@ class ThreadPool {
   };
 
   void WorkerLoop(int worker);
-  // Executes tasks until every deque (own, then victims) is empty.
+  // Executes tasks until every deque (own, then victims) is empty. Catches
+  // anything fn throws into epoch_error_; never lets an exception escape.
   void Drain(int worker);
-  // Clears every deque and waits for all workers to park, so the current
-  // fn can be destroyed safely. Used when fn throws out of Drain(0).
-  void AbandonEpoch();
+  void CaptureEpochError(std::exception_ptr error);
   bool PopOwn(int worker, size_t* task);
   bool Steal(int thief, size_t* task);
 
@@ -110,6 +124,13 @@ class ThreadPool {
   std::atomic<size_t> remaining_{0};
   std::mutex done_mu_;
   std::condition_variable done_cv_;
+
+  // Per-epoch failure state: first captured exception (as Status) wins and
+  // flips epoch_abort_ so the remaining tasks are skipped, not run.
+  std::mutex error_mu_;
+  Status epoch_error_;
+  std::atomic<bool> epoch_abort_{false};
+  ExecutionContext* context_ = nullptr;  // of the current epoch; may be null
 };
 
 }  // namespace prefrep

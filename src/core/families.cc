@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <memory>
+#include <new>
 #include <optional>
 #include <unordered_set>
 #include <utility>
 
+#include "base/failpoint.h"
 #include "core/optimality.h"
 #include "graph/components.h"
 #include "graph/mis.h"
@@ -23,9 +25,13 @@ namespace {
 // scratch, whose hash is maintained incrementally word-by-word.
 class CommonRepairEnumerator {
  public:
-  CommonRepairEnumerator(const ConflictGraph& graph, const Priority& priority)
+  // `context`, when set, is polled at every choice-tree node; an interrupt
+  // stops the walk (Run returns false).
+  CommonRepairEnumerator(const ConflictGraph& graph, const Priority& priority,
+                         ExecutionContext* context = nullptr)
       : graph_(graph),
         priority_(priority),
+        context_(context),
         vertex_count_(graph.vertex_count()),
         chosen_(vertex_count_) {
     vicinity_.reserve(vertex_count_);
@@ -48,6 +54,7 @@ class CommonRepairEnumerator {
     root.entering = true;
     int depth = 0;
     while (depth >= 0) {
+      if (context_ != nullptr && context_->ShouldStop()) return false;
       Frame& frame = *frames_[depth];
       if (frame.entering) {
         frame.entering = false;
@@ -146,6 +153,7 @@ class CommonRepairEnumerator {
 
   const ConflictGraph& graph_;
   const Priority& priority_;
+  ExecutionContext* context_;
   int vertex_count_;
   DynamicBitset chosen_;
   uint64_t chosen_hash_ = 0;
@@ -161,22 +169,25 @@ class CommonRepairEnumerator {
 template <typename Callback>
 bool StreamComponentFamily(const ConflictGraph& graph,
                            const Priority& priority, RepairFamily family,
-                           Callback&& emit) {
+                           Callback&& emit,
+                           ExecutionContext* context = nullptr) {
   switch (family) {
     case RepairFamily::kAll:
-      return MisEngine(graph).Enumerate(emit);
+      return MisEngine(graph, context).Enumerate(emit);
     case RepairFamily::kLocal:
-      return MisEngine(graph).Enumerate([&](const DynamicBitset& repair) {
-        if (!IsLocallyOptimal(graph, priority, repair)) return true;
-        return emit(repair);
-      });
+      return MisEngine(graph, context)
+          .Enumerate([&](const DynamicBitset& repair) {
+            if (!IsLocallyOptimal(graph, priority, repair)) return true;
+            return emit(repair);
+          });
     case RepairFamily::kSemiGlobal:
-      return MisEngine(graph).Enumerate([&](const DynamicBitset& repair) {
-        if (!IsSemiGloballyOptimal(graph, priority, repair)) return true;
-        return emit(repair);
-      });
+      return MisEngine(graph, context)
+          .Enumerate([&](const DynamicBitset& repair) {
+            if (!IsSemiGloballyOptimal(graph, priority, repair)) return true;
+            return emit(repair);
+          });
     case RepairFamily::kCommon:
-      return CommonRepairEnumerator(graph, priority).Run(emit);
+      return CommonRepairEnumerator(graph, priority, context).Run(emit);
     case RepairFamily::kGlobal:
       break;
   }
@@ -187,10 +198,13 @@ bool StreamComponentFamily(const ConflictGraph& graph,
 // Erases the repairs that are not ≪-maximal among `repairs` (which must be
 // the component's *complete* repair list). Certification is quadratic in
 // the component list — exponentially smaller than the whole-graph list the
-// pre-decomposition engine certified against.
-void FilterGloballyOptimalInPlace(const Priority& priority,
-                                  std::vector<DynamicBitset>* repairs) {
-  if (repairs->empty()) return;
+// pre-decomposition engine certified against. `context` is polled once per
+// certified repair; on interrupt the filter stops and returns false
+// (repairs is then partially filtered and meaningless).
+bool FilterGloballyOptimalInPlace(const Priority& priority,
+                                  std::vector<DynamicBitset>* repairs,
+                                  ExecutionContext* context = nullptr) {
+  if (repairs->empty()) return true;
   int n = (*repairs)[0].size();
   DynamicBitset scratch1(n);
   DynamicBitset scratch2(n);
@@ -208,6 +222,7 @@ void FilterGloballyOptimalInPlace(const Priority& priority,
   // budget, so no second list is allocated.
   std::vector<char> keep(repairs->size());
   for (size_t i = 0; i < repairs->size(); ++i) {
+    if (context != nullptr && context->ShouldStop()) return false;
     keep[i] = !dominated((*repairs)[i]);
   }
   size_t write = 0;
@@ -218,20 +233,24 @@ void FilterGloballyOptimalInPlace(const Priority& priority,
     }
   }
   repairs->resize(write);
+  return true;
 }
 
 // Materializes the members of `family` on one component graph into `out`,
-// charging the shared budget. Returns false if the budget would be
-// exceeded (out is then meaningless). Safe to run concurrently for
-// distinct components: every engine it constructs is local to the call.
+// charging the shared arbiter. Returns false if the budget would be
+// exceeded or the context was interrupted (out is then meaningless). Safe
+// to run concurrently for distinct components: every engine it constructs
+// is local to the call.
 bool MaterializeComponentFamily(const ConflictGraph& graph,
                                 const Priority& priority, RepairFamily family,
                                 std::vector<DynamicBitset>* out,
-                                ComponentListBudget* budget) {
+                                ResourceArbiter* arbiter,
+                                ExecutionContext* context = nullptr) {
+  PREFREP_FAILPOINT("families.materialize");
   const size_t per_set_bytes =
       DynamicBitset(graph.vertex_count()).MemoryBytes();
   auto collect = [&](const DynamicBitset& repair) {
-    if (!budget->TryCharge(per_set_bytes)) return false;
+    if (!arbiter->TryCharge(per_set_bytes)) return false;
     out->push_back(repair);
     return true;
   };
@@ -239,13 +258,13 @@ bool MaterializeComponentFamily(const ConflictGraph& graph,
     // Collect the complete component repair list first; the ≪-maximality
     // certificate compares a repair only against other repairs of the same
     // component (priorities never cross components).
-    if (!MisEngine(graph).Enumerate(collect)) return false;
+    if (!MisEngine(graph, context).Enumerate(collect)) return false;
     size_t before = out->size();
-    FilterGloballyOptimalInPlace(priority, out);
-    budget->Refund((before - out->size()) * per_set_bytes);
+    if (!FilterGloballyOptimalInPlace(priority, out, context)) return false;
+    arbiter->Refund((before - out->size()) * per_set_bytes);
     return true;
   }
-  return StreamComponentFamily(graph, priority, family, collect);
+  return StreamComponentFamily(graph, priority, family, collect, context);
 }
 
 // Streams `family` on one graph — the whole (connected) conflict graph or
@@ -255,24 +274,29 @@ bool MaterializeComponentFamily(const ConflictGraph& graph,
 template <typename Emit>
 bool EnumerateFamilyOnGraph(const ConflictGraph& graph,
                             const Priority& priority, RepairFamily family,
-                            Emit&& emit) {
+                            Emit&& emit, ExecutionContext* context = nullptr) {
   if (family != RepairFamily::kGlobal) {
-    return StreamComponentFamily(graph, priority, family, emit);
+    return StreamComponentFamily(graph, priority, family, emit, context);
   }
   std::vector<DynamicBitset> repairs;
-  ComponentListBudget budget;
-  if (MaterializeComponentFamily(graph, priority, family, &repairs,
-                                 &budget)) {
+  ResourceArbiter arbiter(
+      context != nullptr ? context->limits().component_list_budget_bytes
+                         : kComponentListBudgetBytes,
+      context != nullptr ? &context->stats() : nullptr);
+  if (MaterializeComponentFamily(graph, priority, family, &repairs, &arbiter,
+                                 context)) {
     for (const DynamicBitset& repair : repairs) {
+      if (context != nullptr && context->ShouldStop()) return false;
       if (!emit(repair)) return false;
     }
     return true;
   }
+  if (context != nullptr && context->interrupted()) return false;
   // Release the partial list before the memory-free fallback — this is
   // the moment memory pressure is highest.
   repairs.clear();
   repairs.shrink_to_fit();
-  return MisEngine(graph).Enumerate([&](const DynamicBitset& repair) {
+  return MisEngine(graph, context).Enumerate([&](const DynamicBitset& repair) {
     if (!IsGloballyOptimal(graph, priority, repair)) return true;
     return emit(repair);
   });
@@ -282,13 +306,15 @@ bool EnumerateFamilyOnGraph(const ConflictGraph& graph,
 // case where even per-component lists exceed the byte budget.
 bool EnumerateWholeGraphFallback(
     const ConflictGraph& graph, const Priority& priority, RepairFamily family,
-    const std::function<bool(const DynamicBitset&)>& callback) {
+    const std::function<bool(const DynamicBitset&)>& callback,
+    ExecutionContext* context = nullptr) {
+  PREFREP_FAILPOINT("families.streaming_fallback");
   switch (family) {
     case RepairFamily::kAll:
     case RepairFamily::kLocal:
     case RepairFamily::kSemiGlobal:
     case RepairFamily::kCommon:
-      return StreamComponentFamily(graph, priority, family, callback);
+      return StreamComponentFamily(graph, priority, family, callback, context);
     case RepairFamily::kGlobal: {
       // Nested streaming ≪-witness search with both levels on MisEngine
       // directly: going through IsGloballyOptimal here would re-attempt
@@ -298,8 +324,8 @@ bool EnumerateWholeGraphFallback(
       int n = graph.vertex_count();
       DynamicBitset scratch1(n);
       DynamicBitset scratch2(n);
-      MisEngine outer(graph);
-      MisEngine inner(graph);
+      MisEngine outer(graph, context);
+      MisEngine inner(graph, context);
       return outer.Enumerate([&](const DynamicBitset& repair) {
         bool dominated = false;
         inner.Enumerate([&](const DynamicBitset& other) {
@@ -310,6 +336,9 @@ bool EnumerateWholeGraphFallback(
           }
           return true;
         });
+        // An interrupted certificate proves nothing: stop before emitting
+        // a repair the completed search might have rejected.
+        if (context != nullptr && context->interrupted()) return false;
         if (dominated) return true;
         return callback(repair);
       });
@@ -377,6 +406,7 @@ bool EnumeratePreferredRepairs(
     const ConflictGraph& graph, const Priority& priority, RepairFamily family,
     const ParallelOptions& options,
     const std::function<bool(const DynamicBitset&)>& callback) {
+  ExecutionContext* context = options.context;
   if (family == RepairFamily::kAll) {
     return EnumerateMaximalIndependentSets(graph, options, callback);
   }
@@ -384,7 +414,7 @@ bool EnumeratePreferredRepairs(
     // Connected graph: no decomposition, no priority projection, no
     // remapping — enumerate in place. There is only one component, so
     // options.threads has nothing to fan out over.
-    return EnumerateFamilyOnGraph(graph, priority, family, callback);
+    return EnumerateFamilyOnGraph(graph, priority, family, callback, context);
   }
   ComponentDecomposition decomposition(graph);
   const std::vector<GraphComponent>& components = decomposition.components();
@@ -404,18 +434,21 @@ bool EnumeratePreferredRepairs(
         [&](const DynamicBitset& local) {
           decomposition.Scatter(0, local, scratch);
           return callback(scratch);
-        });
+        },
+        context);
   }
   std::optional<bool> complete = TryEnumerateViaComponentProduct(
       decomposition, options,
-      [&](int c, std::vector<DynamicBitset>* out, ComponentListBudget* budget) {
+      [&](int c, std::vector<DynamicBitset>* out, ResourceArbiter* arbiter) {
         return MaterializeComponentFamily(components[c].graph,
                                           local_priorities[c], family, out,
-                                          budget);
+                                          arbiter, context);
       },
       callback);
   if (complete.has_value()) return *complete;
-  return EnumerateWholeGraphFallback(graph, priority, family, callback);
+  if (context != nullptr && context->interrupted()) return false;
+  return EnumerateWholeGraphFallback(graph, priority, family, callback,
+                                     context);
 }
 
 Result<std::vector<DynamicBitset>> PreferredRepairs(
@@ -426,21 +459,32 @@ Result<std::vector<DynamicBitset>> PreferredRepairs(
 
 Result<std::vector<DynamicBitset>> PreferredRepairs(
     const ConflictGraph& graph, const Priority& priority, RepairFamily family,
-    const ParallelOptions& options, size_t limit) {
+    const ParallelOptions& options, size_t limit) try {
+  ExecutionContext* context = options.context;
+  if (context != nullptr) {
+    limit = std::min(limit, context->limits().max_repair_list);
+  }
   std::vector<DynamicBitset> repairs;
   bool complete = EnumeratePreferredRepairs(
       graph, priority, family, options,
-      [&repairs, limit](const DynamicBitset& r) {
+      [&repairs, limit, context](const DynamicBitset& r) {
         if (repairs.size() >= limit) return false;
         repairs.push_back(r);
+        if (context != nullptr) context->stats().AddRepairsExamined();
         return true;
       });
   if (!complete) {
+    if (context != nullptr && context->interrupted()) {
+      return context->StatusWithStats();
+    }
     return Status::ResourceExhausted("more than " + std::to_string(limit) +
                                      " preferred repairs in family " +
                                      std::string(RepairFamilyName(family)));
   }
   return repairs;
+} catch (const std::bad_alloc&) {
+  return Status::ResourceExhausted("allocation failed materializing family " +
+                                   std::string(RepairFamilyName(family)));
 }
 
 std::optional<ComponentFamilyLists> MaterializeComponentFamilyLists(
@@ -450,22 +494,28 @@ std::optional<ComponentFamilyLists> MaterializeComponentFamilyLists(
   const std::vector<GraphComponent>& components =
       out.decomposition.components();
   out.local_priorities = ProjectPriorities(out.decomposition, priority);
-  bool within_budget = MaterializeComponentLists(
+  ExecutionContext* context = options.context;
+  Status materialized = MaterializeComponentLists(
       out.decomposition, options,
-      [&](int c, std::vector<DynamicBitset>* list, ComponentListBudget* budget) {
+      [&](int c, std::vector<DynamicBitset>* list, ResourceArbiter* arbiter) {
         return MaterializeComponentFamily(components[c].graph,
                                           out.local_priorities[c], family,
-                                          list, budget);
+                                          list, arbiter, context);
       },
       &out.choices, pool);
-  if (!within_budget) return std::nullopt;
+  // Both overflow and interrupt yield nullopt: the streaming/serial paths
+  // the caller falls back to poll the context themselves, so an interrupt
+  // still surfaces without re-running the materialization.
+  if (!materialized.ok()) return std::nullopt;
   return out;
 }
 
 bool EnumeratePreferredRepairsStreaming(
     const ConflictGraph& graph, const Priority& priority, RepairFamily family,
-    const std::function<bool(const DynamicBitset&)>& callback) {
-  return EnumerateWholeGraphFallback(graph, priority, family, callback);
+    const std::function<bool(const DynamicBitset&)>& callback,
+    ExecutionContext* context) {
+  return EnumerateWholeGraphFallback(graph, priority, family, callback,
+                                     context);
 }
 
 }  // namespace prefrep

@@ -86,7 +86,10 @@ bool EnumeratePreferredRepairs(
     const ParallelOptions& options,
     const std::function<bool(const DynamicBitset&)>& callback);
 
-// Materializes the family, failing with kResourceExhausted beyond `limit`.
+// Materializes the family, failing with kResourceExhausted beyond `limit`
+// (clamped to options.context's max_repair_list when a context is
+// attached); an interrupted context fails with its kCancelled /
+// kDeadlineExceeded status instead.
 Result<std::vector<DynamicBitset>> PreferredRepairs(
     const ConflictGraph& graph, const Priority& priority, RepairFamily family,
     size_t limit = 1u << 20);
@@ -107,12 +110,14 @@ struct ComponentFamilyLists {
 
 // Materializes every component's family list, fanning components out
 // across options.threads workers (on `pool` when given, else an
-// on-demand pool). Returns nullopt when the lists exceed
-// kComponentListBudgetBytes — callers then take a serial streaming path
+// on-demand pool). Returns nullopt when the lists exceed the byte budget
+// (options.context's limit, else kComponentListBudgetBytes) — callers
+// then take a serial streaming path
 // (EnumeratePreferredRepairsStreaming, which will not re-attempt the
-// materialization that just failed). A graph with no non-singleton
-// component yields empty `choices`; its unique repair is
-// decomposition.isolated().
+// materialization that just failed) — or when the context was interrupted
+// (the fallback path re-polls the context and surfaces the interrupt). A
+// graph with no non-singleton component yields empty `choices`; its
+// unique repair is decomposition.isolated().
 [[nodiscard]] std::optional<ComponentFamilyLists>
 MaterializeComponentFamilyLists(const ConflictGraph& graph,
                                 const Priority& priority, RepairFamily family,
@@ -127,7 +132,8 @@ MaterializeComponentFamilyLists(const ConflictGraph& graph,
 // (there is no product); the set of repairs is identical.
 bool EnumeratePreferredRepairsStreaming(
     const ConflictGraph& graph, const Priority& priority, RepairFamily family,
-    const std::function<bool(const DynamicBitset&)>& callback);
+    const std::function<bool(const DynamicBitset&)>& callback,
+    ExecutionContext* context = nullptr);
 
 }  // namespace prefrep
 

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <limits>
+#include <new>
 
+#include "base/exec_context.h"
 #include "graph/mis.h"
 
 namespace prefrep {
@@ -95,7 +97,9 @@ RepairAggregate AggregateOfRepair(const RepairProblem& problem,
 Result<AggregateRange> AggregateConsistentRange(
     const RepairProblem& problem, const Priority& priority,
     RepairFamily family, std::string_view relation,
-    std::string_view attribute, AggregateFunction fn) {
+    std::string_view attribute, AggregateFunction fn,
+    const ParallelOptions& options) try {
+  ExecutionContext* context = options.context;
   PREFREP_ASSIGN_OR_RETURN(const Relation* rel,
                            problem.db().relation(relation));
   int attr = 0;
@@ -117,7 +121,12 @@ Result<AggregateRange> AggregateConsistentRange(
   AggregateRange range;
   DynamicBitset rows_scratch(problem.graph().vertex_count());
   EnumeratePreferredRepairs(
-      problem.graph(), priority, family, [&](const DynamicBitset& repair) {
+      problem.graph(), priority, family, options,
+      [&](const DynamicBitset& repair) {
+        if (context != nullptr) {
+          if (context->ShouldStop()) return false;
+          context->stats().AddRepairsExamined();
+        }
         RepairAggregate agg = AggregateOfRepair(problem, repair, relation_mask,
                                                 attr, fn, rows_scratch);
         if (!agg.defined) {
@@ -133,11 +142,20 @@ Result<AggregateRange> AggregateConsistentRange(
         }
         return true;
       });
+  // A range computed from a prefix of the repair space is not a range at
+  // all — surface the interrupt instead of a too-narrow [lo, hi].
+  if (context != nullptr && context->interrupted()) {
+    return context->StatusWithStats();
+  }
   return range;
+} catch (const std::bad_alloc&) {
+  return Status::ResourceExhausted(
+      "allocation failed during aggregate range enumeration");
 }
 
 Result<AggregateRange> CountStarRange(const RepairProblem& problem,
-                                      std::string_view relation) {
+                                      std::string_view relation,
+                                      ExecutionContext* context) {
   PREFREP_ASSIGN_OR_RETURN(int rel_index,
                            problem.db().RelationIndex(relation));
   DynamicBitset relation_mask = problem.db().RelationMask(rel_index);
@@ -151,6 +169,9 @@ Result<AggregateRange> CountStarRange(const RepairProblem& problem,
   int64_t hi = 0;
   for (const std::vector<int>& component :
        problem.graph().ConnectedComponents()) {
+    if (context != nullptr && context->ShouldStop()) {
+      return context->StatusWithStats();
+    }
     if (component.size() == 1) {
       // Isolated tuple: present in every repair.
       if (relation_mask.Test(component[0])) {
@@ -162,11 +183,18 @@ Result<AggregateRange> CountStarRange(const RepairProblem& problem,
     int comp_min = std::numeric_limits<int>::max();
     int comp_max = 0;
     for (const DynamicBitset& mis :
-         ComponentMaximalIndependentSets(problem.graph(), component)) {
+         ComponentMaximalIndependentSets(problem.graph(), component,
+                                         context)) {
       int size = mis.IntersectionCount(relation_mask);
       comp_min = std::min(comp_min, size);
       comp_max = std::max(comp_max, size);
     }
+    // An interrupted MIS search returns a truncated list whose min/max
+    // say nothing about the component.
+    if (context != nullptr && context->interrupted()) {
+      return context->StatusWithStats();
+    }
+    if (context != nullptr) context->stats().AddComponentsCompleted();
     lo += comp_min;
     hi += comp_max;
   }

@@ -19,6 +19,7 @@
 #include <string_view>
 
 #include "base/status.h"
+#include "base/thread_pool.h"
 #include "core/families.h"
 #include "priority/priority.h"
 #include "repair/repair.h"
@@ -49,18 +50,23 @@ struct AggregateRange {
 // Exact range of `fn` applied to attribute `attribute` of relation
 // `relation` across all repairs of `family` under `priority`.
 // Exponential in the number of preferred repairs (co-NP-hard in general,
-// per [2]); intended for moderate instances.
+// per [2]); intended for moderate instances. `options.context`, when
+// set, is polled once per repair; expiry/cancel surfaces as the
+// context's latched kCancelled / kDeadlineExceeded status.
 Result<AggregateRange> AggregateConsistentRange(
     const RepairProblem& problem, const Priority& priority,
     RepairFamily family, std::string_view relation,
-    std::string_view attribute, AggregateFunction fn);
+    std::string_view attribute, AggregateFunction fn,
+    const ParallelOptions& options = {});
 
 // Polynomial special case: the COUNT(*) range of `relation` under plain
 // Rep. Repair sizes decompose over connected components of the conflict
 // graph: the range is the sum of per-component [min, max] maximal-
-// independent-set sizes restricted to the relation.
+// independent-set sizes restricted to the relation. `context`, when set,
+// is polled per component (and inside the per-component MIS search).
 Result<AggregateRange> CountStarRange(const RepairProblem& problem,
-                                      std::string_view relation);
+                                      std::string_view relation,
+                                      ExecutionContext* context = nullptr);
 
 }  // namespace prefrep
 

@@ -4,9 +4,12 @@
 #include <atomic>
 #include <functional>
 #include <map>
+#include <new>
 #include <set>
 #include <utility>
 
+#include "base/exec_context.h"
+#include "base/failpoint.h"
 #include "base/thread_pool.h"
 #include "cqa/planner.h"
 #include "graph/components.h"
@@ -93,25 +96,48 @@ using EnumerateRepairsFn = std::function<bool(
 // eval_repair returning false also raises `abort`. The callback always
 // runs with `worker` < pool.thread_count(), so callers index per-worker
 // state (compiled query copies) with it and per-chunk state (partial
-// results, Status slots) with `chunk`.
-void ForEachRepairSharded(
+// results, Status slots) with `chunk`. Returns the pool's Status: non-OK
+// when a worker threw or `context` was interrupted (each enumerator also
+// polls the context per odometer tick).
+[[nodiscard]] Status ForEachRepairSharded(
     const ComponentFamilyLists& lists, const CqaShardPlan& plan,
-    ThreadPool& pool, std::atomic<bool>* abort,
+    ThreadPool& pool, ExecutionContext* context, std::atomic<bool>* abort,
     const std::function<bool(size_t chunk, int worker,
                              const DynamicBitset& repair)>& eval_repair) {
-  pool.ParallelFor(plan.chunks.size(), [&](size_t chunk, int worker) {
-    if (abort->load(std::memory_order_relaxed)) return;
-    ComponentProductEnumerator product(lists.decomposition, &lists.choices);
-    product.EnumerateSlices(
-        plan.chunks[chunk],
-        [&](const DynamicBitset& repair) {
-          if (!eval_repair(chunk, worker, repair)) {
-            abort->store(true, std::memory_order_relaxed);
-            return false;
-          }
-          return !abort->load(std::memory_order_relaxed);
-        });
-  });
+  return pool.ParallelFor(
+      plan.chunks.size(),
+      [&](size_t chunk, int worker) {
+        if (abort->load(std::memory_order_relaxed)) return;
+        ComponentProductEnumerator product(lists.decomposition, &lists.choices,
+                                           context);
+        product.EnumerateSlices(
+            plan.chunks[chunk],
+            [&](const DynamicBitset& repair) {
+              PREFREP_FAILPOINT("cqa.eval");
+              if (context != nullptr) context->stats().AddRepairsExamined();
+              if (!eval_repair(chunk, worker, repair)) {
+                abort->store(true, std::memory_order_relaxed);
+                return false;
+              }
+              return !abort->load(std::memory_order_relaxed);
+            });
+      },
+      context);
+}
+
+// Wraps a serial per-repair callback with the context's poll / stats /
+// failpoint instrumentation; without a context the callback runs bare (no
+// extra indirection on the ungoverned fast path).
+std::function<bool(const DynamicBitset&)> WrapSerialEval(
+    ExecutionContext* context,
+    const std::function<bool(const DynamicBitset&)>& callback) {
+  if (context == nullptr) return callback;
+  return [context, &callback](const DynamicBitset& repair) {
+    PREFREP_FAILPOINT("cqa.eval");
+    if (context->ShouldStop()) return false;
+    context->stats().AddRepairsExamined();
+    return callback(repair);
+  };
 }
 
 // Drops from `keep` every row not also in `other`. The serial loop, the
@@ -143,6 +169,7 @@ template <typename ShardedFn, typename SerialFn>
 auto RunCqa(const RepairProblem& problem, const Priority& priority,
             RepairFamily family, const ParallelOptions& options,
             const ShardedFn& sharded, const SerialFn& serial) {
+  ExecutionContext* context = options.context;
   if (options.threads > 1 && !SpansOneComponent(problem.graph())) {
     ThreadPool pool(options.threads);
     std::optional<ComponentFamilyLists> lists = MaterializeComponentFamilyLists(
@@ -150,7 +177,9 @@ auto RunCqa(const RepairProblem& problem, const Priority& priority,
     if (!lists.has_value()) {
       return serial([&](const std::function<bool(const DynamicBitset&)>& cb) {
         return EnumeratePreferredRepairsStreaming(problem.graph(), priority,
-                                                  family, cb);
+                                                  family,
+                                                  WrapSerialEval(context, cb),
+                                                  context);
       });
     }
     if (!lists->choices.empty()) {
@@ -158,7 +187,8 @@ auto RunCqa(const RepairProblem& problem, const Priority& priority,
     }
   }
   return serial([&](const std::function<bool(const DynamicBitset&)>& cb) {
-    return EnumeratePreferredRepairs(problem.graph(), priority, family, cb);
+    return EnumeratePreferredRepairs(problem.graph(), priority, family,
+                                     options, WrapSerialEval(context, cb));
   });
 }
 
@@ -186,7 +216,8 @@ namespace {
 // are set no further repair can change it and every shard stops.
 Result<CqaVerdict> ShardedConsistentAnswer(const ComponentFamilyLists& lists,
                                            const PreparedQuery& prepared,
-                                           ThreadPool& pool) {
+                                           ThreadPool& pool,
+                                           ExecutionContext* context) {
   for (const std::vector<DynamicBitset>& list : lists.choices) {
     // An empty component list makes the family empty: vacuously true,
     // matching the serial loop (whose callback never runs).
@@ -197,8 +228,8 @@ Result<CqaVerdict> ShardedConsistentAnswer(const ComponentFamilyLists& lists,
   std::vector<Status> chunk_status(plan.chunks.size(), Status::Ok());
   std::atomic<uint32_t> seen_mask{0};
   std::atomic<bool> abort{false};
-  ForEachRepairSharded(
-      lists, plan, pool, &abort,
+  Status pool_status = ForEachRepairSharded(
+      lists, plan, pool, context, &abort,
       [&](size_t chunk, int worker, const DynamicBitset& repair) {
         Result<bool> holds = worker_query[worker].EvalClosed(&repair);
         if (!holds.ok()) {
@@ -213,6 +244,7 @@ Result<CqaVerdict> ShardedConsistentAnswer(const ComponentFamilyLists& lists,
   for (const Status& status : chunk_status) {
     PREFREP_RETURN_IF_ERROR(status);
   }
+  PREFREP_RETURN_IF_ERROR(pool_status);
   uint32_t mask = seen_mask.load(std::memory_order_relaxed);
   if (mask == 3u) return CqaVerdict::kUndetermined;
   if (mask == 2u) return CqaVerdict::kCertainlyFalse;
@@ -260,7 +292,7 @@ Result<CqaVerdict> EnumeratedConsistentAnswer(const RepairProblem& problem,
                                               const Priority& priority,
                                               RepairFamily family,
                                               const Query& query,
-                                              ParallelOptions options) {
+                                              ParallelOptions options) try {
   if (!query.IsClosed()) {
     PREFREP_RETURN_IF_ERROR(ValidateQuery(problem.db(), query));
     return Status::InvalidArgument(
@@ -270,14 +302,23 @@ Result<CqaVerdict> EnumeratedConsistentAnswer(const RepairProblem& problem,
   // quantifier search (query/prepared.h).
   PREFREP_ASSIGN_OR_RETURN(PreparedQuery prepared,
                            PreparedQuery::Compile(problem.db(), query));
-  return RunCqa(
+  Result<CqaVerdict> verdict = RunCqa(
       problem, priority, family, options,
       [&](const ComponentFamilyLists& lists, ThreadPool& pool) {
-        return ShardedConsistentAnswer(lists, prepared, pool);
+        return ShardedConsistentAnswer(lists, prepared, pool, options.context);
       },
       [&](const EnumerateRepairsFn& enumerate) {
         return SerialConsistentAnswer(prepared, enumerate);
       });
+  // A context interrupt truncates the enumeration silently (callbacks just
+  // return false); surface it here so the caller never mistakes a partial
+  // verdict for a complete one.
+  if (options.context != nullptr && options.context->interrupted()) {
+    return options.context->StatusWithStats();
+  }
+  return verdict;
+} catch (const std::bad_alloc&) {
+  return Status::ResourceExhausted("allocation failed during enumerated CQA");
 }
 
 Result<bool> IsConsistentlyTrue(const RepairProblem& problem,
@@ -298,7 +339,8 @@ namespace {
 // empties proves the global intersection empty and stops the rest.
 Result<OpenAnswer> ShardedConsistentAnswers(const ComponentFamilyLists& lists,
                                             const PreparedQuery& prepared,
-                                            ThreadPool& pool) {
+                                            ThreadPool& pool,
+                                            ExecutionContext* context) {
   for (const std::vector<DynamicBitset>& list : lists.choices) {
     // Empty family: no repair ever ran, matching the serial loop's empty
     // OpenAnswer (variables included — they are set on the first repair).
@@ -314,8 +356,8 @@ Result<OpenAnswer> ShardedConsistentAnswers(const ComponentFamilyLists& lists,
   std::vector<ChunkPartial> partial(plan.chunks.size());
   std::atomic<bool> emptied{false};
   std::atomic<bool> abort{false};
-  ForEachRepairSharded(
-      lists, plan, pool, &abort,
+  Status pool_status = ForEachRepairSharded(
+      lists, plan, pool, context, &abort,
       [&](size_t chunk, int worker, const DynamicBitset& repair) {
         Result<OpenAnswer> answer = worker_query[worker].EvalOpen(&repair);
         if (!answer.ok()) {
@@ -339,6 +381,7 @@ Result<OpenAnswer> ShardedConsistentAnswers(const ComponentFamilyLists& lists,
   for (const Status& status : chunk_status) {
     PREFREP_RETURN_IF_ERROR(status);
   }
+  PREFREP_RETURN_IF_ERROR(pool_status);
   OpenAnswer out;
   out.variables = prepared.free_variables();
   if (emptied.load(std::memory_order_relaxed)) return out;
@@ -404,17 +447,23 @@ Result<OpenAnswer> EnumeratedConsistentAnswers(const RepairProblem& problem,
                                                const Priority& priority,
                                                RepairFamily family,
                                                const Query& query,
-                                               ParallelOptions options) {
+                                               ParallelOptions options) try {
   PREFREP_ASSIGN_OR_RETURN(PreparedQuery prepared,
                            PreparedQuery::Compile(problem.db(), query));
-  return RunCqa(
+  Result<OpenAnswer> answers = RunCqa(
       problem, priority, family, options,
       [&](const ComponentFamilyLists& lists, ThreadPool& pool) {
-        return ShardedConsistentAnswers(lists, prepared, pool);
+        return ShardedConsistentAnswers(lists, prepared, pool, options.context);
       },
       [&](const EnumerateRepairsFn& enumerate) {
         return SerialConsistentAnswers(prepared, enumerate);
       });
+  if (options.context != nullptr && options.context->interrupted()) {
+    return options.context->StatusWithStats();
+  }
+  return answers;
+} catch (const std::bad_alloc&) {
+  return Status::ResourceExhausted("allocation failed during enumerated CQA");
 }
 
 namespace {
@@ -500,9 +549,15 @@ Result<bool> DisjunctSatisfiableBySomeRepair(const RepairProblem& problem,
 
 // The certainty test both ground engines share: `true` is the consistent
 // answer iff no repair satisfies any disjunct of the negated query's DNF.
+// `context` is polled once per disjunct; an interrupt returns its status.
 Result<bool> NoRepairSatisfiesAnyDisjunct(
-    const RepairProblem& problem, const std::vector<GroundDisjunct>& dnf) {
+    const RepairProblem& problem, const std::vector<GroundDisjunct>& dnf,
+    ExecutionContext* context) {
   for (const GroundDisjunct& disjunct : dnf) {
+    PREFREP_FAILPOINT("cqa.ground_disjunct");
+    if (context != nullptr && context->ShouldStop()) {
+      return context->StatusWithStats();
+    }
     PREFREP_ASSIGN_OR_RETURN(
         bool satisfiable, DisjunctSatisfiableBySomeRepair(problem, disjunct));
     if (satisfiable) return false;
@@ -510,11 +565,25 @@ Result<bool> NoRepairSatisfiesAnyDisjunct(
   return true;
 }
 
+// Clamps a caller-supplied DNF cap to the context's limit.
+size_t EffectiveDnfDisjunctCap(size_t max_dnf_disjuncts,
+                               const ExecutionContext* context) {
+  if (context == nullptr) return max_dnf_disjuncts;
+  return std::min(max_dnf_disjuncts, context->limits().max_dnf_disjuncts);
+}
+
+size_t EffectiveDnfLiteralCap(const ExecutionContext* context) {
+  if (context == nullptr) return kDefaultDnfLiteralBudget;
+  return std::min(kDefaultDnfLiteralBudget,
+                  context->limits().max_dnf_literals);
+}
+
 }  // namespace
 
 Result<bool> GroundConsistentAnswer(const RepairProblem& problem,
                                     const Query& query,
-                                    size_t max_dnf_disjuncts) {
+                                    size_t max_dnf_disjuncts,
+                                    ExecutionContext* context) {
   PREFREP_RETURN_IF_ERROR(ValidateQuery(problem.db(), query));
   if (!query.IsGround() || !query.IsQuantifierFree()) {
     return Status::InvalidArgument(
@@ -523,14 +592,17 @@ Result<bool> GroundConsistentAnswer(const RepairProblem& problem,
         query.ToString());
   }
   std::unique_ptr<Query> negated = Query::Not(query.Clone());
-  PREFREP_ASSIGN_OR_RETURN(std::vector<GroundDisjunct> dnf,
-                           GroundDnf(*negated, max_dnf_disjuncts));
-  return NoRepairSatisfiesAnyDisjunct(problem, dnf);
+  PREFREP_ASSIGN_OR_RETURN(
+      std::vector<GroundDisjunct> dnf,
+      GroundDnf(*negated, EffectiveDnfDisjunctCap(max_dnf_disjuncts, context),
+                EffectiveDnfLiteralCap(context)));
+  return NoRepairSatisfiesAnyDisjunct(problem, dnf, context);
 }
 
 Result<OpenAnswer> GroundConsistentOpenAnswers(const RepairProblem& problem,
                                                const Query& query,
-                                               size_t max_dnf_disjuncts) {
+                                               size_t max_dnf_disjuncts,
+                                               ExecutionContext* context) {
   if (!query.IsQuantifierFree()) {
     return Status::InvalidArgument(
         "GroundConsistentOpenAnswers needs a quantifier-free query");
@@ -550,13 +622,19 @@ Result<OpenAnswer> GroundConsistentOpenAnswers(const RepairProblem& problem,
   // templates (instead of re-cloning, re-NNFing and re-DNFing the query
   // per row).
   std::unique_ptr<Query> negated = Query::Not(query.Clone());
-  PREFREP_ASSIGN_OR_RETURN(std::vector<DisjunctTemplate> negated_dnf,
-                           QuantifierFreeDnf(*negated, max_dnf_disjuncts));
+  PREFREP_ASSIGN_OR_RETURN(
+      std::vector<DisjunctTemplate> negated_dnf,
+      QuantifierFreeDnf(*negated,
+                        EffectiveDnfDisjunctCap(max_dnf_disjuncts, context),
+                        EffectiveDnfLiteralCap(context)));
   OpenAnswer certain;
   certain.variables = candidates.variables;
   std::map<std::string, Value> bindings;
   std::vector<GroundDisjunct> ground_dnf(negated_dnf.size());
   for (const Tuple& row : candidates.rows) {
+    if (context != nullptr && context->ShouldStop()) {
+      return context->StatusWithStats();
+    }
     bindings.clear();
     for (size_t i = 0; i < certain.variables.size(); ++i) {
       bindings.emplace(certain.variables[i],
@@ -566,8 +644,9 @@ Result<OpenAnswer> GroundConsistentOpenAnswers(const RepairProblem& problem,
       PREFREP_ASSIGN_OR_RETURN(ground_dnf[d],
                                InstantiateDisjunct(negated_dnf[d], bindings));
     }
-    PREFREP_ASSIGN_OR_RETURN(bool is_certain,
-                             NoRepairSatisfiesAnyDisjunct(problem, ground_dnf));
+    PREFREP_ASSIGN_OR_RETURN(
+        bool is_certain,
+        NoRepairSatisfiesAnyDisjunct(problem, ground_dnf, context));
     if (is_certain) certain.rows.push_back(row);
   }
   return certain;
@@ -575,15 +654,16 @@ Result<OpenAnswer> GroundConsistentOpenAnswers(const RepairProblem& problem,
 
 Result<CqaVerdict> GroundConsistentVerdict(const RepairProblem& problem,
                                            const Query& query,
-                                           size_t max_dnf_disjuncts) {
+                                           size_t max_dnf_disjuncts,
+                                           ExecutionContext* context) {
   PREFREP_ASSIGN_OR_RETURN(
       bool certainly_true,
-      GroundConsistentAnswer(problem, query, max_dnf_disjuncts));
+      GroundConsistentAnswer(problem, query, max_dnf_disjuncts, context));
   if (certainly_true) return CqaVerdict::kCertainlyTrue;
   std::unique_ptr<Query> negated = Query::Not(query.Clone());
   PREFREP_ASSIGN_OR_RETURN(
       bool certainly_false,
-      GroundConsistentAnswer(problem, *negated, max_dnf_disjuncts));
+      GroundConsistentAnswer(problem, *negated, max_dnf_disjuncts, context));
   if (certainly_false) return CqaVerdict::kCertainlyFalse;
   return CqaVerdict::kUndetermined;
 }

@@ -103,15 +103,21 @@ Result<OpenAnswer> EnumeratedConsistentAnswers(const RepairProblem& problem,
 // neighborhoods (data-polynomial for a fixed query). An adversarially
 // nested query whose DNF exceeds `max_dnf_disjuncts` fails with
 // kResourceExhausted (the planner then falls back to enumeration).
+//
+// `context`, when set, clamps the DNF caps to its ExecutionLimits and is
+// polled once per disjunct (and per candidate row in the open form);
+// expiry/cancel surfaces as the context's latched status.
 Result<bool> GroundConsistentAnswer(
     const RepairProblem& problem, const Query& query,
-    size_t max_dnf_disjuncts = kDefaultDnfDisjunctBudget);
+    size_t max_dnf_disjuncts = kDefaultDnfDisjunctBudget,
+    ExecutionContext* context = nullptr);
 
 // Full three-valued verdict computed with two GroundConsistentAnswer
 // calls (on Q and not Q).
 Result<CqaVerdict> GroundConsistentVerdict(
     const RepairProblem& problem, const Query& query,
-    size_t max_dnf_disjuncts = kDefaultDnfDisjunctBudget);
+    size_t max_dnf_disjuncts = kDefaultDnfDisjunctBudget,
+    ExecutionContext* context = nullptr);
 
 // Polynomial consistent answers for *open* negation-free quantifier-free
 // queries under plain Rep: the candidate answers are computed on the full
@@ -120,7 +126,8 @@ Result<CqaVerdict> GroundConsistentVerdict(
 // GroundConsistentAnswer.
 Result<OpenAnswer> GroundConsistentOpenAnswers(
     const RepairProblem& problem, const Query& query,
-    size_t max_dnf_disjuncts = kDefaultDnfDisjunctBudget);
+    size_t max_dnf_disjuncts = kDefaultDnfDisjunctBudget,
+    ExecutionContext* context = nullptr);
 
 }  // namespace prefrep
 

@@ -205,6 +205,10 @@ Result<CqaVerdict> PlannedConsistentAnswer(const RepairProblem& problem,
     return Status::InvalidArgument(
         "consistent answers need a closed query; got " + query.ToString());
   }
+  ExecutionContext* context = options.parallel.context;
+  if (context != nullptr && context->interrupted()) {
+    return context->StatusWithStats();
+  }
   CqaPlan plan = ExplainPlan(problem, priority, family, query,
                              CqaRequest::kVerdict, options);
   const bool forced = options.force_tier.has_value();
@@ -217,8 +221,8 @@ Result<CqaVerdict> PlannedConsistentAnswer(const RepairProblem& problem,
     case CqaTier::kSingleRepair:
       return SingleRepairVerdict(problem, query);
     case CqaTier::kGroundFastPath: {
-      Result<CqaVerdict> verdict =
-          GroundConsistentVerdict(problem, query, options.max_dnf_disjuncts);
+      Result<CqaVerdict> verdict = GroundConsistentVerdict(
+          problem, query, options.max_dnf_disjuncts, context);
       if (forced || verdict.ok() ||
           verdict.status().code() != StatusCode::kResourceExhausted) {
         return verdict;
@@ -249,6 +253,10 @@ Result<OpenAnswer> PlannedConsistentAnswers(const RepairProblem& problem,
                                             const Query& query,
                                             const CqaPlannerOptions& options,
                                             CqaPlan* executed) {
+  ExecutionContext* context = options.parallel.context;
+  if (context != nullptr && context->interrupted()) {
+    return context->StatusWithStats();
+  }
   CqaPlan plan = ExplainPlan(problem, priority, family, query,
                              CqaRequest::kOpenAnswers, options);
   const bool forced = options.force_tier.has_value();
@@ -262,7 +270,7 @@ Result<OpenAnswer> PlannedConsistentAnswers(const RepairProblem& problem,
       return SingleRepairAnswers(problem, query);
     case CqaTier::kGroundFastPath: {
       Result<OpenAnswer> answers = GroundConsistentOpenAnswers(
-          problem, query, options.max_dnf_disjuncts);
+          problem, query, options.max_dnf_disjuncts, context);
       if (forced || answers.ok() ||
           answers.status().code() != StatusCode::kResourceExhausted) {
         return answers;
@@ -287,6 +295,10 @@ Result<AggregateRange> PlannedAggregateRange(
     RepairFamily family, std::string_view relation,
     std::string_view attribute, AggregateFunction fn,
     const CqaPlannerOptions& options, CqaPlan* executed) {
+  ExecutionContext* context = options.parallel.context;
+  if (context != nullptr && context->interrupted()) {
+    return context->StatusWithStats();
+  }
   CqaPlan plan;
   plan.requested_family = family;
   plan.effective_family = EffectiveFamily(priority, family);
@@ -319,12 +331,12 @@ Result<AggregateRange> PlannedAggregateRange(
   }
   if (executed != nullptr) *executed = plan;
   if (plan.tier == CqaTier::kGroundFastPath) {
-    return CountStarRange(problem, relation);
+    return CountStarRange(problem, relation, context);
   }
   RepairFamily enumerate_as =
       forced ? plan.requested_family : plan.effective_family;
   return AggregateConsistentRange(problem, priority, enumerate_as, relation,
-                                  attribute, fn);
+                                  attribute, fn, options.parallel);
 }
 
 }  // namespace prefrep

@@ -87,17 +87,19 @@ void ComponentDecomposition::Gather(int c, const DynamicBitset& global,
 
 ComponentProductEnumerator::ComponentProductEnumerator(
     const ComponentDecomposition& decomposition,
-    std::vector<std::vector<DynamicBitset>> choices)
+    std::vector<std::vector<DynamicBitset>> choices, ExecutionContext* context)
     : decomposition_(decomposition),
       owned_choices_(std::move(choices)),
-      choices_(&owned_choices_) {
+      choices_(&owned_choices_),
+      context_(context) {
   CHECK_EQ(choices_->size(), decomposition_.components().size());
 }
 
 ComponentProductEnumerator::ComponentProductEnumerator(
     const ComponentDecomposition& decomposition,
-    const std::vector<std::vector<DynamicBitset>>* choices)
-    : decomposition_(decomposition), choices_(choices) {
+    const std::vector<std::vector<DynamicBitset>>* choices,
+    ExecutionContext* context)
+    : decomposition_(decomposition), choices_(choices), context_(context) {
   CHECK_EQ(choices_->size(), decomposition_.components().size());
 }
 
@@ -136,6 +138,7 @@ bool ComponentProductEnumerator::EnumerateSlices(
     decomposition_.Scatter(d, choices[d][index[d]], scratch);
   }
   while (true) {
+    if (context_ != nullptr && context_->ShouldStop()) return false;
     if (!callback(scratch)) return false;
     // Odometer advance: bump the first digit that has a next option,
     // rewinding the ones before it. Only changed digits are re-scattered,

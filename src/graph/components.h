@@ -16,51 +16,32 @@
 #include <atomic>
 #include <functional>
 #include <optional>
+#include <string>
 #include <utility>
 #include <vector>
 
 #include "base/biguint.h"
 #include "base/bitset.h"
+#include "base/exec_context.h"
 #include "base/thread_pool.h"
 #include "graph/conflict_graph.h"
 
 namespace prefrep {
 
-// Shared budget for materialized per-component choice lists (MIS lists in
-// graph/mis.cc, family lists in core/families.cc). Only a component whose
-// own repair space is astronomical can exceed it; the enumerators then
-// fall back to whole-graph streaming forms with O(depth) memory.
-inline constexpr size_t kComponentListBudgetBytes = size_t{256} << 20;
-
-// One byte budget charged by every producer of one enumeration call.
-// Thread-safe so parallel per-component producers share it; in the serial
-// path the atomics are uncontended and cost nothing measurable next to
-// the list append they guard.
-class ComponentListBudget {
- public:
-  // Charges `bytes` unless the running total would exceed
-  // kComponentListBudgetBytes; returns false (without charging) on
-  // overflow. Whether any charge overflows depends only on the grand
-  // total, not on thread interleaving, except transient peaks of
-  // producers that refund (G-Rep's post-filter shrink) — there a parallel
-  // run can overflow where serial would squeak by. Both outcomes are
-  // correct: overflow only selects the streaming fallback.
-  [[nodiscard]] bool TryCharge(size_t bytes) {
-    size_t after = used_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
-    if (after > kComponentListBudgetBytes) {
-      used_.fetch_sub(bytes, std::memory_order_relaxed);
-      return false;
-    }
-    return true;
-  }
-  void Refund(size_t bytes) {
-    used_.fetch_sub(bytes, std::memory_order_relaxed);
-  }
-  size_t used() const { return used_.load(std::memory_order_relaxed); }
-
- private:
-  std::atomic<size_t> used_{0};
-};
+// Default budget for materialized per-component choice lists (MIS lists in
+// graph/mis.cc, family lists in core/families.cc) when no ExecutionContext
+// is attached; contexts carry their own limit in ExecutionLimits. Only a
+// component whose own repair space is astronomical can exceed it; the
+// enumerators then fall back to whole-graph streaming forms with O(depth)
+// memory. The accounting itself lives in base/exec_context.h's
+// ResourceArbiter (shared by every producer of one enumeration call;
+// thread-safe so parallel per-component producers can share it — whether a
+// charge overflows depends only on the grand total, not on thread
+// interleaving, except transient peaks of producers that refund, where a
+// parallel run can overflow where serial would squeak by; both outcomes
+// are correct since overflow only selects the streaming fallback).
+inline constexpr size_t kComponentListBudgetBytes =
+    ExecutionLimits{}.component_list_budget_bytes;
 
 // The compact subgraph induced by `vertices` (sorted ascending): local
 // vertex i stands for global vertex vertices[i].
@@ -122,14 +103,18 @@ class ComponentDecomposition {
 // output — and the callback can stop enumeration early by returning false.
 class ComponentProductEnumerator {
  public:
+  // `context`, when set, is polled at every odometer tick; an interrupt
+  // stops enumeration (Enumerate* return false).
   ComponentProductEnumerator(const ComponentDecomposition& decomposition,
-                             std::vector<std::vector<DynamicBitset>> choices);
+                             std::vector<std::vector<DynamicBitset>> choices,
+                             ExecutionContext* context = nullptr);
   // Borrowing form for sharded consumers: several enumerators (one per
   // worker thread) walk disjoint slices of one read-only choice table.
   // `choices` must outlive the enumerator.
   ComponentProductEnumerator(
       const ComponentDecomposition& decomposition,
-      const std::vector<std::vector<DynamicBitset>>* choices);
+      const std::vector<std::vector<DynamicBitset>>* choices,
+      ExecutionContext* context = nullptr);
 
   // Not copyable/movable: choices_ may point into owned_choices_, and the
   // defaulted operations would leave the copy aimed at the source's
@@ -171,73 +156,108 @@ class ComponentProductEnumerator {
   const ComponentDecomposition& decomposition_;
   std::vector<std::vector<DynamicBitset>> owned_choices_;
   const std::vector<std::vector<DynamicBitset>>* choices_;
+  ExecutionContext* context_;
 };
 
 // Fills lists[c] for every component by running `produce` — serially, or
 // fanned out over a work-stealing pool when options.threads > 1 and there
 // is more than one component. `produce(c, out, budget)` appends component
-// c's choice list, charging the shared budget, and returns false on
-// overflow; it must be safe to run concurrently for distinct c (engines
-// constructed inside a produce call are per-task and therefore confined
-// to one thread). Pass `pool` to reuse a caller-owned ThreadPool (cqa.cc
-// shares one pool between materialization and eval sharding); with
-// nullptr a pool is created on demand. Returns false when any component
-// overflowed the budget.
+// c's choice list, charging the shared arbiter, and returns false on
+// overflow or interrupt; it must be safe to run concurrently for distinct
+// c (engines constructed inside a produce call are per-task and therefore
+// confined to one thread). Pass `pool` to reuse a caller-owned ThreadPool
+// (cqa.cc shares one pool between materialization and eval sharding);
+// with nullptr a pool is created on demand.
+//
+// The arbiter's limit comes from options.context when set (its stats also
+// record charges and completed components), else kComponentListBudgetBytes.
+// Returns OK when every list materialized; kResourceExhausted when any
+// component overflowed the byte budget (callers pick their streaming
+// fallback); the context's kCancelled / kDeadlineExceeded / failure status
+// when it was interrupted mid-materialization.
 template <typename ProduceComponent>
-[[nodiscard]] bool MaterializeComponentLists(
+[[nodiscard]] Status MaterializeComponentLists(
     const ComponentDecomposition& decomposition,
     const ParallelOptions& options, ProduceComponent&& produce,
     std::vector<std::vector<DynamicBitset>>* lists,
     ThreadPool* pool = nullptr) {
   const size_t count = decomposition.components().size();
   lists->assign(count, {});
-  ComponentListBudget budget;
+  ExecutionContext* context = options.context;
+  ResourceArbiter arbiter(
+      context != nullptr ? context->limits().component_list_budget_bytes
+                         : kComponentListBudgetBytes,
+      context != nullptr ? &context->stats() : nullptr);
+  const auto finish = [&](bool overflow) {
+    if (context != nullptr && context->interrupted()) return context->status();
+    if (overflow) {
+      return Status::ResourceExhausted(
+          "component list budget exhausted (" +
+          std::to_string(arbiter.limit()) + " bytes)");
+    }
+    return Status::Ok();
+  };
   int threads = EffectiveThreadCount(options, count);
   if (threads <= 1) {
     for (size_t c = 0; c < count; ++c) {
-      if (!produce(static_cast<int>(c), &(*lists)[c], &budget)) return false;
+      if (context != nullptr && context->ShouldStop()) return finish(false);
+      if (!produce(static_cast<int>(c), &(*lists)[c], &arbiter)) {
+        return finish(true);
+      }
+      if (context != nullptr) context->stats().AddComponentsCompleted();
     }
-    return true;
+    return finish(false);
   }
   std::atomic<bool> overflow{false};
   auto run = [&](ThreadPool& p) {
-    p.ParallelFor(count, [&](size_t c, int /*worker*/) {
-      if (overflow.load(std::memory_order_relaxed)) return;
-      if (!produce(static_cast<int>(c), &(*lists)[c], &budget)) {
-        overflow.store(true, std::memory_order_relaxed);
-      }
-    });
+    return p.ParallelFor(
+        count,
+        [&](size_t c, int /*worker*/) {
+          if (overflow.load(std::memory_order_relaxed)) return;
+          if (!produce(static_cast<int>(c), &(*lists)[c], &arbiter)) {
+            overflow.store(true, std::memory_order_relaxed);
+          } else if (context != nullptr) {
+            context->stats().AddComponentsCompleted();
+          }
+        },
+        context);
   };
+  Status pool_status = Status::Ok();
   if (pool != nullptr) {
-    run(*pool);
+    pool_status = run(*pool);
   } else {
     ThreadPool own_pool(threads);
-    run(own_pool);
+    pool_status = run(own_pool);
   }
-  return !overflow.load(std::memory_order_relaxed);
+  if (!pool_status.ok()) return pool_status;
+  return finish(overflow.load(std::memory_order_relaxed));
 }
 
 // Materializes one choice list per component via `produce` (see
 // MaterializeComponentLists for its contract and the threading model) and
 // streams their cross product through `callback`; this is the one place
 // the budget/product orchestration lives, shared by the MIS and family
-// enumerators. Returns nullopt when some component overflowed the budget
-// (the caller picks its whole-graph streaming fallback), otherwise the
-// product enumeration's completion flag.
+// enumerators. Returns nullopt when some component overflowed the byte
+// budget (the caller picks its whole-graph streaming fallback), otherwise
+// the product enumeration's completion flag — false in particular when the
+// context was interrupted (entry points convert that to kCancelled /
+// kDeadlineExceeded via the context's latched status).
 template <typename ProduceComponent>
 std::optional<bool> TryEnumerateViaComponentProduct(
     const ComponentDecomposition& decomposition,
     const ParallelOptions& options, ProduceComponent&& produce,
     const std::function<bool(const DynamicBitset&)>& callback) {
   std::vector<std::vector<DynamicBitset>> lists;
-  if (!MaterializeComponentLists(decomposition, options,
-                                 std::forward<ProduceComponent>(produce),
-                                 &lists)) {
+  Status materialized = MaterializeComponentLists(
+      decomposition, options, std::forward<ProduceComponent>(produce), &lists);
+  if (materialized.code() == StatusCode::kResourceExhausted) {
     lists.clear();
     lists.shrink_to_fit();  // free before the caller's streaming fallback
     return std::nullopt;
   }
-  return ComponentProductEnumerator(decomposition, std::move(lists))
+  if (!materialized.ok()) return false;  // interrupted; context holds why
+  return ComponentProductEnumerator(decomposition, std::move(lists),
+                                    options.context)
       .Enumerate(callback);
 }
 

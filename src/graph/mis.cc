@@ -1,14 +1,18 @@
 #include "graph/mis.h"
 
+#include <algorithm>
+#include <new>
 #include <optional>
 #include <utility>
 
+#include "base/failpoint.h"
 #include "graph/components.h"
 
 namespace prefrep {
 
-MisEngine::MisEngine(const ConflictGraph& graph)
+MisEngine::MisEngine(const ConflictGraph& graph, ExecutionContext* context)
     : graph_(graph),
+      context_(context),
       vertex_count_(graph.vertex_count()),
       chosen_(vertex_count_) {
   vicinity_.reserve(vertex_count_);
@@ -37,9 +41,10 @@ bool EnumerateMaximalIndependentSets(
 bool EnumerateMaximalIndependentSets(
     const ConflictGraph& graph, const ParallelOptions& options,
     const std::function<bool(const DynamicBitset&)>& callback) {
+  ExecutionContext* context = options.context;
   if (SpansOneComponent(graph)) {
     // Connected graph: no decomposition, no remapping — search in place.
-    MisEngine engine(graph);
+    MisEngine engine(graph, context);
     return engine.Enumerate(callback);
   }
   ComponentDecomposition decomposition(graph);
@@ -55,7 +60,7 @@ bool EnumerateMaximalIndependentSets(
     // materialization, matching the memory profile of the monolithic
     // search on connected graphs.
     DynamicBitset scratch = decomposition.isolated();
-    MisEngine engine(components[0].graph);
+    MisEngine engine(components[0].graph, context);
     return engine.Enumerate([&](const DynamicBitset& local) {
       decomposition.Scatter(0, local, scratch);
       return callback(scratch);
@@ -68,27 +73,30 @@ bool EnumerateMaximalIndependentSets(
   // fall back to the whole-graph streaming search.
   std::optional<bool> complete = TryEnumerateViaComponentProduct(
       decomposition, options,
-      [&](int c, std::vector<DynamicBitset>* out, ComponentListBudget* budget) {
+      [&](int c, std::vector<DynamicBitset>* out, ResourceArbiter* arbiter) {
         const ConflictGraph& subgraph = components[c].graph;
         const size_t per_set_bytes =
             DynamicBitset(subgraph.vertex_count()).MemoryBytes();
-        MisEngine engine(subgraph);
+        MisEngine engine(subgraph, context);
         return engine.Enumerate([&](const DynamicBitset& local) {
-          if (!budget->TryCharge(per_set_bytes)) return false;
+          if (!arbiter->TryCharge(per_set_bytes)) return false;
           out->push_back(local);
           return true;
         });
       },
       callback);
   if (complete.has_value()) return *complete;
-  MisEngine whole(graph);
+  if (context != nullptr && context->interrupted()) return false;
+  PREFREP_FAILPOINT("families.streaming_fallback");
+  MisEngine whole(graph, context);
   return whole.Enumerate(callback);
 }
 
 std::vector<DynamicBitset> ComponentMaximalIndependentSets(
-    const ConflictGraph& graph, const std::vector<int>& component) {
+    const ConflictGraph& graph, const std::vector<int>& component,
+    ExecutionContext* context) {
   ConflictGraph subgraph = InducedSubgraph(graph, component);
-  MisEngine engine(subgraph);
+  MisEngine engine(subgraph, context);
   std::vector<DynamicBitset> results;
   DynamicBitset scratch(graph.vertex_count());
   engine.Enumerate([&](const DynamicBitset& local) {
@@ -107,7 +115,11 @@ Result<std::vector<DynamicBitset>> AllMaximalIndependentSets(
 }
 
 Result<std::vector<DynamicBitset>> AllMaximalIndependentSets(
-    const ConflictGraph& graph, const ParallelOptions& options, size_t limit) {
+    const ConflictGraph& graph, const ParallelOptions& options, size_t limit) try {
+  ExecutionContext* context = options.context;
+  if (context != nullptr) {
+    limit = std::min(limit, context->limits().max_repair_list);
+  }
   std::vector<DynamicBitset> results;
   bool complete = EnumerateMaximalIndependentSets(
       graph, options, [&results, limit](const DynamicBitset& s) {
@@ -116,10 +128,16 @@ Result<std::vector<DynamicBitset>> AllMaximalIndependentSets(
         return true;
       });
   if (!complete) {
+    if (context != nullptr && context->interrupted()) {
+      return context->StatusWithStats();
+    }
     return Status::ResourceExhausted(
         "more than " + std::to_string(limit) + " maximal independent sets");
   }
   return results;
+} catch (const std::bad_alloc&) {
+  return Status::ResourceExhausted(
+      "allocation failed materializing maximal independent sets");
 }
 
 BigUint CountMaximalIndependentSets(const ConflictGraph& graph) {

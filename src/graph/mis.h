@@ -19,6 +19,7 @@
 
 #include "base/biguint.h"
 #include "base/bitset.h"
+#include "base/exec_context.h"
 #include "base/status.h"
 #include "base/thread_pool.h"
 #include "graph/conflict_graph.h"
@@ -32,7 +33,10 @@ namespace prefrep {
 // it to keep it.
 class MisEngine {
  public:
-  explicit MisEngine(const ConflictGraph& graph);
+  // `context`, when set, is polled at every frame pop; an interrupt stops
+  // the search (Enumerate returns false).
+  explicit MisEngine(const ConflictGraph& graph,
+                     ExecutionContext* context = nullptr);
   MisEngine(const MisEngine&) = delete;
   MisEngine& operator=(const MisEngine&) = delete;
 
@@ -47,6 +51,7 @@ class MisEngine {
     root.entering = true;
     int depth = 0;
     while (depth >= 0) {
+      if (context_ != nullptr && context_->ShouldStop()) return false;
       Frame& frame = *frames_[depth];
       if (frame.entering) {
         frame.entering = false;
@@ -114,6 +119,7 @@ class MisEngine {
   Frame& FrameAt(int depth);
 
   const ConflictGraph& graph_;
+  ExecutionContext* context_;
   int vertex_count_;
   DynamicBitset chosen_;
   std::vector<DynamicBitset> vicinity_;
@@ -142,11 +148,16 @@ bool EnumerateMaximalIndependentSets(
 
 // All maximal independent sets of the subgraph induced by `component`
 // (bitsets span the full vertex set but only touch component vertices).
+// An interrupted context yields a truncated list — callers must consult
+// the context before trusting it.
 [[nodiscard]] std::vector<DynamicBitset> ComponentMaximalIndependentSets(
-    const ConflictGraph& graph, const std::vector<int>& component);
+    const ConflictGraph& graph, const std::vector<int>& component,
+    ExecutionContext* context = nullptr);
 
 // Materializes all maximal independent sets, failing with
-// kResourceExhausted if there are more than `limit`.
+// kResourceExhausted if there are more than `limit` (clamped to
+// options.context's max_repair_list when a context is attached); an
+// interrupted context fails with its kCancelled / kDeadlineExceeded.
 Result<std::vector<DynamicBitset>> AllMaximalIndependentSets(
     const ConflictGraph& graph, size_t limit = 1u << 20);
 Result<std::vector<DynamicBitset>> AllMaximalIndependentSets(

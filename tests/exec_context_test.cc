@@ -1,0 +1,247 @@
+// Tests for base/exec_context.h (deadline / cancellation / budget
+// governance) and base/failpoint.h (the test-only fault-injection
+// registry).
+
+#include "base/exec_context.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <new>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "base/failpoint.h"
+
+namespace prefrep {
+namespace {
+
+TEST(ExecutionLimitsTest, DefaultsMatchLegacyBudgets) {
+  ExecutionLimits limits;
+  EXPECT_EQ(limits.component_list_budget_bytes, size_t{256} << 20);
+  EXPECT_EQ(limits.max_dnf_disjuncts, size_t{65536});
+  EXPECT_EQ(limits.max_dnf_literals, size_t{1} << 20);
+  EXPECT_EQ(limits.max_repair_list, size_t{1} << 20);
+}
+
+TEST(ResourceArbiterTest, ChargeRefundAccounting) {
+  ResourceArbiter arbiter(100);
+  EXPECT_TRUE(arbiter.TryCharge(60));
+  EXPECT_EQ(arbiter.used(), 60u);
+  EXPECT_FALSE(arbiter.TryCharge(41));  // would exceed
+  EXPECT_EQ(arbiter.used(), 60u);      // rejected charge leaves no trace
+  EXPECT_TRUE(arbiter.TryCharge(40));
+  EXPECT_EQ(arbiter.used(), 100u);
+  arbiter.Refund(50);
+  EXPECT_EQ(arbiter.used(), 50u);
+  EXPECT_TRUE(arbiter.TryCharge(50));
+}
+
+TEST(ResourceArbiterTest, ZeroByteChargeAlwaysAdmitted) {
+  ResourceArbiter arbiter(0);
+  EXPECT_TRUE(arbiter.TryCharge(0));
+  EXPECT_FALSE(arbiter.TryCharge(1));
+}
+
+TEST(ResourceArbiterTest, MirrorsChargesIntoStats) {
+  ExecutionStats stats;
+  ResourceArbiter arbiter(1000, &stats);
+  ASSERT_TRUE(arbiter.TryCharge(400));
+  ASSERT_TRUE(arbiter.TryCharge(300));
+  arbiter.Refund(700);
+  ASSERT_TRUE(arbiter.TryCharge(100));
+  ExecutionStatsSnapshot snap = stats.Snapshot();
+  EXPECT_EQ(snap.bytes_charged, 800u);  // cumulative admissions
+  EXPECT_EQ(snap.peak_bytes, 700u);     // high-water of concurrent holds
+}
+
+TEST(ResourceArbiterTest, ConcurrentChargesNeverExceedLimit) {
+  constexpr size_t kLimit = 10000;
+  ResourceArbiter arbiter(kLimit);
+  std::atomic<size_t> admitted{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 1000; ++i) {
+        if (arbiter.TryCharge(7)) {
+          admitted.fetch_add(7, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_LE(arbiter.used(), kLimit);
+  EXPECT_EQ(arbiter.used(), admitted.load());
+}
+
+TEST(ExecutionContextTest, FreshContextIsLive) {
+  ExecutionContext context;
+  EXPECT_FALSE(context.interrupted());
+  EXPECT_FALSE(context.ShouldStop());
+  EXPECT_TRUE(context.status().ok());
+}
+
+TEST(ExecutionContextTest, RequestCancelLatchesCancelled) {
+  ExecutionContext context;
+  context.RequestCancel();
+  EXPECT_TRUE(context.interrupted());
+  EXPECT_TRUE(context.ShouldStop());
+  EXPECT_EQ(context.status().code(), StatusCode::kCancelled);
+  // Latched: a second cancel or a later Fail cannot overwrite it.
+  context.RequestCancel();
+  context.Fail(Status::Internal("late"));
+  EXPECT_EQ(context.status().code(), StatusCode::kCancelled);
+}
+
+TEST(ExecutionContextTest, ExpiredDeadlineTripsOnFirstPoll) {
+  ExecutionContext context;
+  context.set_deadline(ExecutionContext::Clock::now() -
+                       std::chrono::milliseconds(1));
+  EXPECT_TRUE(context.ShouldStop());
+  EXPECT_EQ(context.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(ExecutionContextTest, FutureDeadlineExpires) {
+  ExecutionContext context;
+  context.SetDeadlineAfter(std::chrono::milliseconds(20));
+  EXPECT_FALSE(context.ShouldStop());
+  std::this_thread::sleep_for(std::chrono::milliseconds(40));
+  EXPECT_TRUE(context.ShouldStop());
+  EXPECT_EQ(context.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(ExecutionContextTest, FailLatchesStatusFirstInterruptWins) {
+  ExecutionContext context;
+  context.Fail(Status::Internal("worker exploded"));
+  EXPECT_TRUE(context.interrupted());
+  EXPECT_EQ(context.status().code(), StatusCode::kInternal);
+  EXPECT_NE(context.status().message().find("worker exploded"),
+            std::string::npos);
+  context.RequestCancel();  // loses: already failed
+  EXPECT_EQ(context.status().code(), StatusCode::kInternal);
+}
+
+TEST(ExecutionContextTest, CancelAfterPollsCancelsAtExactPoll) {
+  ExecutionContext context;
+  context.CancelAfterPolls(3);
+  EXPECT_FALSE(context.ShouldStop());  // poll 1
+  EXPECT_FALSE(context.ShouldStop());  // poll 2
+  EXPECT_TRUE(context.ShouldStop());   // poll 3 -> cancel
+  EXPECT_EQ(context.status().code(), StatusCode::kCancelled);
+}
+
+TEST(ExecutionContextTest, CancelAfterZeroPollsCancelsImmediately) {
+  ExecutionContext context;
+  context.CancelAfterPolls(0);
+  EXPECT_TRUE(context.ShouldStop());
+  EXPECT_EQ(context.status().code(), StatusCode::kCancelled);
+}
+
+TEST(ExecutionContextTest, PollCountCountsLivePolls) {
+  ExecutionContext context;
+  for (int i = 0; i < 5; ++i) EXPECT_FALSE(context.ShouldStop());
+  EXPECT_EQ(context.poll_count(), 5u);
+  // interrupted() is not a poll.
+  EXPECT_FALSE(context.interrupted());
+  EXPECT_EQ(context.poll_count(), 5u);
+}
+
+TEST(ExecutionContextTest, StatusWithStatsEmbedsSnapshot) {
+  ExecutionContext context;
+  context.stats().AddRepairsExamined(42);
+  context.RequestCancel();
+  Status status = context.StatusWithStats();
+  EXPECT_EQ(status.code(), StatusCode::kCancelled);
+  EXPECT_NE(status.message().find("repairs=42"), std::string::npos);
+}
+
+TEST(ExecutionContextTest, StatsSnapshotRoundTrips) {
+  ExecutionStats stats;
+  stats.AddComponentsCompleted(2);
+  stats.AddRepairsExamined(7);
+  stats.OnCharge(100, 100);
+  ExecutionStatsSnapshot snap = stats.Snapshot();
+  EXPECT_EQ(snap.components_completed, 2u);
+  EXPECT_EQ(snap.repairs_examined, 7u);
+  EXPECT_EQ(snap.bytes_charged, 100u);
+  EXPECT_EQ(snap.peak_bytes, 100u);
+  EXPECT_FALSE(snap.ToString().empty());
+}
+
+TEST(ExecutionContextTest, ConcurrentCancelRaceLatchesExactlyOne) {
+  // Hammer the latch from many threads; exactly one interrupt must win
+  // and the terminal code must be stable afterwards.
+  for (int round = 0; round < 20; ++round) {
+    ExecutionContext context;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; ++t) {
+      threads.emplace_back([&context, t] {
+        if (t % 2 == 0) {
+          context.RequestCancel();
+        } else {
+          context.Fail(Status::Internal("racer"));
+        }
+      });
+    }
+    for (std::thread& thread : threads) thread.join();
+    StatusCode code = context.status().code();
+    EXPECT_TRUE(code == StatusCode::kCancelled ||
+                code == StatusCode::kInternal);
+    EXPECT_EQ(context.status().code(), code) << "terminal code changed";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Failpoint registry.
+
+TEST(FailpointTest, DisarmedSiteIsFree) {
+  // Always valid: PREFREP_FAILPOINT on an unarmed site is a no-op in
+  // every build mode.
+  PREFREP_FAILPOINT("exec_context_test.nosite");
+}
+
+TEST(FailpointTest, ArmedSiteFires) {
+  if (!failpoint::kEnabled) GTEST_SKIP() << "failpoints compiled out";
+  int fired = 0;
+  failpoint::ScopedFailpoint fp("exec_context_test.fires",
+                                [&fired] { ++fired; });
+  PREFREP_FAILPOINT("exec_context_test.fires");
+  PREFREP_FAILPOINT("exec_context_test.fires");
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(fp.hit_count(), 2u);
+}
+
+TEST(FailpointTest, SkipAndLimitWindowTheAction) {
+  if (!failpoint::kEnabled) GTEST_SKIP() << "failpoints compiled out";
+  int fired = 0;
+  failpoint::Arm("exec_context_test.window", [&fired] { ++fired; },
+                 /*skip=*/2, /*limit=*/1);
+  for (int i = 0; i < 5; ++i) PREFREP_FAILPOINT("exec_context_test.window");
+  failpoint::Disarm("exec_context_test.window");
+  EXPECT_EQ(fired, 1);  // hits 1,2 skipped; hit 3 fires; limit exhausted
+}
+
+TEST(FailpointTest, ThrowingActionPropagates) {
+  if (!failpoint::kEnabled) GTEST_SKIP() << "failpoints compiled out";
+  failpoint::ScopedFailpoint fp("exec_context_test.throws", [] {
+    throw std::bad_alloc();
+  });
+  EXPECT_THROW(PREFREP_FAILPOINT("exec_context_test.throws"),
+               std::bad_alloc);
+}
+
+TEST(FailpointTest, DisarmAllClearsEverything) {
+  if (!failpoint::kEnabled) GTEST_SKIP() << "failpoints compiled out";
+  int fired = 0;
+  failpoint::Arm("exec_context_test.a", [&fired] { ++fired; });
+  failpoint::Arm("exec_context_test.b", [&fired] { ++fired; });
+  failpoint::DisarmAll();
+  PREFREP_FAILPOINT("exec_context_test.a");
+  PREFREP_FAILPOINT("exec_context_test.b");
+  EXPECT_EQ(fired, 0);
+}
+
+}  // namespace
+}  // namespace prefrep
