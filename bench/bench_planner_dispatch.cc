@@ -39,7 +39,8 @@ void BM_PlannerDispatch_ConflictFree_Planned(benchmark::State& state) {
   CqaPlan executed;
   for (auto _ : state) {
     auto verdict = PlannedConsistentAnswer(*setup.problem, empty,
-                                           RepairFamily::kCommon, *query, {},
+                                           RepairFamily::kCommon, *query,
+                                           CqaPlannerOptions(),
                                            &executed);
     CHECK(verdict.ok());
     CHECK(*verdict == CqaVerdict::kCertainlyTrue);
@@ -86,7 +87,8 @@ void BM_PlannerDispatch_GroundVerdict_Planned(benchmark::State& state) {
   CqaPlan executed;
   for (auto _ : state) {
     auto verdict = PlannedConsistentAnswer(*setup.problem, empty,
-                                           RepairFamily::kAll, *query, {},
+                                           RepairFamily::kAll, *query,
+                                           CqaPlannerOptions(),
                                            &executed);
     CHECK(verdict.ok());
     CHECK(*verdict == CqaVerdict::kCertainlyTrue);
@@ -131,7 +133,8 @@ void BM_PlannerDispatch_EmptyPriorityCollapse_Planned(
   CqaPlan executed;
   for (auto _ : state) {
     auto verdict = PlannedConsistentAnswer(*setup.problem, empty,
-                                           RepairFamily::kGlobal, *query, {},
+                                           RepairFamily::kGlobal, *query,
+                                           CqaPlannerOptions(),
                                            &executed);
     CHECK(verdict.ok());
     CHECK(*verdict == CqaVerdict::kCertainlyTrue);

@@ -1,29 +1,16 @@
-// query_shell: a small interactive shell over the library.
+// query_shell: an interactive shell over the resident server facade
+// (server/session.h). Data definition (relation/insert/load/fd) stages a
+// working database; the first query builds an immutable Snapshot and a
+// Session over it, and every later query goes through the session's
+// PreparedQuery / plan / result caches — repeat a query to watch the
+// cache column flip from miss to hit. Any further DDL marks the staging
+// area dirty and the next query builds a fresh snapshot + session (the
+// server's invalidation contract: caches never go stale because
+// snapshots never change).
 //
-// Commands (one per line; '#' starts a comment):
-//   relation <Name> <attr>:<name|number> ...   declare a relation
-//   insert <Name> v1,v2,...[,@source,@ts]      insert a tuple (with
-//                                              optional provenance)
-//   load <Name> <csv-file> [withmeta]          bulk load CSV
-//   fd <Name> <A B -> C D>                     add a functional dependency
-//   priority source r0,r1,...                  rank sources (higher wins)
-//   priority timestamp [oldest]                newer (or oldest) wins
-//   priority edge <winner_id> <loser_id>       orient one conflict
-//   family rep|l|s|g|c                         pick the repair family
-//   conflicts                                  show conflict edges
-//   repairs [limit]                            list (preferred) repairs
-//   ask <first-order query>                    closed-query verdict
-//   answers <first-order query>                open-query certain answers
-//   explain <first-order query>                show the CQA planner tier
-//   sql <SELECT ...>                           SQL certain answers
-//   timeout <ms>                               per-query deadline (0 = off)
-//   budget <mb>                                repair-list byte budget
-//                                              (0 = default 256 MB)
-//   show                                       dump the database
-//   quit
-//
-// Ctrl-C cancels the query in flight (cooperatively, via the query's
-// ExecutionContext) instead of killing the shell.
+// Commands are listed by 'help' (generated from the command registry
+// below). Ctrl-C cancels the query in flight (cooperatively, via the
+// query's ExecutionContext) instead of killing the shell.
 //
 // Example session:
 //   relation Mgr Name:name Dept:name Salary:number Reports:number
@@ -47,12 +34,11 @@
 #include "base/exec_context.h"
 #include "base/strings.h"
 #include "cleaning/cleaning.h"
-#include "cqa/cqa.h"
-#include "cqa/planner.h"
 #include "graph/dot.h"
 #include "query/parser.h"
 #include "relational/csv.h"
 #include "repair/metrics.h"
+#include "server/session.h"
 #include "sql/sql.h"
 
 using namespace prefrep;
@@ -98,80 +84,36 @@ class ScopedActiveContext {
   ScopedActiveContext& operator=(const ScopedActiveContext&) = delete;
 };
 
-class Shell {
+class Timer {
  public:
-  int Run() {
-    std::string line;
-    std::printf("prefrep shell — type 'help' for commands\n");
-    while (true) {
-      std::printf("> ");
-      std::fflush(stdout);
-      if (!std::getline(std::cin, line)) break;
-      std::string_view trimmed = StripWhitespace(line);
-      if (trimmed.empty() || trimmed[0] == '#') continue;
-      if (trimmed == "quit" || trimmed == "exit") break;
-      Status status = Dispatch(std::string(trimmed));
-      if (!status.ok()) {
-        std::printf("error: %s\n", status.ToString().c_str());
-      }
-    }
-    return 0;
+  double Ms() const {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
   }
 
  private:
-  Status Dispatch(const std::string& line) {
-    std::istringstream in(line);
-    std::string command;
-    in >> command;
-    std::string rest;
-    std::getline(in, rest);
-    std::string args(StripWhitespace(rest));
+  std::chrono::steady_clock::time_point start_ =
+      std::chrono::steady_clock::now();
+};
 
-    if (command == "help") return Help();
-    if (command == "relation") return DeclareRelation(args);
-    if (command == "insert") return Insert(args);
-    if (command == "load") return Load(args);
-    if (command == "fd") return AddFd(args);
-    if (command == "priority") return SetPriority(args);
-    if (command == "family") return SetFamily(args);
-    if (command == "conflicts") return ShowConflicts();
-    if (command == "stats") return ShowStats();
-    if (command == "dot") return ShowDot();
-    if (command == "repairs") return ShowRepairs(args);
-    if (command == "ask") return Ask(args);
-    if (command == "answers") return Answers(args);
-    if (command == "explain") return Explain(args);
-    if (command == "sql") return Sql(args);
-    if (command == "timeout") return SetTimeout(args);
-    if (command == "budget") return SetBudget(args);
-    if (command == "show") {
-      std::printf("%s", db_.ToString().c_str());
-      return Status::Ok();
-    }
-    return Status::InvalidArgument("unknown command '" + command +
-                                   "' (try 'help')");
-  }
+class Shell {
+ public:
+  int Run();
 
-  Status Help() {
-    std::printf(
-        "relation <Name> <attr:type> ...    declare relation\n"
-        "insert <Name> v1,v2,...            insert tuple "
-        "(append ,@src,@ts for provenance)\n"
-        "load <Name> <file> [withmeta]      load CSV file\n"
-        "fd <Name> <A B -> C>               add FD\n"
-        "priority source r0,r1,...          source ranks (higher wins)\n"
-        "priority timestamp [oldest]        timestamp priority\n"
-        "priority edge <winner> <loser>     orient one conflict edge\n"
-        "family rep|l|s|g|c                 choose repair family\n"
-        "conflicts | stats | dot | repairs [n] | show\n"
-        "ask <query> | answers <query> | explain <query> | sql <select>\n"
-        "timeout <ms>                       per-query deadline (0 = off)\n"
-        "budget <mb>                        repair-list byte budget "
-        "(0 = default)\n"
-        "quit                               (Ctrl-C cancels a running "
-        "query)\n");
-    return Status::Ok();
-  }
+ private:
+  // One registry row per command: dispatch, usage and help text all come
+  // from this table ('help' renders it, so it can never go stale).
+  struct Command {
+    const char* name;
+    const char* usage;
+    const char* help;
+    Status (Shell::*handler)(const std::string& args);
+  };
+  static const Command kCommands[];
+
+  Status Dispatch(const std::string& line);
+  Status Help(const std::string&);
 
   Status DeclareRelation(const std::string& args) {
     std::istringstream in(args);
@@ -280,16 +222,20 @@ class Shell {
     return Status::Ok();
   }
 
+  // Builds a fresh immutable Snapshot (from a copy of the staging
+  // database) and a Session over it whenever DDL dirtied the staging
+  // area. The old session — with its caches — is dropped; its snapshot
+  // would be stale.
   Status Refresh() {
-    if (!dirty_ && problem_ != nullptr) return Status::Ok();
-    PREFREP_ASSIGN_OR_RETURN(RepairProblem problem,
-                             RepairProblem::Create(&db_, fds_));
-    problem_ = std::make_unique<RepairProblem>(std::move(problem));
-    priority_ =
-        std::make_unique<Priority>(Priority::Empty(problem_->graph()));
+    if (!dirty_ && session_ != nullptr) return Status::Ok();
+    PREFREP_ASSIGN_OR_RETURN(std::shared_ptr<const Snapshot> snapshot,
+                             Snapshot::Create(db_, fds_));
+    snapshot_ = std::move(snapshot);
+    session_ = std::make_unique<Session>(snapshot_);
+    priority_ = std::make_unique<Priority>(Priority::Empty(snapshot_->graph()));
     dirty_ = false;
-    std::printf("(rebuilt conflict graph: %d conflicts; priority reset)\n",
-                problem_->graph().edge_count());
+    std::printf("(built %s; priority reset)\n",
+                snapshot_->Describe().c_str());
     return Status::Ok();
   }
 
@@ -306,21 +252,22 @@ class Shell {
         PREFREP_ASSIGN_OR_RETURN(int64_t r, ParseInt64(StripWhitespace(part)));
         ranks.push_back(r);
       }
-      PREFREP_ASSIGN_OR_RETURN(Priority p,
-                               PriorityFromSourceReliability(*problem_,
-                                                             ranks));
+      PREFREP_ASSIGN_OR_RETURN(
+          Priority p,
+          PriorityFromSourceReliability(snapshot_->problem(), ranks));
       *priority_ = std::move(p);
     } else if (kind == "timestamp") {
       std::string mode;
       in >> mode;
-      *priority_ = PriorityFromTimestamps(*problem_, mode != "oldest");
+      *priority_ =
+          PriorityFromTimestamps(snapshot_->problem(), mode != "oldest");
     } else if (kind == "edge") {
       int winner = 0, loser = 0;
       if (!(in >> winner >> loser)) {
         return Status::InvalidArgument("usage: priority edge <w> <l>");
       }
       PREFREP_ASSIGN_OR_RETURN(
-          Priority p, priority_->Extend(problem_->graph(),
+          Priority p, priority_->Extend(snapshot_->graph(),
                                         {{winner, loser}}));
       *priority_ = std::move(p);
     } else {
@@ -349,9 +296,9 @@ class Shell {
     return Status::Ok();
   }
 
-  Status ShowConflicts() {
+  Status ShowConflicts(const std::string&) {
     PREFREP_RETURN_IF_ERROR(Refresh());
-    for (auto [u, v] : problem_->graph().edges()) {
+    for (auto [u, v] : snapshot_->graph().edges()) {
       std::printf("  %d: %s  <->  %d: %s\n", u,
                   db_.DescribeTuple(u).c_str(), v,
                   db_.DescribeTuple(v).c_str());
@@ -359,17 +306,17 @@ class Shell {
     return Status::Ok();
   }
 
-  Status ShowStats() {
+  Status ShowStats(const std::string&) {
     PREFREP_RETURN_IF_ERROR(Refresh());
     RepairSpaceMetrics metrics =
-        ComputeRepairSpaceMetrics(*problem_, priority_.get());
+        ComputeRepairSpaceMetrics(snapshot_->problem(), priority_.get());
     std::printf("%s", metrics.ToString().c_str());
     return Status::Ok();
   }
 
-  Status ShowDot() {
+  Status ShowDot(const std::string&) {
     PREFREP_RETURN_IF_ERROR(Refresh());
-    std::printf("%s", ToDot(problem_->graph(), priority_.get(), [&](int id) {
+    std::printf("%s", ToDot(snapshot_->graph(), priority_.get(), [&](int id) {
                   return db_.TupleOf(id).ToString();
                 }).c_str());
     return Status::Ok();
@@ -387,8 +334,8 @@ class Shell {
     ParallelOptions options;
     options.context = context.get();
     size_t shown = 0;
-    EnumeratePreferredRepairs(problem_->graph(), *priority_, family_, options,
-                              [&](const DynamicBitset& repair) {
+    EnumeratePreferredRepairs(snapshot_->graph(), *priority_, family_,
+                              options, [&](const DynamicBitset& repair) {
                                 if (context->ShouldStop()) return false;
                                 std::printf("  %s\n",
                                             repair.ToString().c_str());
@@ -427,6 +374,18 @@ class Shell {
     return Status::Ok();
   }
 
+  Status ShowDatabase(const std::string&) {
+    std::printf("%s", db_.ToString().c_str());
+    return Status::Ok();
+  }
+
+  Status ShowCache(const std::string&) {
+    PREFREP_RETURN_IF_ERROR(Refresh());
+    std::printf("%s\n", snapshot_->Describe().c_str());
+    std::printf("cache: %s\n", session_->cache_stats().ToString().c_str());
+    return Status::Ok();
+  }
+
   // One fresh context per query — interrupts latch, so contexts are
   // single-use. Carries the shell's timeout/budget knobs.
   std::unique_ptr<ExecutionContext> MakeContext() const {
@@ -446,40 +405,27 @@ class Shell {
     PREFREP_ASSIGN_OR_RETURN(std::unique_ptr<Query> query, ParseQuery(args));
     std::unique_ptr<ExecutionContext> context = MakeContext();
     ScopedActiveContext active(context.get());
-    CqaPlannerOptions options;
-    options.parallel.context = context.get();
+    EvalOptions options;
+    options.context = context.get();
     CqaPlan executed;
+    bool cache_hit = false;
+    Timer timer;
     PREFREP_ASSIGN_OR_RETURN(
         CqaVerdict verdict,
-        PlannedConsistentAnswer(*problem_, *priority_, family_, *query,
-                                options, &executed));
-    std::printf("%s under %s  [%s]\n",
+        session_->Ask(*query, *priority_, family_, options, &executed,
+                      &cache_hit));
+    std::printf("%s under %s  [%s, %.2f ms, cache %s]\n",
                 std::string(CqaVerdictName(verdict)).c_str(),
                 std::string(RepairFamilyName(family_)).c_str(),
-                std::string(CqaTierName(executed.tier)).c_str());
+                std::string(CqaTierName(executed.tier)).c_str(), timer.Ms(),
+                cache_hit ? "hit" : "miss");
     return Status::Ok();
   }
 
   Status Answers(const std::string& args) {
     PREFREP_RETURN_IF_ERROR(Refresh());
     PREFREP_ASSIGN_OR_RETURN(std::unique_ptr<Query> query, ParseQuery(args));
-    std::unique_ptr<ExecutionContext> context = MakeContext();
-    ScopedActiveContext active(context.get());
-    CqaPlannerOptions options;
-    options.parallel.context = context.get();
-    CqaPlan executed;
-    PREFREP_ASSIGN_OR_RETURN(
-        OpenAnswer answer,
-        PlannedConsistentAnswers(*problem_, *priority_, family_, *query,
-                                 options, &executed));
-    std::printf("certain answers (%s):  [%s]\n",
-                StrJoin(answer.variables, ", ").c_str(),
-                std::string(CqaTierName(executed.tier)).c_str());
-    for (const Tuple& row : answer.rows) {
-      std::printf("  %s\n", row.ToString().c_str());
-    }
-    std::printf("(%zu row(s))\n", answer.rows.size());
-    return Status::Ok();
+    return RunAnswers(*query);
   }
 
   Status Explain(const std::string& args) {
@@ -487,8 +433,7 @@ class Shell {
     PREFREP_ASSIGN_OR_RETURN(std::unique_ptr<Query> query, ParseQuery(args));
     CqaRequest request = query->IsClosed() ? CqaRequest::kVerdict
                                            : CqaRequest::kOpenAnswers;
-    CqaPlan plan =
-        ExplainPlan(*problem_, *priority_, family_, *query, request);
+    CqaPlan plan = session_->Explain(*query, *priority_, family_, request);
     std::printf("%s\n", plan.ToString().c_str());
     return Status::Ok();
   }
@@ -497,16 +442,26 @@ class Shell {
     PREFREP_RETURN_IF_ERROR(Refresh());
     PREFREP_ASSIGN_OR_RETURN(std::unique_ptr<Query> query,
                              ParseSql(db_, args));
+    return RunAnswers(*query);
+  }
+
+  // Shared by 'answers' and 'sql': certain answers through the session.
+  Status RunAnswers(const Query& query) {
     std::unique_ptr<ExecutionContext> context = MakeContext();
     ScopedActiveContext active(context.get());
-    ParallelOptions options;
+    EvalOptions options;
     options.context = context.get();
+    CqaPlan executed;
+    bool cache_hit = false;
+    Timer timer;
     PREFREP_ASSIGN_OR_RETURN(
         OpenAnswer answer,
-        PreferredConsistentAnswers(*problem_, *priority_, family_, *query,
-                                   options));
-    std::printf("certain answers (%s):\n",
-                StrJoin(answer.variables, ", ").c_str());
+        session_->Answers(query, *priority_, family_, options, &executed,
+                          &cache_hit));
+    std::printf("certain answers (%s):  [%s, %.2f ms, cache %s]\n",
+                StrJoin(answer.variables, ", ").c_str(),
+                std::string(CqaTierName(executed.tier)).c_str(), timer.Ms(),
+                cache_hit ? "hit" : "miss");
     for (const Tuple& row : answer.rows) {
       std::printf("  %s\n", row.ToString().c_str());
     }
@@ -516,13 +471,90 @@ class Shell {
 
   Database db_;
   std::vector<FunctionalDependency> fds_;
-  std::unique_ptr<RepairProblem> problem_;
+  std::shared_ptr<const Snapshot> snapshot_;
+  std::unique_ptr<Session> session_;
   std::unique_ptr<Priority> priority_;
   RepairFamily family_ = RepairFamily::kGlobal;
   bool dirty_ = true;
   int64_t timeout_ms_ = 0;  // 0 = no deadline
   size_t budget_mb_ = 0;    // 0 = ExecutionLimits default
 };
+
+const Shell::Command Shell::kCommands[] = {
+    {"relation", "relation <Name> <attr:name|number> ...",
+     "declare a relation", &Shell::DeclareRelation},
+    {"insert", "insert <Name> v1,v2,...[,@src,@ts]",
+     "insert a tuple (optional provenance)", &Shell::Insert},
+    {"load", "load <Name> <csv-file> [withmeta]", "bulk load CSV",
+     &Shell::Load},
+    {"fd", "fd <Name> <A B -> C D>", "add a functional dependency",
+     &Shell::AddFd},
+    {"priority", "priority source|timestamp|edge ...",
+     "set the priority (source ranks / timestamps / one edge)",
+     &Shell::SetPriority},
+    {"family", "family rep|l|s|g|c", "pick the repair family",
+     &Shell::SetFamily},
+    {"conflicts", "conflicts", "show conflict edges", &Shell::ShowConflicts},
+    {"stats", "stats", "repair-space metrics", &Shell::ShowStats},
+    {"dot", "dot", "conflict graph in DOT format", &Shell::ShowDot},
+    {"repairs", "repairs [limit]", "list (preferred) repairs",
+     &Shell::ShowRepairs},
+    {"ask", "ask <first-order query>",
+     "closed-query verdict (tier, time, cache hit/miss)", &Shell::Ask},
+    {"answers", "answers <first-order query>", "open-query certain answers",
+     &Shell::Answers},
+    {"explain", "explain <first-order query>", "show the CQA planner tier",
+     &Shell::Explain},
+    {"sql", "sql <SELECT ...>", "SQL certain answers", &Shell::Sql},
+    {"timeout", "timeout <ms>", "per-query deadline (0 = off)",
+     &Shell::SetTimeout},
+    {"budget", "budget <mb>", "repair-list byte budget (0 = default)",
+     &Shell::SetBudget},
+    {"show", "show", "dump the database", &Shell::ShowDatabase},
+    {"cache", "cache", "session cache statistics", &Shell::ShowCache},
+    {"help", "help", "this list", &Shell::Help},
+};
+
+Status Shell::Dispatch(const std::string& line) {
+  std::istringstream in(line);
+  std::string command;
+  in >> command;
+  std::string rest;
+  std::getline(in, rest);
+  std::string args(StripWhitespace(rest));
+  for (const Command& entry : kCommands) {
+    if (command == entry.name) return (this->*entry.handler)(args);
+  }
+  return Status::InvalidArgument("unknown command '" + command +
+                                 "' (try 'help')");
+}
+
+Status Shell::Help(const std::string&) {
+  for (const Command& entry : kCommands) {
+    std::printf("%-38s %s\n", entry.usage, entry.help);
+  }
+  std::printf("%-38s %s\n", "quit",
+              "exit (Ctrl-C cancels a running query)");
+  return Status::Ok();
+}
+
+int Shell::Run() {
+  std::string line;
+  std::printf("prefrep shell — type 'help' for commands\n");
+  while (true) {
+    std::printf("> ");
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+    std::string_view trimmed = StripWhitespace(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    if (trimmed == "quit" || trimmed == "exit") break;
+    Status status = Dispatch(std::string(trimmed));
+    if (!status.ok()) {
+      std::printf("error: %s\n", status.ToString().c_str());
+    }
+  }
+  return 0;
+}
 
 }  // namespace
 

@@ -56,7 +56,17 @@ struct ExecutionLimits {
   size_t max_dnf_literals = size_t{1} << 20;
   // Cap on materialized repair lists returned by Result-valued enumerators.
   size_t max_repair_list = size_t{1} << 20;
+
+  friend bool operator==(const ExecutionLimits&,
+                         const ExecutionLimits&) = default;
 };
+
+// THE default repair-list cap (2^20): the single source of truth for the
+// `limit` default of every Result-valued enumerator (PreferredRepairs,
+// AllRepairs, AllMaximalIndependentSets, denial/extension forms).
+// Attached contexts override it per call via limits().max_repair_list.
+inline constexpr size_t kDefaultRepairListLimit =
+    ExecutionLimits{}.max_repair_list;
 
 // Monotonic counters describing how far a query got before finishing or
 // being interrupted. Updated with relaxed atomics from all worker lanes;

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "base/bitset.h"
+#include "base/exec_context.h"
 #include "base/status.h"
 #include "graph/conflict_graph.h"
 #include "priority/priority.h"
@@ -38,7 +39,7 @@ bool EnumerateTotalExtensions(
 // repairs.
 Result<std::vector<DynamicBitset>> ExtensionFamilyRepairs(
     const ConflictGraph& graph, const Priority& priority,
-    size_t limit = 1u << 20);
+    size_t limit = kDefaultRepairListLimit);
 
 }  // namespace prefrep
 

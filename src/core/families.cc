@@ -459,6 +459,14 @@ Result<std::vector<DynamicBitset>> PreferredRepairs(
 
 Result<std::vector<DynamicBitset>> PreferredRepairs(
     const ConflictGraph& graph, const Priority& priority, RepairFamily family,
+    const EvalOptions& options) {
+  EvalContextScope scope(options);
+  return PreferredRepairs(graph, priority, family, options.Parallel(scope.context()),
+                          options.limits.max_repair_list);
+}
+
+Result<std::vector<DynamicBitset>> PreferredRepairs(
+    const ConflictGraph& graph, const Priority& priority, RepairFamily family,
     const ParallelOptions& options, size_t limit) try {
   ExecutionContext* context = options.context;
   if (context != nullptr) {

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "base/bitset.h"
+#include "base/eval_options.h"
 #include "base/status.h"
 #include "base/thread_pool.h"
 #include "graph/components.h"
@@ -92,10 +93,19 @@ bool EnumeratePreferredRepairs(
 // kDeadlineExceeded status instead.
 Result<std::vector<DynamicBitset>> PreferredRepairs(
     const ConflictGraph& graph, const Priority& priority, RepairFamily family,
-    size_t limit = 1u << 20);
+    size_t limit = kDefaultRepairListLimit);
 Result<std::vector<DynamicBitset>> PreferredRepairs(
     const ConflictGraph& graph, const Priority& priority, RepairFamily family,
-    const ParallelOptions& options, size_t limit = 1u << 20);
+    const ParallelOptions& options, size_t limit = kDefaultRepairListLimit);
+
+// Consolidated-options form: threads, deadline and the repair-list cap all
+// come from `options` (the cap from options.limits.max_repair_list — one
+// source of truth with every other enumerator, see
+// base/exec_context.h kDefaultRepairListLimit). Prefer this overload; the
+// positional forms above survive as thin compatibility wrappers.
+Result<std::vector<DynamicBitset>> PreferredRepairs(
+    const ConflictGraph& graph, const Priority& priority, RepairFamily family,
+    const EvalOptions& options);
 
 // Per-component family lists in their compact local universes, together
 // with the decomposition and projected priorities that define them. The

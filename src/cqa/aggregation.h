@@ -59,6 +59,16 @@ Result<AggregateRange> AggregateConsistentRange(
     std::string_view attribute, AggregateFunction fn,
     const ParallelOptions& options = {});
 
+// Consolidated-options form: threads, deadline and limits come from one
+// EvalOptions (base/eval_options.h), enforced by a call-scoped context
+// when no external one is attached. Prefer this; the positional form
+// above survives as a compatibility wrapper.
+Result<AggregateRange> AggregateConsistentRange(
+    const RepairProblem& problem, const Priority& priority,
+    RepairFamily family, std::string_view relation,
+    std::string_view attribute, AggregateFunction fn,
+    const EvalOptions& options);
+
 // Polynomial special case: the COUNT(*) range of `relation` under plain
 // Rep. Repair sizes decompose over connected components of the conflict
 // graph: the range is the sum of per-component [min, max] maximal-

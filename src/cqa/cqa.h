@@ -17,6 +17,7 @@
 
 #include <string_view>
 
+#include "base/eval_options.h"
 #include "base/status.h"
 #include "base/thread_pool.h"
 #include "core/families.h"
@@ -24,6 +25,7 @@
 #include "query/ast.h"
 #include "query/evaluator.h"
 #include "query/normal_form.h"
+#include "query/prepared.h"
 #include "repair/repair.h"
 
 namespace prefrep {
@@ -48,6 +50,16 @@ Result<CqaVerdict> PreferredConsistentAnswer(const RepairProblem& problem,
                                              const Query& query,
                                              ParallelOptions options = {});
 
+// Consolidated-options form (threads, force_tier, deadline, limits,
+// context in one EvalOptions — see base/eval_options.h). Prefer this and
+// its siblings below over the positional ParallelOptions forms, which
+// survive as compatibility wrappers.
+Result<CqaVerdict> PreferredConsistentAnswer(const RepairProblem& problem,
+                                             const Priority& priority,
+                                             RepairFamily family,
+                                             const Query& query,
+                                             const EvalOptions& options);
+
 // The tier-2 engine, planner-free: always evaluates the closed query in
 // every preferred repair (enumeration stops as soon as both a satisfying
 // and a falsifying repair have been seen). The planner's fallback and
@@ -66,11 +78,25 @@ Result<CqaVerdict> EnumeratedConsistentAnswer(const RepairProblem& problem,
                                               const Query& query,
                                               ParallelOptions options = {});
 
+// Prepared-query seam for resident servers (src/server/session.h):
+// `prepared` must have been compiled against problem.db() and stays
+// untouched — the engine evaluates a private copy, so one cached master
+// can serve concurrent calls. Skips recompilation; otherwise identical
+// to the Query overload.
+Result<CqaVerdict> EnumeratedConsistentAnswer(const RepairProblem& problem,
+                                              const Priority& priority,
+                                              RepairFamily family,
+                                              const PreparedQuery& prepared,
+                                              ParallelOptions options = {});
+
 // Convenience: true iff `true` is the X-consistent answer (Definition 3).
 Result<bool> IsConsistentlyTrue(const RepairProblem& problem,
                                 const Priority& priority, RepairFamily family,
                                 const Query& query,
                                 ParallelOptions options = {});
+Result<bool> IsConsistentlyTrue(const RepairProblem& problem,
+                                const Priority& priority, RepairFamily family,
+                                const Query& query, const EvalOptions& options);
 
 // Consistent answers to an *open* query: the assignments of its free
 // variables satisfying it in every preferred repair (the intersection of
@@ -81,6 +107,13 @@ Result<OpenAnswer> PreferredConsistentAnswers(const RepairProblem& problem,
                                               RepairFamily family,
                                               const Query& query,
                                               ParallelOptions options = {});
+
+// Consolidated-options form; see PreferredConsistentAnswer above.
+Result<OpenAnswer> PreferredConsistentAnswers(const RepairProblem& problem,
+                                              const Priority& priority,
+                                              RepairFamily family,
+                                              const Query& query,
+                                              const EvalOptions& options);
 
 // Tier-2 engine for open queries, planner-free.
 //
@@ -94,6 +127,14 @@ Result<OpenAnswer> EnumeratedConsistentAnswers(const RepairProblem& problem,
                                                const Priority& priority,
                                                RepairFamily family,
                                                const Query& query,
+                                               ParallelOptions options = {});
+
+// Prepared-query seam; see EnumeratedConsistentAnswer's prepared overload
+// for the sharing contract.
+Result<OpenAnswer> EnumeratedConsistentAnswers(const RepairProblem& problem,
+                                               const Priority& priority,
+                                               RepairFamily family,
+                                               const PreparedQuery& prepared,
                                                ParallelOptions options = {});
 
 // Polynomial-time consistent answers for ground quantifier-free queries

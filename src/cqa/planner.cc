@@ -131,9 +131,17 @@ namespace {
 // evaluator) on purpose: the enumeration tier evaluates through
 // PreparedQuery, and the two deliberately diverge on shadowed binder
 // names (see query/prepared.h) — tier choice must never change an
-// answer.
+// answer. `cached`, when set, is a caller-owned master compiled for the
+// same query: evaluation runs on a private copy (evaluation reuses
+// internal scratch, so the shared master is never touched).
 Result<CqaVerdict> SingleRepairVerdict(const RepairProblem& problem,
-                                       const Query& query) {
+                                       const Query& query,
+                                       const PreparedQuery* cached) {
+  if (cached != nullptr) {
+    PreparedQuery local(*cached);
+    PREFREP_ASSIGN_OR_RETURN(bool holds, local.EvalClosed(nullptr));
+    return holds ? CqaVerdict::kCertainlyTrue : CqaVerdict::kCertainlyFalse;
+  }
   PREFREP_ASSIGN_OR_RETURN(PreparedQuery prepared,
                            PreparedQuery::Compile(problem.db(), query));
   PREFREP_ASSIGN_OR_RETURN(bool holds, prepared.EvalClosed(nullptr));
@@ -141,7 +149,12 @@ Result<CqaVerdict> SingleRepairVerdict(const RepairProblem& problem,
 }
 
 Result<OpenAnswer> SingleRepairAnswers(const RepairProblem& problem,
-                                       const Query& query) {
+                                       const Query& query,
+                                       const PreparedQuery* cached) {
+  if (cached != nullptr) {
+    PreparedQuery local(*cached);
+    return local.EvalOpen(nullptr);
+  }
   PREFREP_ASSIGN_OR_RETURN(PreparedQuery prepared,
                            PreparedQuery::Compile(problem.db(), query));
   return prepared.EvalOpen(nullptr);
@@ -209,9 +222,14 @@ Result<CqaVerdict> PlannedConsistentAnswer(const RepairProblem& problem,
   if (context != nullptr && context->interrupted()) {
     return context->StatusWithStats();
   }
-  CqaPlan plan = ExplainPlan(problem, priority, family, query,
-                             CqaRequest::kVerdict, options);
   const bool forced = options.force_tier.has_value();
+  // A caller-supplied plan (the Session plan cache) skips re-planning —
+  // including the query-exponential DNF pre-attempt. force_tier wins: a
+  // forced call re-plans so CheckForcedTier sees the forced tier.
+  CqaPlan plan = (!forced && options.precomputed_plan != nullptr)
+                     ? *options.precomputed_plan
+                     : ExplainPlan(problem, priority, family, query,
+                                   CqaRequest::kVerdict, options);
   if (forced) {
     PREFREP_RETURN_IF_ERROR(
         CheckForcedTier(problem, plan, query, CqaRequest::kVerdict));
@@ -219,7 +237,7 @@ Result<CqaVerdict> PlannedConsistentAnswer(const RepairProblem& problem,
   if (executed != nullptr) *executed = plan;
   switch (plan.tier) {
     case CqaTier::kSingleRepair:
-      return SingleRepairVerdict(problem, query);
+      return SingleRepairVerdict(problem, query, options.prepared);
     case CqaTier::kGroundFastPath: {
       Result<CqaVerdict> verdict = GroundConsistentVerdict(
           problem, query, options.max_dnf_disjuncts, context);
@@ -243,6 +261,10 @@ Result<CqaVerdict> PlannedConsistentAnswer(const RepairProblem& problem,
   // test; planned enumeration runs the (equivalent) effective family.
   RepairFamily enumerate_as =
       forced ? plan.requested_family : plan.effective_family;
+  if (options.prepared != nullptr) {
+    return EnumeratedConsistentAnswer(problem, priority, enumerate_as,
+                                      *options.prepared, options.parallel);
+  }
   return EnumeratedConsistentAnswer(problem, priority, enumerate_as, query,
                                     options.parallel);
 }
@@ -257,9 +279,11 @@ Result<OpenAnswer> PlannedConsistentAnswers(const RepairProblem& problem,
   if (context != nullptr && context->interrupted()) {
     return context->StatusWithStats();
   }
-  CqaPlan plan = ExplainPlan(problem, priority, family, query,
-                             CqaRequest::kOpenAnswers, options);
   const bool forced = options.force_tier.has_value();
+  CqaPlan plan = (!forced && options.precomputed_plan != nullptr)
+                     ? *options.precomputed_plan
+                     : ExplainPlan(problem, priority, family, query,
+                                   CqaRequest::kOpenAnswers, options);
   if (forced) {
     PREFREP_RETURN_IF_ERROR(
         CheckForcedTier(problem, plan, query, CqaRequest::kOpenAnswers));
@@ -267,7 +291,7 @@ Result<OpenAnswer> PlannedConsistentAnswers(const RepairProblem& problem,
   if (executed != nullptr) *executed = plan;
   switch (plan.tier) {
     case CqaTier::kSingleRepair:
-      return SingleRepairAnswers(problem, query);
+      return SingleRepairAnswers(problem, query, options.prepared);
     case CqaTier::kGroundFastPath: {
       Result<OpenAnswer> answers = GroundConsistentOpenAnswers(
           problem, query, options.max_dnf_disjuncts, context);
@@ -286,6 +310,10 @@ Result<OpenAnswer> PlannedConsistentAnswers(const RepairProblem& problem,
   }
   RepairFamily enumerate_as =
       forced ? plan.requested_family : plan.effective_family;
+  if (options.prepared != nullptr) {
+    return EnumeratedConsistentAnswers(problem, priority, enumerate_as,
+                                       *options.prepared, options.parallel);
+  }
   return EnumeratedConsistentAnswers(problem, priority, enumerate_as, query,
                                      options.parallel);
 }
@@ -337,6 +365,57 @@ Result<AggregateRange> PlannedAggregateRange(
       forced ? plan.requested_family : plan.effective_family;
   return AggregateConsistentRange(problem, priority, enumerate_as, relation,
                                   attribute, fn, options.parallel);
+}
+
+namespace {
+
+// Lowers an EvalOptions onto the positional planner knobs. The returned
+// options borrow `effective` (the EvalContextScope's context, possibly
+// null), so they must not outlive the scope.
+CqaPlannerOptions LowerEvalOptions(const EvalOptions& options,
+                                   ExecutionContext* effective) {
+  CqaPlannerOptions planner_options;
+  planner_options.force_tier = options.force_tier;
+  planner_options.max_dnf_disjuncts = options.limits.max_dnf_disjuncts;
+  planner_options.parallel = options.Parallel(effective);
+  return planner_options;
+}
+
+}  // namespace
+
+Result<CqaVerdict> PlannedConsistentAnswer(const RepairProblem& problem,
+                                           const Priority& priority,
+                                           RepairFamily family,
+                                           const Query& query,
+                                           const EvalOptions& options,
+                                           CqaPlan* executed) {
+  EvalContextScope scope(options);
+  return PlannedConsistentAnswer(problem, priority, family, query,
+                                 LowerEvalOptions(options, scope.context()),
+                                 executed);
+}
+
+Result<OpenAnswer> PlannedConsistentAnswers(const RepairProblem& problem,
+                                            const Priority& priority,
+                                            RepairFamily family,
+                                            const Query& query,
+                                            const EvalOptions& options,
+                                            CqaPlan* executed) {
+  EvalContextScope scope(options);
+  return PlannedConsistentAnswers(problem, priority, family, query,
+                                  LowerEvalOptions(options, scope.context()),
+                                  executed);
+}
+
+Result<AggregateRange> PlannedAggregateRange(
+    const RepairProblem& problem, const Priority& priority,
+    RepairFamily family, std::string_view relation,
+    std::string_view attribute, AggregateFunction fn,
+    const EvalOptions& options, CqaPlan* executed) {
+  EvalContextScope scope(options);
+  return PlannedAggregateRange(problem, priority, family, relation, attribute,
+                               fn, LowerEvalOptions(options, scope.context()),
+                               executed);
 }
 
 }  // namespace prefrep

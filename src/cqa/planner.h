@@ -39,6 +39,7 @@
 #include <string>
 #include <string_view>
 
+#include "base/eval_options.h"
 #include "base/status.h"
 #include "base/thread_pool.h"
 #include "cqa/aggregation.h"
@@ -50,11 +51,11 @@
 
 namespace prefrep {
 
-enum class CqaTier {
-  kSingleRepair,    // tier 0: conflict-free database, evaluate once
-  kGroundFastPath,  // tier 1: polynomial Rep-only engine
-  kEnumeration,     // tier 2: sharded repair-product enumeration
-};
+class PreparedQuery;
+
+// CqaTier itself lives in base/eval_options.h (so the consolidated
+// EvalOptions can carry force_tier below the cqa layer); this header is
+// its documentation home and re-exports it by inclusion.
 
 // "single-repair", "ground-fast-path", "enumeration".
 std::string_view CqaTierName(CqaTier tier);
@@ -97,6 +98,19 @@ struct CqaPlannerOptions {
   size_t max_dnf_disjuncts = kDefaultDnfDisjunctBudget;
   // Tier-2 sharding knob, forwarded to the enumeration engine.
   ParallelOptions parallel;
+
+  // --- resident-server seams (src/server/session.h) -----------------------
+  // A PreparedQuery previously compiled against problem.db() for the SAME
+  // query: tier 0 and tier 2 then skip PreparedQuery::Compile and evaluate
+  // private copies of it (the object itself is never mutated, so one
+  // cached master can serve concurrent calls). Owned by the caller; must
+  // outlive the call.
+  const PreparedQuery* prepared = nullptr;
+  // A CqaPlan previously returned by ExplainPlan for the SAME
+  // (problem, priority, family, query, request, max_dnf_disjuncts) inputs:
+  // the dispatch then skips re-planning (including the DNF pre-attempt).
+  // Ignored when force_tier is set. Owned by the caller.
+  const CqaPlan* precomputed_plan = nullptr;
 };
 
 // Classifies (query shape, family, priority shape, instance shape)
@@ -131,6 +145,36 @@ Result<AggregateRange> PlannedAggregateRange(
     RepairFamily family, std::string_view relation,
     std::string_view attribute, AggregateFunction fn,
     const CqaPlannerOptions& options = {}, CqaPlan* executed = nullptr);
+
+// ---------------------------------------------------------------------------
+// Consolidated-options forms. One EvalOptions carries what used to be
+// spread across CqaPlannerOptions + ParallelOptions + ad-hoc budget
+// parameters: threads, force_tier, deadline, ExecutionLimits, context.
+// Deadline/limits are enforced by a call-scoped ExecutionContext
+// (EvalContextScope) when no external context is attached. Prefer these —
+// and the Session facade in src/server/session.h, which adds caching —
+// over the positional forms above.
+//
+// NOTE: passing a braced `{}` as the options argument is ambiguous between
+// the two overload sets; spell the type (CqaPlannerOptions() or
+// EvalOptions()) when also passing `executed`.
+// ---------------------------------------------------------------------------
+
+Result<CqaVerdict> PlannedConsistentAnswer(
+    const RepairProblem& problem, const Priority& priority,
+    RepairFamily family, const Query& query, const EvalOptions& options,
+    CqaPlan* executed = nullptr);
+
+Result<OpenAnswer> PlannedConsistentAnswers(
+    const RepairProblem& problem, const Priority& priority,
+    RepairFamily family, const Query& query, const EvalOptions& options,
+    CqaPlan* executed = nullptr);
+
+Result<AggregateRange> PlannedAggregateRange(
+    const RepairProblem& problem, const Priority& priority,
+    RepairFamily family, std::string_view relation,
+    std::string_view attribute, AggregateFunction fn,
+    const EvalOptions& options, CqaPlan* executed = nullptr);
 
 }  // namespace prefrep
 

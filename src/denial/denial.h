@@ -22,6 +22,7 @@
 
 #include "base/biguint.h"
 #include "base/bitset.h"
+#include "base/exec_context.h"
 #include "base/status.h"
 #include "constraints/fd.h"
 #include "query/ast.h"
@@ -124,7 +125,7 @@ bool EnumerateHypergraphRepairs(
     const std::function<bool(const DynamicBitset&)>& callback);
 
 Result<std::vector<DynamicBitset>> AllHypergraphRepairs(
-    const ConflictHypergraph& graph, size_t limit = 1u << 20);
+    const ConflictHypergraph& graph, size_t limit = kDefaultRepairListLimit);
 
 // Consistent answer to a ground quantifier-free query under denial
 // constraints: true iff the query holds in every hypergraph repair.

@@ -159,10 +159,10 @@ bool EnumerateMaximalIndependentSets(
 // options.context's max_repair_list when a context is attached); an
 // interrupted context fails with its kCancelled / kDeadlineExceeded.
 Result<std::vector<DynamicBitset>> AllMaximalIndependentSets(
-    const ConflictGraph& graph, size_t limit = 1u << 20);
+    const ConflictGraph& graph, size_t limit = kDefaultRepairListLimit);
 Result<std::vector<DynamicBitset>> AllMaximalIndependentSets(
     const ConflictGraph& graph, const ParallelOptions& options,
-    size_t limit = 1u << 20);
+    size_t limit = kDefaultRepairListLimit);
 
 // Exact number of maximal independent sets (product over components).
 [[nodiscard]] BigUint CountMaximalIndependentSets(const ConflictGraph& graph);

@@ -48,7 +48,7 @@ class RepairProblem {
   }
 
   // All repairs, failing with kResourceExhausted beyond `limit`.
-  Result<std::vector<DynamicBitset>> AllRepairs(size_t limit = 1u << 20) const {
+  Result<std::vector<DynamicBitset>> AllRepairs(size_t limit = kDefaultRepairListLimit) const {
     return AllMaximalIndependentSets(graph_, limit);
   }
 

@@ -1,0 +1,493 @@
+#include "server/session.h"
+
+#include <utility>
+
+namespace prefrep {
+
+namespace {
+
+// Lowers an EvalOptions onto the planner's positional knobs, against the
+// already-resolved effective context.
+CqaPlannerOptions Lower(const EvalOptions& options,
+                        ExecutionContext* effective) {
+  CqaPlannerOptions planner_options;
+  planner_options.force_tier = options.force_tier;
+  planner_options.max_dnf_disjuncts = options.limits.max_dnf_disjuncts;
+  planner_options.parallel = options.Parallel(effective);
+  return planner_options;
+}
+
+char KindTag(CqaRequest kind) {
+  return kind == CqaRequest::kVerdict ? 'v' : 'a';
+}
+
+// Result-cache key: every input that determines the answer, exactly. The
+// priority is serialized arc-by-arc — never hashed — because a key
+// collision here would silently return a wrong answer.
+std::string ResultKey(CqaRequest kind, RepairFamily family,
+                      const Priority& priority,
+                      const std::string& query_text) {
+  std::string key;
+  key.reserve(query_text.size() + 16 + priority.arc_count() * 8);
+  key += KindTag(kind);
+  key += static_cast<char>('0' + static_cast<int>(family));
+  key += '|';
+  for (const auto& [x, y] : priority.arcs()) {
+    key += std::to_string(x);
+    key += '>';
+    key += std::to_string(y);
+    key += ',';
+  }
+  key += '|';
+  key += query_text;
+  return key;
+}
+
+// Plan-cache key: the planner reads the priority only through its
+// emptiness (EffectiveFamily), so plans are shared across all non-empty
+// priorities of one (query, family, kind, DNF budget).
+std::string PlanKey(CqaRequest kind, RepairFamily family, bool priority_empty,
+                    size_t max_dnf_disjuncts, const std::string& query_text) {
+  std::string key;
+  key.reserve(query_text.size() + 24);
+  key += KindTag(kind);
+  key += static_cast<char>('0' + static_cast<int>(family));
+  key += priority_empty ? 'e' : 'p';
+  key += std::to_string(max_dnf_disjuncts);
+  key += '|';
+  key += query_text;
+  return key;
+}
+
+template <typename Map>
+void EvictIfFull(Map* map, size_t cap) {
+  if (cap > 0 && map->size() >= cap) map->erase(map->begin());
+}
+
+}  // namespace
+
+std::string SessionCacheStats::ToString() const {
+  return "prepared " + std::to_string(prepared_hits) + "/" +
+         std::to_string(prepared_misses) + ", plan " +
+         std::to_string(plan_hits) + "/" + std::to_string(plan_misses) +
+         ", result " + std::to_string(result_hits) + "/" +
+         std::to_string(result_misses) + " (hits/misses)";
+}
+
+Session::Session(std::shared_ptr<const Snapshot> snapshot,
+                 SessionOptions options)
+    : snapshot_(std::move(snapshot)),
+      options_(options),
+      paused_(options.start_paused) {
+  dispatcher_ = std::thread([this] { DispatchLoop(); });
+}
+
+Session::~Session() {
+  std::vector<std::shared_ptr<PendingRequest>> flushed;
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    stop_ = true;
+    // Fail everything still queued and interrupt whatever is running; the
+    // dispatcher finishes its current request, then exits.
+    for (std::shared_ptr<PendingRequest>& pending : queue_) {
+      pending->state = RequestState::kDone;
+      flushed.push_back(pending);
+    }
+    queue_.clear();
+    for (auto& [id, pending] : requests_) {
+      if (pending->state == RequestState::kRunning &&
+          pending->context != nullptr) {
+        pending->context->RequestCancel();
+      }
+    }
+  }
+  queue_cv_.notify_all();
+  for (std::shared_ptr<PendingRequest>& pending : flushed) {
+    pending->promise.set_value(CancelledResponse(*pending));
+  }
+  dispatcher_.join();
+}
+
+// ---- caches ---------------------------------------------------------------
+
+Result<std::shared_ptr<const PreparedQuery>> Session::PreparedFor(
+    const std::string& query_text, const Query& query) {
+  {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    auto it = prepared_cache_.find(query_text);
+    if (it != prepared_cache_.end()) {
+      ++stats_.prepared_hits;
+      return it->second;
+    }
+    ++stats_.prepared_misses;
+  }
+  // Compile outside the lock: compilation cost is the whole point of the
+  // cache. A racing thread may compile the same query; first insert wins.
+  PREFREP_ASSIGN_OR_RETURN(PreparedQuery compiled,
+                           PreparedQuery::Compile(snapshot_->db(), query));
+  auto master = std::make_shared<const PreparedQuery>(std::move(compiled));
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  EvictIfFull(&prepared_cache_, options_.max_cache_entries);
+  return prepared_cache_.emplace(query_text, master).first->second;
+}
+
+SessionCacheStats Session::cache_stats() const {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  return stats_;
+}
+
+void Session::ClearCache() {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  prepared_cache_.clear();
+  plan_cache_.clear();
+  result_cache_.clear();
+}
+
+// ---- synchronous facade ---------------------------------------------------
+
+Result<CqaVerdict> Session::EvalVerdict(const Query& query,
+                                        const Priority& priority,
+                                        RepairFamily family,
+                                        const EvalOptions& options,
+                                        CqaPlan* executed, bool* cache_hit) {
+  if (cache_hit != nullptr) *cache_hit = false;
+  // A forced tier exists to really execute that tier; serving it from the
+  // cache (or caching its result under the unforced key) would defeat it.
+  const bool cacheable =
+      options_.enable_cache && !options.force_tier.has_value();
+  if (!cacheable) {
+    EvalContextScope scope(options);
+    return PlannedConsistentAnswer(problem(), priority, family, query,
+                                   Lower(options, scope.context()), executed);
+  }
+  const std::string query_text = query.ToString();
+  const std::string result_key =
+      ResultKey(CqaRequest::kVerdict, family, priority, query_text);
+  const std::string plan_key =
+      PlanKey(CqaRequest::kVerdict, family, PriorityIsEmpty(priority),
+              options.limits.max_dnf_disjuncts, query_text);
+  std::optional<CqaPlan> plan;
+  {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    auto it = result_cache_.find(result_key);
+    if (it != result_cache_.end() && it->second.verdict.has_value()) {
+      ++stats_.result_hits;
+      if (executed != nullptr) *executed = it->second.plan;
+      if (cache_hit != nullptr) *cache_hit = true;
+      return *it->second.verdict;
+    }
+    ++stats_.result_misses;
+    auto plan_it = plan_cache_.find(plan_key);
+    if (plan_it != plan_cache_.end()) {
+      ++stats_.plan_hits;
+      plan = plan_it->second;
+    } else {
+      ++stats_.plan_misses;
+    }
+  }
+  PREFREP_ASSIGN_OR_RETURN(std::shared_ptr<const PreparedQuery> prepared,
+                           PreparedFor(query_text, query));
+  EvalContextScope scope(options);
+  CqaPlannerOptions planner_options = Lower(options, scope.context());
+  planner_options.prepared = prepared.get();
+  if (plan.has_value()) planner_options.precomputed_plan = &*plan;
+  CqaPlan ran;
+  Result<CqaVerdict> verdict = PlannedConsistentAnswer(
+      problem(), priority, family, query, planner_options, &ran);
+  if (executed != nullptr) *executed = ran;
+  if (verdict.ok()) {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    if (!plan.has_value()) {
+      // Cache the plan that actually RAN (post any runtime fallback):
+      // replaying it skips a doomed tier-1 attempt next time.
+      EvictIfFull(&plan_cache_, options_.max_cache_entries);
+      plan_cache_.emplace(plan_key, ran);
+    }
+    EvictIfFull(&result_cache_, options_.max_cache_entries);
+    CachedResult& entry = result_cache_[result_key];
+    entry.verdict = *verdict;
+    entry.plan = ran;
+  }
+  return verdict;
+}
+
+Result<OpenAnswer> Session::EvalAnswers(const Query& query,
+                                        const Priority& priority,
+                                        RepairFamily family,
+                                        const EvalOptions& options,
+                                        CqaPlan* executed, bool* cache_hit) {
+  if (cache_hit != nullptr) *cache_hit = false;
+  const bool cacheable =
+      options_.enable_cache && !options.force_tier.has_value();
+  if (!cacheable) {
+    EvalContextScope scope(options);
+    return PlannedConsistentAnswers(problem(), priority, family, query,
+                                    Lower(options, scope.context()), executed);
+  }
+  const std::string query_text = query.ToString();
+  const std::string result_key =
+      ResultKey(CqaRequest::kOpenAnswers, family, priority, query_text);
+  const std::string plan_key =
+      PlanKey(CqaRequest::kOpenAnswers, family, PriorityIsEmpty(priority),
+              options.limits.max_dnf_disjuncts, query_text);
+  std::optional<CqaPlan> plan;
+  {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    auto it = result_cache_.find(result_key);
+    if (it != result_cache_.end() && it->second.answers.has_value()) {
+      ++stats_.result_hits;
+      if (executed != nullptr) *executed = it->second.plan;
+      if (cache_hit != nullptr) *cache_hit = true;
+      return *it->second.answers;
+    }
+    ++stats_.result_misses;
+    auto plan_it = plan_cache_.find(plan_key);
+    if (plan_it != plan_cache_.end()) {
+      ++stats_.plan_hits;
+      plan = plan_it->second;
+    } else {
+      ++stats_.plan_misses;
+    }
+  }
+  PREFREP_ASSIGN_OR_RETURN(std::shared_ptr<const PreparedQuery> prepared,
+                           PreparedFor(query_text, query));
+  EvalContextScope scope(options);
+  CqaPlannerOptions planner_options = Lower(options, scope.context());
+  planner_options.prepared = prepared.get();
+  if (plan.has_value()) planner_options.precomputed_plan = &*plan;
+  CqaPlan ran;
+  Result<OpenAnswer> answers = PlannedConsistentAnswers(
+      problem(), priority, family, query, planner_options, &ran);
+  if (executed != nullptr) *executed = ran;
+  if (answers.ok()) {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    if (!plan.has_value()) {
+      EvictIfFull(&plan_cache_, options_.max_cache_entries);
+      plan_cache_.emplace(plan_key, ran);
+    }
+    EvictIfFull(&result_cache_, options_.max_cache_entries);
+    CachedResult& entry = result_cache_[result_key];
+    entry.answers = *answers;
+    entry.plan = ran;
+  }
+  return answers;
+}
+
+Result<CqaVerdict> Session::Ask(const Query& query, const Priority& priority,
+                                RepairFamily family,
+                                const EvalOptions& options, CqaPlan* executed,
+                                bool* cache_hit) {
+  return EvalVerdict(query, priority, family, options, executed, cache_hit);
+}
+
+Result<OpenAnswer> Session::Answers(const Query& query,
+                                    const Priority& priority,
+                                    RepairFamily family,
+                                    const EvalOptions& options,
+                                    CqaPlan* executed, bool* cache_hit) {
+  return EvalAnswers(query, priority, family, options, executed, cache_hit);
+}
+
+Result<AggregateRange> Session::Aggregate(std::string_view relation,
+                                          std::string_view attribute,
+                                          AggregateFunction fn,
+                                          const Priority& priority,
+                                          RepairFamily family,
+                                          const EvalOptions& options,
+                                          CqaPlan* executed) {
+  EvalContextScope scope(options);
+  return PlannedAggregateRange(problem(), priority, family, relation,
+                               attribute, fn, Lower(options, scope.context()),
+                               executed);
+}
+
+Result<std::vector<DynamicBitset>> Session::Repairs(
+    const Priority& priority, RepairFamily family,
+    const EvalOptions& options) {
+  return PreferredRepairs(snapshot_->graph(), priority, family, options);
+}
+
+CqaPlan Session::Explain(const Query& query, const Priority& priority,
+                         RepairFamily family, CqaRequest kind,
+                         const EvalOptions& options) const {
+  CqaPlannerOptions planner_options;
+  planner_options.force_tier = options.force_tier;
+  planner_options.max_dnf_disjuncts = options.limits.max_dnf_disjuncts;
+  return ExplainPlan(problem(), priority, family, query, kind,
+                     planner_options);
+}
+
+// ---- asynchronous facade --------------------------------------------------
+
+SessionResponse Session::CancelledResponse(const PendingRequest& pending) {
+  SessionResponse response;
+  response.id = pending.id;
+  response.kind = pending.request.kind;
+  Status cancelled = Status::Cancelled("request cancelled before completion");
+  response.verdict = cancelled;
+  response.answers = cancelled;
+  return response;
+}
+
+Result<uint64_t> Session::Submit(SessionRequest request) {
+  if (request.query == nullptr) {
+    return Status::InvalidArgument("SessionRequest.query is null");
+  }
+  // A default-constructed priority stands for "no preferences": normalize
+  // it to the snapshot's empty priority so family engines can index it.
+  if (request.priority.vertex_count() == 0 &&
+      snapshot_->graph().vertex_count() > 0) {
+    request.priority = Priority::Empty(snapshot_->graph());
+  }
+  auto pending = std::make_shared<PendingRequest>();
+  pending->request = std::move(request);
+  if (pending->request.options.context == nullptr) {
+    pending->context =
+        std::make_unique<ExecutionContext>(pending->request.options.limits);
+  }
+  pending->future = pending->promise.get_future().share();
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    if (stop_) {
+      return Status::FailedPrecondition("session is shutting down");
+    }
+    if (queue_.size() + running_ >= options_.max_pending_requests) {
+      return Status::ResourceExhausted(
+          "session admission limit reached (" +
+          std::to_string(options_.max_pending_requests) +
+          " requests queued or running)");
+    }
+    pending->id = ++next_request_id_;
+    queue_.push_back(pending);
+    requests_.emplace(pending->id, pending);
+  }
+  queue_cv_.notify_all();
+  return pending->id;
+}
+
+Result<SessionResponse> Session::Wait(uint64_t request_id) {
+  std::shared_ptr<PendingRequest> pending;
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    auto it = requests_.find(request_id);
+    if (it == requests_.end()) {
+      return Status::NotFound("unknown request id " +
+                              std::to_string(request_id));
+    }
+    pending = it->second;
+  }
+  SessionResponse response = pending->future.get();
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    requests_.erase(request_id);
+  }
+  return response;
+}
+
+Status Session::Cancel(uint64_t request_id) {
+  std::shared_ptr<PendingRequest> to_fail;
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    auto it = requests_.find(request_id);
+    if (it == requests_.end()) {
+      return Status::NotFound("unknown request id " +
+                              std::to_string(request_id));
+    }
+    std::shared_ptr<PendingRequest>& pending = it->second;
+    switch (pending->state) {
+      case RequestState::kQueued: {
+        pending->state = RequestState::kDone;
+        for (auto queue_it = queue_.begin(); queue_it != queue_.end();
+             ++queue_it) {
+          if ((*queue_it)->id == request_id) {
+            queue_.erase(queue_it);
+            break;
+          }
+        }
+        to_fail = pending;
+        break;
+      }
+      case RequestState::kRunning: {
+        ExecutionContext* context = pending->context != nullptr
+                                        ? pending->context.get()
+                                        : pending->request.options.context;
+        if (context != nullptr) context->RequestCancel();
+        break;
+      }
+      case RequestState::kDone:
+        break;  // already finished: cancelling is a no-op
+    }
+  }
+  if (to_fail != nullptr) {
+    to_fail->promise.set_value(CancelledResponse(*to_fail));
+  }
+  return Status::Ok();
+}
+
+void Session::ResumeDispatch() {
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    paused_ = false;
+  }
+  queue_cv_.notify_all();
+}
+
+size_t Session::pending_requests() const {
+  std::lock_guard<std::mutex> lock(queue_mu_);
+  return queue_.size() + running_;
+}
+
+SessionResponse Session::Execute(PendingRequest& pending) {
+  SessionResponse response;
+  response.id = pending.id;
+  response.kind = pending.request.kind;
+  EvalOptions options = pending.request.options;
+  if (pending.context != nullptr) {
+    // Arm the deadline at execution start, not admission: queue time does
+    // not count against the request's budget.
+    if (options.deadline.has_value()) {
+      pending.context->SetDeadlineAfter(*options.deadline);
+    }
+    options.context = pending.context.get();
+  }
+  const Query& query = *pending.request.query;
+  CqaPlan ran;
+  bool hit = false;
+  if (pending.request.kind == CqaRequest::kVerdict) {
+    response.verdict = EvalVerdict(query, pending.request.priority,
+                                   pending.request.family, options, &ran, &hit);
+  } else {
+    response.answers = EvalAnswers(query, pending.request.priority,
+                                   pending.request.family, options, &ran, &hit);
+  }
+  response.executed = ran;
+  response.cache_hit = hit;
+  return response;
+}
+
+void Session::DispatchLoop() {
+  for (;;) {
+    std::shared_ptr<PendingRequest> pending;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [this] {
+        return stop_ || (!paused_ && !queue_.empty());
+      });
+      if (stop_) return;  // the destructor flushes whatever is queued
+      pending = queue_.front();
+      queue_.pop_front();
+      pending->state = RequestState::kRunning;
+      ++running_;
+    }
+    SessionResponse response = Execute(*pending);
+    {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      pending->state = RequestState::kDone;
+      --running_;
+    }
+    pending->promise.set_value(std::move(response));
+    queue_cv_.notify_all();
+  }
+}
+
+}  // namespace prefrep

@@ -1,0 +1,38 @@
+#include "server/snapshot.h"
+
+#include <atomic>
+#include <utility>
+
+namespace prefrep {
+
+namespace {
+std::atomic<uint64_t> g_next_snapshot_id{0};
+}  // namespace
+
+Result<std::shared_ptr<const Snapshot>> Snapshot::Create(
+    Database db, std::vector<FunctionalDependency> fds) {
+  // Not make_shared: the constructor is private, and an error exit must not
+  // leak a half-built snapshot (shared_ptr cleans up either way).
+  std::shared_ptr<Snapshot> snapshot(new Snapshot());
+  snapshot->db_ = std::make_unique<Database>(std::move(db));
+  PREFREP_ASSIGN_OR_RETURN(
+      snapshot->problem_,
+      RepairProblem::Create(snapshot->db_.get(), std::move(fds)));
+  snapshot->decomposition_ =
+      std::make_unique<ComponentDecomposition>(snapshot->problem_.graph());
+  snapshot->id_ = g_next_snapshot_id.fetch_add(1, std::memory_order_relaxed) + 1;
+  return std::shared_ptr<const Snapshot>(std::move(snapshot));
+}
+
+std::string Snapshot::Describe() const {
+  const ComponentDecomposition& d = *decomposition_;
+  std::string out = "snapshot #" + std::to_string(id_) + ": " +
+                    std::to_string(problem_.tuple_count()) + " tuples, " +
+                    std::to_string(problem_.graph().edge_count()) +
+                    " conflicts, " + std::to_string(d.components().size()) +
+                    " components (" + std::to_string(d.isolated().Count()) +
+                    " isolated tuples)";
+  return out;
+}
+
+}  // namespace prefrep

@@ -1,0 +1,74 @@
+// Snapshot: an immutable, shareable view of one database version for the
+// resident CQA server (see session.h for the facade that queries it).
+//
+// Everything derivable from (database, FDs) that every query against the
+// version needs — the conflict graph and the connected-component
+// decomposition — is computed exactly once, at Create time. Sessions then
+// share one Snapshot through shared_ptr<const Snapshot>: queries never
+// mutate it, so any number of sessions (and their worker threads) can read
+// it concurrently without synchronization. Updating data means building a
+// NEW snapshot and pointing new sessions at it; in-flight queries keep the
+// old version alive through their shared_ptr — MVCC in its simplest form.
+//
+// The Database is heap-allocated inside the snapshot because RepairProblem
+// borrows a stable `const Database*`; the snapshot is therefore movable as
+// a unit only via its shared_ptr, never copied.
+
+#ifndef PREFREP_SERVER_SNAPSHOT_H_
+#define PREFREP_SERVER_SNAPSHOT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "constraints/fd.h"
+#include "graph/components.h"
+#include "graph/conflict_graph.h"
+#include "relational/database.h"
+#include "repair/repair.h"
+
+namespace prefrep {
+
+class Snapshot {
+ public:
+  // Takes ownership of `db` and `fds`, builds the conflict graph and the
+  // component decomposition. Fails (kInvalidArgument) when an FD names a
+  // relation or attribute the database does not have.
+  static Result<std::shared_ptr<const Snapshot>> Create(
+      Database db, std::vector<FunctionalDependency> fds);
+
+  Snapshot(const Snapshot&) = delete;
+  Snapshot& operator=(const Snapshot&) = delete;
+
+  const Database& db() const { return *db_; }
+  const std::vector<FunctionalDependency>& fds() const {
+    return problem_.fds();
+  }
+  const RepairProblem& problem() const { return problem_; }
+  const ConflictGraph& graph() const { return problem_.graph(); }
+  const ComponentDecomposition& decomposition() const {
+    return *decomposition_;
+  }
+
+  // Process-unique, monotonically increasing. Distinguishes snapshot
+  // versions in logs and cache diagnostics.
+  uint64_t id() const { return id_; }
+
+  // One line: tuple/conflict/component counts, e.g.
+  // "snapshot #3: 12 tuples, 4 conflicts, 2 components (6 isolated tuples)".
+  std::string Describe() const;
+
+ private:
+  Snapshot() = default;
+
+  std::unique_ptr<Database> db_;  // stable address: problem_ borrows it
+  RepairProblem problem_;
+  std::unique_ptr<ComponentDecomposition> decomposition_;
+  uint64_t id_ = 0;
+};
+
+}  // namespace prefrep
+
+#endif  // PREFREP_SERVER_SNAPSHOT_H_

@@ -146,7 +146,7 @@ TEST(PlannerRegressionTest, ConflictFreeShortCircuitNeverEnumerates) {
 
   CqaPlan executed;
   auto verdict = PlannedConsistentAnswer(problem, empty, RepairFamily::kCommon,
-                                         *query, {}, &executed);
+                                         *query, CqaPlannerOptions(), &executed);
   ASSERT_TRUE(verdict.ok()) << verdict.status().ToString();
   EXPECT_EQ(*verdict, CqaVerdict::kCertainlyTrue);
   EXPECT_EQ(executed.tier, CqaTier::kSingleRepair);
@@ -164,7 +164,7 @@ TEST(PlannerRegressionTest, ConflictFreeShortCircuitNeverEnumerates) {
   // Open answers short-circuit the same way.
   auto open = MustParse("R(x, y)");
   auto fast = PlannedConsistentAnswers(problem, empty, RepairFamily::kLocal,
-                                       *open, {}, &executed);
+                                       *open, CqaPlannerOptions(), &executed);
   ASSERT_TRUE(fast.ok());
   EXPECT_EQ(executed.tier, CqaTier::kSingleRepair);
   auto slow = PlannedConsistentAnswers(problem, empty, RepairFamily::kLocal,
@@ -202,7 +202,7 @@ TEST(PlannerBudgetTest, BlownDnfBudgetFallsBackToEnumeration) {
   // The verdict matches both the default (fast-path) plan and forced
   // enumeration.
   auto roomy = PlannedConsistentAnswer(problem, empty, RepairFamily::kAll,
-                                       *query, {}, &executed);
+                                       *query, CqaPlannerOptions(), &executed);
   ASSERT_TRUE(roomy.ok());
   EXPECT_EQ(executed.tier, CqaTier::kGroundFastPath);
   EXPECT_EQ(*verdict, *roomy);
@@ -283,7 +283,7 @@ TEST(PlannerEdgeCaseTest, EmptyDatabase) {
   for (const char* text : {"R(0, 0)", "not R(0, 0)", "exists x . R(x, 0)"}) {
     auto query = MustParse(text);
     auto fast = PlannedConsistentAnswer(problem, empty, RepairFamily::kAll,
-                                        *query, {}, &executed);
+                                        *query, CqaPlannerOptions(), &executed);
     ASSERT_TRUE(fast.ok()) << text;
     EXPECT_EQ(executed.tier, CqaTier::kSingleRepair) << text;
     auto slow = PlannedConsistentAnswer(problem, empty, RepairFamily::kAll,
@@ -314,7 +314,7 @@ TEST(PlannerEdgeCaseTest, ConstantOnlyQueries) {
     auto query = MustParse(text);
     CqaPlan executed;
     auto fast = PlannedConsistentAnswer(problem, empty, RepairFamily::kAll,
-                                        *query, {}, &executed);
+                                        *query, CqaPlannerOptions(), &executed);
     ASSERT_TRUE(fast.ok()) << text << ": " << fast.status().ToString();
     EXPECT_EQ(*fast, want) << text;
     EXPECT_EQ(executed.tier, CqaTier::kGroundFastPath) << text;
@@ -372,7 +372,8 @@ TEST(PlannerAggregateTest, CountStarRoutesToComponentRange) {
   Priority empty = Priority::Empty(problem.graph());
   CqaPlan executed;
   auto fast = PlannedAggregateRange(problem, empty, RepairFamily::kGlobal,
-                                    "R", "", AggregateFunction::kCount, {},
+                                    "R", "", AggregateFunction::kCount,
+                                    CqaPlannerOptions(),
                                     &executed);
   ASSERT_TRUE(fast.ok()) << fast.status().ToString();
   EXPECT_EQ(executed.tier, CqaTier::kGroundFastPath);
@@ -391,7 +392,8 @@ TEST(PlannerAggregateTest, CountStarRoutesToComponentRange) {
 
   // SUM has no polynomial range: plans enumeration.
   auto sum = PlannedAggregateRange(problem, empty, RepairFamily::kAll, "R",
-                                   "B", AggregateFunction::kSum, {},
+                                   "B", AggregateFunction::kSum,
+                                   CqaPlannerOptions(),
                                    &executed);
   ASSERT_TRUE(sum.ok()) << sum.status().ToString();
   EXPECT_EQ(executed.tier, CqaTier::kEnumeration);
