@@ -1,0 +1,253 @@
+// Incremental maintenance under updates: Snapshot::Derive versus a full
+// rebuild, on a multi-relation multi-component instance (8 relations x 50
+// complete-multipartite components, ~6400 tuples, ~400 components).
+//
+// Three families of rows:
+//   - Derive/<i>: build the successor snapshot incrementally from a staged
+//     balanced delta of <ops> deletes + <ops> inserts confined to the last
+//     relation (the `delta_pct` counter reports deletes + inserts as a
+//     percentage of the instance). Untouched relations share storage, the
+//     survivor conflict edges and the adjacency bitsets of the identity
+//     region are carried over (ConflictGraph::DeriveFrom), only inserted
+//     tuples probe the per-FD LHS index, and only dirty components re-BFS.
+//   - FullRebuild/<i>: the from-scratch baseline on the same delta —
+//     re-insert every tuple (DatabaseDelta::ApplyNaive) and
+//     Snapshot::Create, which re-detects all conflicts, rebuilds the whole
+//     adjacency structure and re-decomposes the graph.
+//   - ServeLoop{Derive,Rebuild}/<q>: a mixed serving loop on a separate
+//     small two-relation instance; one iteration is one epoch = one update
+//     roll (new snapshot + new session) followed by <q> queries against the
+//     cold relation. The update touches only the hot relation and preserves
+//     the active domain, so the derive path's seeded session keeps serving
+//     the queries from cache while the rebuild path re-answers them cold.
+//
+// Acceptance signal (BENCH_pr9.json): at delta <= 1% of the instance the
+// Derive rows must beat FullRebuild by >= 10x.
+
+#include <memory>
+#include <vector>
+
+#include "bench_common.h"
+#include "relational/delta.h"
+#include "server/session.h"
+#include "server/snapshot.h"
+
+namespace prefrep::bench {
+namespace {
+
+constexpr uint64_t kSeed = 20260808;
+
+// ------------------------------------------- derive vs rebuild sweep --
+
+struct UpdateSetup {
+  std::shared_ptr<const Snapshot> snapshot;
+  // One staged delta per sweep size, reusable: Derive/Apply never consume
+  // the delta.
+  std::vector<std::unique_ptr<DatabaseDelta>> deltas;
+  std::vector<int> ops;  // deletes == inserts per delta
+};
+
+// Balanced replace-style delta confined to the tail relation: deletes the
+// last `ops` tuples (all in R7) and inserts `ops` fresh tuples whose keys
+// join R7's first eight groups (so inserts create real conflict edges and
+// dirty real components, not just isolated vertices). Equal delete/insert
+// counts keep the tuple universe size unchanged, which is what lets
+// ConflictGraph::DeriveFrom share the identity region's adjacency bitsets.
+std::unique_ptr<DatabaseDelta> StageDelta(const Snapshot& snapshot, int ops) {
+  auto delta = std::make_unique<DatabaseDelta>(&snapshot.db());
+  const int n = snapshot.db().tuple_count();
+  for (int i = 0; i < ops; ++i) {
+    CHECK(delta->Delete(static_cast<TupleId>(n - 1 - i)).ok());
+  }
+  for (int i = 0; i < ops; ++i) {
+    auto status = delta->Insert(
+        "R7", Tuple::Of(Value::Number(i % 8), Value::Number(1),
+                        Value::Number(100000 + i)));
+    CHECK(status.ok()) << status.ToString();
+  }
+  return delta;
+}
+
+UpdateSetup& SharedSetup() {
+  static UpdateSetup* setup = [] {
+    auto* s = new UpdateSetup();
+    Rng rng(kSeed);
+    GeneratedInstance inst = MakeMultiRelationComponentsInstance(
+        rng, /*relations=*/8, /*groups_per_relation=*/50, /*min_size=*/14,
+        /*max_size=*/18);
+    auto snapshot = Snapshot::Create(*inst.db, inst.fds);
+    CHECK(snapshot.ok()) << snapshot.status().ToString();
+    s->snapshot = *std::move(snapshot);
+    // ~0.1%, ~0.5%, ~1%, ~5%, ~20% of the instance (deletes + inserts
+    // both count).
+    const int n = s->snapshot->db().tuple_count();
+    for (int ops : {n / 2000 + 1, n / 400, n / 200, n / 40, n / 10}) {
+      s->ops.push_back(ops);
+      s->deltas.push_back(StageDelta(*s->snapshot, ops));
+    }
+    return s;
+  }();
+  return *setup;
+}
+
+double DeltaPercent(const UpdateSetup& setup, size_t index) {
+  return 100.0 * 2 * setup.ops[index] / setup.snapshot->db().tuple_count();
+}
+
+void BM_IncrementalUpdate_Derive(benchmark::State& state) {
+  UpdateSetup& setup = SharedSetup();
+  const size_t index = static_cast<size_t>(state.range(0));
+  const DatabaseDelta& delta = *setup.deltas[index];
+  for (auto _ : state) {
+    auto derived = Snapshot::Derive(setup.snapshot, delta);
+    CHECK(derived.ok()) << derived.status().ToString();
+    KeepAlive(*derived);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["delta_pct"] = DeltaPercent(setup, index);
+  state.SetLabel("incremental successor snapshot");
+}
+BENCHMARK(BM_IncrementalUpdate_Derive)
+    ->DenseRange(0, 4)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_IncrementalUpdate_FullRebuild(benchmark::State& state) {
+  UpdateSetup& setup = SharedSetup();
+  const size_t index = static_cast<size_t>(state.range(0));
+  const DatabaseDelta& delta = *setup.deltas[index];
+  for (auto _ : state) {
+    auto db = delta.ApplyNaive();
+    CHECK(db.ok());
+    auto rebuilt = Snapshot::Create(*std::move(db), setup.snapshot->fds());
+    CHECK(rebuilt.ok()) << rebuilt.status().ToString();
+    KeepAlive(*rebuilt);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["delta_pct"] = DeltaPercent(setup, index);
+  state.SetLabel("re-insert + full conflict re-detection");
+}
+BENCHMARK(BM_IncrementalUpdate_FullRebuild)
+    ->DenseRange(0, 4)
+    ->Unit(benchmark::kMicrosecond);
+
+// ------------------------------------------------ mixed serving loops --
+
+constexpr int kServeQueryMix = 3;
+
+// The serve loop runs on its own small instance with closed ground
+// quantifier-free queries: with the empty priority every family collapses
+// to Rep, so the planner serves them from the polynomial tier-1 engine —
+// a quantified query here would route to the enumeration tier, whose cost
+// under the empty priority is the full repair product (~3^24 repairs).
+// Two relations: R0 is the cold relation the queries read; R1 is the hot
+// relation the updates touch. Relation-by-relation id assignment keeps
+// all of R0 in the identity region of every update.
+struct ServeSetup {
+  std::shared_ptr<const Snapshot> snapshot;
+  std::unique_ptr<DatabaseDelta> delta;
+  std::vector<std::unique_ptr<Query>> queries;
+};
+
+ServeSetup& SharedServeSetup() {
+  static ServeSetup* setup = [] {
+    auto* s = new ServeSetup();
+    Rng rng(kSeed);
+    GeneratedInstance inst = MakeMultiRelationComponentsInstance(
+        rng, /*relations=*/2, /*groups_per_relation=*/12, /*min_size=*/3,
+        /*max_size=*/5);
+    auto snapshot = Snapshot::Create(*inst.db, inst.fds);
+    CHECK(snapshot.ok()) << snapshot.status().ToString();
+    s->snapshot = *std::move(snapshot);
+    // Balanced update on the hot relation: replace its last tuple (k, v, w)
+    // with (k, v', w) for the other conflict class v' != v. Both classes
+    // exist in every group (the generator splits every group of size >= 2
+    // across >= 2 classes) and w was unique to the deleted tuple, so the
+    // insert is fresh, conflicts with the deleted tuple's old rivals, and
+    // every value stays inside the active domain — the footprint a seeded
+    // session can survive.
+    const Database& db = s->snapshot->db();
+    const TupleId last = static_cast<TupleId>(db.tuple_count() - 1);
+    const Tuple& victim = db.TupleOf(last);
+    s->delta = std::make_unique<DatabaseDelta>(&db);
+    CHECK(s->delta->Delete(last).ok());
+    const int64_t flipped = victim.value(1).number() == 0 ? 1 : 0;
+    CHECK(s->delta
+              ->Insert("R1", Tuple::Of(victim.value(0),
+                                       Value::Number(flipped),
+                                       victim.value(2)))
+              .ok());
+    s->queries.push_back(MustParse("R0(0, 0, 0) or R0(1, 0, 0)"));
+    s->queries.push_back(MustParse("R0(2, 0, 0) and not R0(0, 9, 9)"));
+    s->queries.push_back(MustParse("R0(3, 0, 0) or not R0(4, 0, 0)"));
+    CHECK(s->queries.size() == kServeQueryMix);
+    return s;
+  }();
+  return *setup;
+}
+
+// One iteration = one epoch: an update rolls snapshot + session, then
+// `queries_per_update` queries are served from the fresh session. Every
+// update derives from the same base version (so the staged delta stays
+// valid); the derive path seeds the new session from a warm session on the
+// base snapshot, the rebuild path starts cold.
+template <bool kIncremental>
+void ServeLoop(benchmark::State& state) {
+  ServeSetup& setup = SharedServeSetup();
+  const int queries_per_update = static_cast<int>(state.range(0));
+  const DatabaseDelta& delta = *setup.delta;
+  Priority empty = Priority::Empty(setup.snapshot->graph());
+  Session base_session(setup.snapshot);
+  for (const auto& query : setup.queries) {
+    CHECK(base_session.Ask(*query, empty, RepairFamily::kGlobal, {}).ok());
+  }
+  int i = 0;
+  for (auto _ : state) {
+    std::unique_ptr<Session> session;
+    if constexpr (kIncremental) {
+      auto derived = Snapshot::Derive(setup.snapshot, delta);
+      CHECK(derived.ok());
+      session = std::make_unique<Session>(*derived, base_session);
+    } else {
+      auto db = delta.ApplyNaive();
+      CHECK(db.ok());
+      auto rebuilt = Snapshot::Create(*std::move(db), setup.snapshot->fds());
+      CHECK(rebuilt.ok());
+      session = std::make_unique<Session>(*rebuilt);
+    }
+    for (int q = 0; q < queries_per_update; ++q) {
+      const Query& query =
+          *setup.queries[static_cast<size_t>(i++ % kServeQueryMix)];
+      auto verdict = session->Ask(query, empty, RepairFamily::kGlobal, {});
+      CHECK(verdict.ok()) << verdict.status().ToString();
+      KeepAlive(*verdict);
+    }
+  }
+  // Operations served per epoch: the update plus the queries.
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(queries_per_update + 1));
+  state.SetLabel(kIncremental ? "derive + seeded session"
+                              : "rebuild + cold session");
+}
+
+void BM_IncrementalUpdate_ServeLoopDerive(benchmark::State& state) {
+  ServeLoop<true>(state);
+}
+BENCHMARK(BM_IncrementalUpdate_ServeLoopDerive)
+    ->Arg(1)
+    ->Arg(16)
+    ->Arg(256)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_IncrementalUpdate_ServeLoopRebuild(benchmark::State& state) {
+  ServeLoop<false>(state);
+}
+BENCHMARK(BM_IncrementalUpdate_ServeLoopRebuild)
+    ->Arg(1)
+    ->Arg(16)
+    ->Arg(256)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace prefrep::bench
+
+BENCHMARK_MAIN();

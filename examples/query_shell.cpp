@@ -3,10 +3,17 @@
 // working database; the first query builds an immutable Snapshot and a
 // Session over it, and every later query goes through the session's
 // PreparedQuery / plan / result caches — repeat a query to watch the
-// cache column flip from miss to hit. Any further DDL marks the staging
-// area dirty and the next query builds a fresh snapshot + session (the
-// server's invalidation contract: caches never go stale because
-// snapshots never change).
+// cache column flip from miss to hit.
+//
+// Updates after that first snapshot take the incremental path: 'insert'
+// and 'delete' stage into a DatabaseDelta against the current snapshot,
+// and 'apply' runs Snapshot::Derive — the successor snapshot shares
+// untouched relations and clean components with its parent, and the new
+// session seeds its caches from the old one ('cache' shows what
+// survived). Schema-level DDL (relation/fd/load) still marks the staging
+// area dirty and rebuilds from scratch on the next query (the server's
+// invalidation contract: caches never go stale because snapshots never
+// change).
 //
 // Commands are listed by 'help' (generated from the command registry
 // below). Ctrl-C cancels the query in flight (cooperatively, via the
@@ -37,6 +44,7 @@
 #include "graph/dot.h"
 #include "query/parser.h"
 #include "relational/csv.h"
+#include "relational/delta.h"
 #include "repair/metrics.h"
 #include "server/session.h"
 #include "sql/sql.h"
@@ -142,27 +150,27 @@ class Shell {
     return Status::Ok();
   }
 
-  Status Insert(const std::string& args) {
+  // Parses "<Name> v1,v2,...[,@src,@ts]" against the relation's schema.
+  Status ParseTupleArgs(const std::string& args, const Database& db,
+                        std::string* name, Tuple* tuple, TupleMeta* meta) {
     std::istringstream in(args);
-    std::string name;
-    in >> name;
+    in >> *name;
     std::string csv;
     std::getline(in, csv);
-    PREFREP_ASSIGN_OR_RETURN(const Relation* rel, db_.relation(name));
+    PREFREP_ASSIGN_OR_RETURN(const Relation* rel, db.relation(*name));
     const Schema& schema = rel->schema();
 
     std::vector<std::string> fields(StrSplit(StripWhitespace(csv), ','));
-    TupleMeta meta;
     // Optional trailing @source, @ts fields.
     while (!fields.empty() && !fields.back().empty() &&
            StripWhitespace(fields.back())[0] == '@') {
       std::string_view field = StripWhitespace(fields.back());
       PREFREP_ASSIGN_OR_RETURN(int64_t v, ParseInt64(field.substr(1)));
-      if (meta.timestamp == TupleMeta::kNoTimestamp &&
+      if (meta->timestamp == TupleMeta::kNoTimestamp &&
           fields.size() == static_cast<size_t>(schema.arity()) + 2) {
-        meta.timestamp = v;
+        meta->timestamp = v;
       } else {
-        meta.source_id = static_cast<int>(v);
+        meta->source_id = static_cast<int>(v);
       }
       fields.pop_back();
     }
@@ -181,10 +189,82 @@ class Shell {
         values.push_back(Value::Name(std::string(field)));
       }
     }
-    PREFREP_ASSIGN_OR_RETURN(TupleId id,
-                             db_.Insert(name, Tuple(std::move(values)), meta));
-    dirty_ = true;
-    std::printf("inserted tuple %d\n", id);
+    *tuple = Tuple(std::move(values));
+    return Status::Ok();
+  }
+
+  // Lazily creates the pending delta against the current snapshot.
+  DatabaseDelta& PendingDelta() {
+    if (delta_ == nullptr) {
+      delta_ = std::make_unique<DatabaseDelta>(&snapshot_->db());
+    }
+    return *delta_;
+  }
+
+  Status Insert(const std::string& args) {
+    // Before the first snapshot (or after schema DDL) inserts stage into
+    // the working database directly; afterwards they stage into the
+    // pending delta for the incremental 'apply' path.
+    if (dirty_ || session_ == nullptr) {
+      std::string name;
+      Tuple tuple;
+      TupleMeta meta;
+      PREFREP_RETURN_IF_ERROR(ParseTupleArgs(args, db_, &name, &tuple, &meta));
+      PREFREP_ASSIGN_OR_RETURN(TupleId id,
+                               db_.Insert(name, std::move(tuple), meta));
+      dirty_ = true;
+      std::printf("inserted tuple %d\n", id);
+      return Status::Ok();
+    }
+    std::string name;
+    Tuple tuple;
+    TupleMeta meta;
+    PREFREP_RETURN_IF_ERROR(
+        ParseTupleArgs(args, snapshot_->db(), &name, &tuple, &meta));
+    PREFREP_RETURN_IF_ERROR(
+        PendingDelta().Insert(name, std::move(tuple), meta));
+    std::printf("staged insert (%s; 'apply' to derive)\n",
+                delta_->Describe().c_str());
+    return Status::Ok();
+  }
+
+  Status Delete(const std::string& args) {
+    PREFREP_RETURN_IF_ERROR(Refresh());
+    std::string name;
+    Tuple tuple;
+    TupleMeta meta;
+    PREFREP_RETURN_IF_ERROR(
+        ParseTupleArgs(args, snapshot_->db(), &name, &tuple, &meta));
+    PREFREP_RETURN_IF_ERROR(PendingDelta().Delete(name, tuple));
+    std::printf("staged delete (%s; 'apply' to derive)\n",
+                delta_->Describe().c_str());
+    return Status::Ok();
+  }
+
+  // Applies the pending delta through Snapshot::Derive: the successor
+  // shares untouched relations and clean components with the parent, and
+  // the new session seeds its caches from the old one.
+  Status Apply(const std::string&) {
+    if (delta_ == nullptr || delta_->empty()) {
+      return Status::InvalidArgument(
+          "no staged changes ('insert'/'delete' after a query stage a "
+          "delta)");
+    }
+    std::unique_ptr<ExecutionContext> context = MakeContext();
+    ScopedActiveContext active(context.get());
+    Timer timer;
+    PREFREP_ASSIGN_OR_RETURN(std::shared_ptr<const Snapshot> derived,
+                             Snapshot::Derive(snapshot_, *delta_,
+                                              context.get()));
+    auto session = std::make_unique<Session>(derived, *session_);
+    snapshot_ = std::move(derived);
+    session_ = std::move(session);
+    db_ = snapshot_->db();  // copy-on-write: shared storage, cheap
+    priority_ = std::make_unique<Priority>(Priority::Empty(snapshot_->graph()));
+    delta_.reset();
+    std::printf("(derived %s in %.2f ms; priority reset)\n",
+                snapshot_->Describe().c_str(), timer.Ms());
+    std::printf("cache: %s\n", session_->cache_stats().ToString().c_str());
     return Status::Ok();
   }
 
@@ -228,6 +308,12 @@ class Shell {
   // would be stale.
   Status Refresh() {
     if (!dirty_ && session_ != nullptr) return Status::Ok();
+    // A staged delta borrows the OLD snapshot's database; a full rebuild
+    // invalidates it.
+    if (delta_ != nullptr && !delta_->empty()) {
+      std::printf("(discarding unapplied %s)\n", delta_->Describe().c_str());
+    }
+    delta_.reset();
     PREFREP_ASSIGN_OR_RETURN(std::shared_ptr<const Snapshot> snapshot,
                              Snapshot::Create(db_, fds_));
     snapshot_ = std::move(snapshot);
@@ -472,6 +558,9 @@ class Shell {
   Database db_;
   std::vector<FunctionalDependency> fds_;
   std::shared_ptr<const Snapshot> snapshot_;
+  // Pending incremental changes staged against snapshot_->db(); consumed
+  // by 'apply', discarded by a full rebuild.
+  std::unique_ptr<DatabaseDelta> delta_;
   std::unique_ptr<Session> session_;
   std::unique_ptr<Priority> priority_;
   RepairFamily family_ = RepairFamily::kGlobal;
@@ -484,7 +573,12 @@ const Shell::Command Shell::kCommands[] = {
     {"relation", "relation <Name> <attr:name|number> ...",
      "declare a relation", &Shell::DeclareRelation},
     {"insert", "insert <Name> v1,v2,...[,@src,@ts]",
-     "insert a tuple (optional provenance)", &Shell::Insert},
+     "insert a tuple (staged into a delta once a snapshot exists)",
+     &Shell::Insert},
+    {"delete", "delete <Name> v1,v2,...",
+     "stage a delete into the pending delta", &Shell::Delete},
+    {"apply", "apply",
+     "derive the successor snapshot from the staged delta", &Shell::Apply},
     {"load", "load <Name> <csv-file> [withmeta]", "bulk load CSV",
      &Shell::Load},
     {"fd", "fd <Name> <A B -> C D>", "add a functional dependency",

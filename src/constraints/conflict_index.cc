@@ -1,0 +1,126 @@
+#include "constraints/conflict_index.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace prefrep {
+
+Result<FdConflictIndex> FdConflictIndex::Build(
+    const Database& db, const std::vector<FunctionalDependency>& fds,
+    ExecutionContext* context) {
+  FdConflictIndex index;
+  index.per_fd_.reserve(fds.size());
+  for (const FunctionalDependency& fd : fds) {
+    Result<int> rel_idx = db.RelationIndex(fd.relation_name());
+    if (!rel_idx.ok()) {
+      return Status::NotFound("FD references unknown relation '" +
+                              fd.relation_name() + "'");
+    }
+    const Relation& rel = db.relations()[*rel_idx];
+    PerFd per_fd;
+    per_fd.relation = *rel_idx;
+    per_fd.entries.reserve(rel.size());
+    for (int row = 0; row < rel.size(); ++row) {
+      if ((row & 4095) == 0 && context != nullptr && context->ShouldStop()) {
+        return context->status();
+      }
+      per_fd.entries.emplace_back(FdProjectionHash(rel.tuple(row), fd.lhs()),
+                                  db.GlobalId(*rel_idx, row));
+    }
+    std::sort(per_fd.entries.begin(), per_fd.entries.end());
+    index.per_fd_.push_back(std::move(per_fd));
+  }
+  return index;
+}
+
+void FdConflictIndex::ProbeConflicts(
+    const Database& db, const std::vector<FunctionalDependency>& fds,
+    int fd_index, const Tuple& tuple, std::vector<TupleId>* out) const {
+  const PerFd& per_fd = per_fd_[fd_index];
+  const FunctionalDependency& fd = fds[fd_index];
+  const uint64_t hash = FdProjectionHash(tuple, fd.lhs());
+  auto it = std::lower_bound(
+      per_fd.entries.begin(), per_fd.entries.end(),
+      std::make_pair(hash, std::numeric_limits<TupleId>::min()));
+  for (; it != per_fd.entries.end() && it->first == hash; ++it) {
+    if (fd.Conflicts(tuple, db.TupleOf(it->second))) {
+      out->push_back(it->second);
+    }
+  }
+}
+
+Result<FdConflictIndex> FdConflictIndex::Derive(
+    const FdConflictIndex& parent,
+    const std::vector<FunctionalDependency>& fds, const DatabaseDelta& delta,
+    const Database& new_db, const DeltaRemap& remap,
+    std::vector<std::pair<TupleId, TupleId>>* new_edges,
+    ExecutionContext* context) {
+  CHECK_EQ(parent.per_fd_.size(), fds.size());
+  FdConflictIndex out;
+  out.per_fd_.resize(parent.per_fd_.size());
+  for (size_t f = 0; f < parent.per_fd_.size(); ++f) {
+    const PerFd& old_fd = parent.per_fd_[f];
+    PerFd& new_fd = out.per_fd_[f];
+    new_fd.relation = old_fd.relation;
+
+    // Survivors: filter deleted ids, translate to new ids. The remap is
+    // monotone, so the (hash, id) order is preserved — no re-sort.
+    std::vector<std::pair<uint64_t, TupleId>> survivors;
+    survivors.reserve(old_fd.entries.size());
+    size_t scanned = 0;
+    for (const auto& [hash, old_id] : old_fd.entries) {
+      if ((scanned++ & 4095) == 0 && context != nullptr &&
+          context->ShouldStop()) {
+        return context->status();
+      }
+      TupleId new_id = remap.old_to_new[old_id];
+      if (new_id >= 0) survivors.emplace_back(hash, new_id);
+    }
+
+    // Inserted entries for this FD's relation, sorted then merged.
+    std::vector<std::pair<uint64_t, TupleId>> added;
+    for (size_t i = 0; i < delta.inserts().size(); ++i) {
+      const DatabaseDelta::PendingInsert& insert = delta.inserts()[i];
+      if (insert.relation != old_fd.relation) continue;
+      added.emplace_back(FdProjectionHash(insert.tuple, fds[f].lhs()),
+                         remap.inserted_ids[i]);
+    }
+    std::sort(added.begin(), added.end());
+    new_fd.entries.resize(survivors.size() + added.size());
+    std::merge(survivors.begin(), survivors.end(), added.begin(), added.end(),
+               new_fd.entries.begin());
+  }
+
+  // Fresh edges: probe every inserted tuple against the derived index. An
+  // insert-insert conflict is found from both endpoints and a tuple finds
+  // itself in its own bucket — dedup and self-skip below.
+  std::vector<TupleId> partners;
+  for (size_t i = 0; i < delta.inserts().size(); ++i) {
+    if (context != nullptr && context->ShouldStop()) return context->status();
+    const DatabaseDelta::PendingInsert& insert = delta.inserts()[i];
+    const TupleId self = remap.inserted_ids[i];
+    for (size_t f = 0; f < fds.size(); ++f) {
+      if (out.per_fd_[f].relation != insert.relation) continue;
+      partners.clear();
+      out.ProbeConflicts(new_db, fds, static_cast<int>(f), insert.tuple,
+                         &partners);
+      for (TupleId partner : partners) {
+        if (partner == self) continue;
+        new_edges->emplace_back(std::min(self, partner),
+                                std::max(self, partner));
+      }
+    }
+  }
+  std::sort(new_edges->begin(), new_edges->end());
+  new_edges->erase(std::unique(new_edges->begin(), new_edges->end()),
+                   new_edges->end());
+  return out;
+}
+
+size_t FdConflictIndex::entry_count() const {
+  size_t count = 0;
+  for (const PerFd& per_fd : per_fd_) count += per_fd.entries.size();
+  return count;
+}
+
+}  // namespace prefrep

@@ -1,0 +1,84 @@
+// FdConflictIndex: a per-FD hash index over LHS projections, built once
+// per snapshot, probed per delta tuple.
+//
+// Conflict detection from scratch (conflicts.h) partitions every tuple of
+// an FD's relation by its LHS-projection hash. The incremental path
+// (delta.h + server/snapshot.h's Snapshot::Derive) only needs the
+// conflicts OF THE DELTA TUPLES: an FD conflict requires LHS agreement, so
+// an inserted tuple can only conflict with tuples in the same LHS
+// partition, and a deleted tuple removes exactly its incident edges. The
+// index stores, per FD, a flat (lhs_hash, tuple_id) array sorted by hash:
+// probing one tuple is a binary search plus an in-bucket fd.Conflicts
+// verification (hash collisions are verified away, never trusted), and
+// deriving the index for a successor database is a linear filter/remap of
+// survivors merged with the sorted probe entries of the inserts.
+//
+// Everything is expressed over global TupleIds of the database the index
+// was built for; Derive translates to the successor's id space via the
+// DeltaRemap (monotone, so sortedness survives the remap).
+
+#ifndef PREFREP_CONSTRAINTS_CONFLICT_INDEX_H_
+#define PREFREP_CONSTRAINTS_CONFLICT_INDEX_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "base/exec_context.h"
+#include "base/status.h"
+#include "constraints/conflicts.h"
+#include "constraints/fd.h"
+#include "relational/database.h"
+#include "relational/delta.h"
+
+namespace prefrep {
+
+class FdConflictIndex {
+ public:
+  FdConflictIndex() = default;
+
+  // Builds the index for `db` w.r.t. `fds` (kNotFound when an FD names an
+  // unknown relation, mirroring FindConflicts).
+  static Result<FdConflictIndex> Build(
+      const Database& db, const std::vector<FunctionalDependency>& fds,
+      ExecutionContext* context = nullptr);
+
+  // Appends to `out` the ids of all tuples in `db` conflicting with
+  // `tuple` under FD `fd_index`, as if `tuple` were a fresh row of that
+  // FD's relation. `db` must be the database the index was built for.
+  void ProbeConflicts(const Database& db,
+                      const std::vector<FunctionalDependency>& fds,
+                      int fd_index, const Tuple& tuple,
+                      std::vector<TupleId>* out) const;
+
+  // The index of the post-delta database, plus — appended to `new_edges`,
+  // normalized (min, max), sorted, deduplicated, in NEW ids — every
+  // conflict edge incident to an inserted tuple. Edges between survivors
+  // are unchanged by construction (LHS agreement is a property of the two
+  // tuples alone), so the caller combines `new_edges` with the remapped
+  // survivor edges of the parent graph.
+  //
+  // `new_db` must be delta.Apply()'s result and `remap` its DeltaRemap.
+  static Result<FdConflictIndex> Derive(
+      const FdConflictIndex& parent,
+      const std::vector<FunctionalDependency>& fds,
+      const DatabaseDelta& delta, const Database& new_db,
+      const DeltaRemap& remap,
+      std::vector<std::pair<TupleId, TupleId>>* new_edges,
+      ExecutionContext* context = nullptr);
+
+  size_t entry_count() const;
+
+ private:
+  struct PerFd {
+    int relation = -1;  // relation index in the database
+    // (LHS-projection hash, global tuple id), sorted.
+    std::vector<std::pair<uint64_t, TupleId>> entries;
+  };
+
+  std::vector<PerFd> per_fd_;
+};
+
+}  // namespace prefrep
+
+#endif  // PREFREP_CONSTRAINTS_CONFLICT_INDEX_H_

@@ -5,10 +5,7 @@
 
 namespace prefrep {
 
-namespace {
-
-// Hash of the projection of `t` onto attribute positions `attrs`.
-size_t ProjectionHash(const Tuple& t, const std::vector<int>& attrs) {
+size_t FdProjectionHash(const Tuple& t, const std::vector<int>& attrs) {
   Value::Hash vh;
   size_t h = 1469598103934665603ull;
   for (int a : attrs) {
@@ -17,6 +14,8 @@ size_t ProjectionHash(const Tuple& t, const std::vector<int>& attrs) {
   }
   return h;
 }
+
+namespace {
 
 void SortAndDedup(std::vector<ConflictEdge>& edges) {
   std::sort(edges.begin(), edges.end());
@@ -47,7 +46,7 @@ Result<std::vector<ConflictEdge>> FindConflicts(
     // buckets to be safe against hash collisions.
     std::unordered_map<size_t, std::vector<int>> buckets;
     for (int row = 0; row < rel.size(); ++row) {
-      buckets[ProjectionHash(rel.tuple(row), fd.lhs())].push_back(row);
+      buckets[FdProjectionHash(rel.tuple(row), fd.lhs())].push_back(row);
     }
     for (const auto& [hash, rows] : buckets) {
       (void)hash;

@@ -20,6 +20,11 @@ namespace prefrep {
 // An unordered pair of conflicting global tuple ids; first < second.
 using ConflictEdge = std::pair<TupleId, TupleId>;
 
+// Hash of the projection of `t` onto attribute positions `attrs` — the
+// partition key of the hash-based detector, shared with the incremental
+// FD-LHS index (conflict_index.h) so both partition identically.
+size_t FdProjectionHash(const Tuple& t, const std::vector<int>& attrs);
+
 // Finds all conflicting pairs in `db` w.r.t. `fds` (hash-partitioned).
 // Each FD must reference a relation present in `db`. The result is
 // deduplicated (a pair conflicting under several FDs appears once) and

@@ -1,5 +1,6 @@
 #include "graph/components.h"
 
+#include <algorithm>
 #include <utility>
 
 namespace prefrep {
@@ -62,6 +63,106 @@ ComponentDecomposition::ComponentDecomposition(const ConflictGraph& graph)
     component.graph = InducedSubgraph(graph, vertices);
     component.vertices = vertices;
     components_.push_back(std::move(component));
+  }
+}
+
+ComponentDecomposition::ComponentDecomposition(
+    const ConflictGraph& graph, const DecompositionDeltaSeed& seed)
+    : vertex_count_(graph.vertex_count()),
+      isolated_(graph.vertex_count()),
+      component_of_(graph.vertex_count(), -1),
+      local_index_(graph.vertex_count(), -1) {
+  CHECK(seed.parent != nullptr && seed.old_to_new != nullptr);
+  const ComponentDecomposition& parent = *seed.parent;
+  const std::vector<int>& old_to_new = *seed.old_to_new;
+  CHECK_EQ(static_cast<int>(old_to_new.size()), parent.vertex_count());
+
+  // Clean parent components survive intact: every member remapped (the
+  // delta deleted none of them — that would have dirtied the component),
+  // the local subgraph reused. Parent order is by smallest old vertex and
+  // the remap is monotone, so the carried list stays sorted by smallest
+  // new vertex.
+  std::vector<GraphComponent> carried;
+  carried.reserve(parent.components().size());
+  size_t next_dirty = 0;
+  for (size_t c = 0; c < parent.components().size(); ++c) {
+    while (next_dirty < seed.dirty_components.size() &&
+           seed.dirty_components[next_dirty] < static_cast<int>(c)) {
+      ++next_dirty;
+    }
+    if (next_dirty < seed.dirty_components.size() &&
+        seed.dirty_components[next_dirty] == static_cast<int>(c)) {
+      continue;
+    }
+    const GraphComponent& source = parent.components()[c];
+    GraphComponent component;
+    component.vertices.reserve(source.vertices.size());
+    for (int old_vertex : source.vertices) {
+      int new_vertex = old_to_new[old_vertex];
+      DCHECK(new_vertex >= 0) << "clean component lost vertex " << old_vertex;
+      component.vertices.push_back(new_vertex);
+    }
+    component.graph = source.graph;
+    carried.push_back(std::move(component));
+  }
+
+  // Dirty region: plain BFS from the seed vertices over the new graph.
+  // Closure stays inside the dirty region — an edge from a dirty vertex
+  // into a clean component would be a fresh edge, which dirties that
+  // component by the seed's contract.
+  std::vector<GraphComponent> rebuilt;
+  DynamicBitset visited(vertex_count_);
+  std::vector<int> stack;
+  for (int start : seed.dirty_vertices) {
+    if (visited.Test(start)) continue;
+    std::vector<int> vertices;
+    stack.assign(1, start);
+    visited.Set(start);
+    while (!stack.empty()) {
+      int v = stack.back();
+      stack.pop_back();
+      vertices.push_back(v);
+      ForEachSetBit(graph.Neighbors(v), [&](int w) {
+        if (!visited.Test(w)) {
+          visited.Set(w);
+          stack.push_back(w);
+        }
+      });
+    }
+    if (vertices.size() == 1) continue;  // isolated; swept up below
+    std::sort(vertices.begin(), vertices.end());
+    GraphComponent component;
+    component.graph = InducedSubgraph(graph, vertices);
+    component.vertices = std::move(vertices);
+    rebuilt.push_back(std::move(component));
+  }
+  std::sort(rebuilt.begin(), rebuilt.end(),
+            [](const GraphComponent& a, const GraphComponent& b) {
+              return a.vertices.front() < b.vertices.front();
+            });
+
+  // Merge carried and rebuilt by smallest vertex — the global order
+  // ComponentDecomposition(graph) would produce — and index everything.
+  components_.reserve(carried.size() + rebuilt.size());
+  size_t i = 0;
+  size_t j = 0;
+  while (i < carried.size() || j < rebuilt.size()) {
+    bool take_carried =
+        j >= rebuilt.size() ||
+        (i < carried.size() &&
+         carried[i].vertices.front() < rebuilt[j].vertices.front());
+    components_.push_back(take_carried ? std::move(carried[i++])
+                                       : std::move(rebuilt[j++]));
+  }
+  for (size_t c = 0; c < components_.size(); ++c) {
+    const std::vector<int>& vertices = components_[c].vertices;
+    for (size_t k = 0; k < vertices.size(); ++k) {
+      component_of_[vertices[k]] = static_cast<int>(c);
+      local_index_[vertices[k]] = static_cast<int>(k);
+    }
+  }
+  for (int v = 0; v < vertex_count_; ++v) {
+    if (component_of_[v] < 0) isolated_.Set(v);
   }
 }
 

@@ -61,9 +61,38 @@ struct GraphComponent {
   ConflictGraph graph;        // induced subgraph over local ids
 };
 
+class ComponentDecomposition;
+
+// Seed for the incremental decomposition constructor: how a parent
+// decomposition maps onto a derived graph. Built by Snapshot::Derive
+// (server/snapshot.h) from the delta's id remap and fresh conflict edges.
+struct DecompositionDeltaSeed {
+  const ComponentDecomposition* parent = nullptr;
+  // Old id → new id; -1 for deleted ids (DeltaRemap::old_to_new). Must be
+  // monotone on survivors, as delta.h's canonical order guarantees.
+  const std::vector<int>* old_to_new = nullptr;
+  // Parent component indices invalidated by the delta, sorted unique: every
+  // component with a deleted member or with a fresh-edge endpoint.
+  std::vector<int> dirty_components;
+  // NEW-id vertices whose component must be re-solved by BFS, sorted
+  // unique: the surviving members of dirty components plus every endpoint
+  // of a fresh edge. Disjoint from the carried components' vertices (a
+  // fresh edge touching a clean component would have dirtied it).
+  std::vector<int> dirty_vertices;
+};
+
 class ComponentDecomposition {
  public:
   explicit ComponentDecomposition(const ConflictGraph& graph);
+
+  // Incremental form: carries every clean parent component over (vertices
+  // remapped, the local induced subgraph reused as-is — the monotone remap
+  // preserves local structure bit-for-bit) and re-runs BFS only over the
+  // dirty region of `graph`. Produces exactly the same decomposition as
+  // ComponentDecomposition(graph): components ordered by smallest global
+  // vertex, members ascending.
+  ComponentDecomposition(const ConflictGraph& graph,
+                         const DecompositionDeltaSeed& seed);
 
   int vertex_count() const { return vertex_count_; }
 

@@ -4,29 +4,104 @@
 
 namespace prefrep {
 
+std::vector<std::shared_ptr<const DynamicBitset>> ConflictGraph::BuildAdjacency(
+    int vertex_count, const std::vector<std::pair<int, int>>& edges) {
+  std::vector<std::shared_ptr<DynamicBitset>> building;
+  building.reserve(vertex_count);
+  for (int v = 0; v < vertex_count; ++v) {
+    building.push_back(std::make_shared<DynamicBitset>(vertex_count));
+  }
+  for (auto [u, v] : edges) {
+    building[u]->Set(v);
+    building[v]->Set(u);
+  }
+  std::vector<std::shared_ptr<const DynamicBitset>> adjacency(vertex_count);
+  for (int v = 0; v < vertex_count; ++v) adjacency[v] = std::move(building[v]);
+  return adjacency;
+}
+
 ConflictGraph::ConflictGraph(int vertex_count,
                              const std::vector<std::pair<int, int>>& edges)
     : vertex_count_(vertex_count) {
   CHECK_GE(vertex_count, 0);
-  adjacency_.assign(vertex_count, DynamicBitset(vertex_count));
-  edges_.reserve(edges.size());
+  std::vector<std::pair<int, int>> canonical;
+  canonical.reserve(edges.size());
   for (auto [u, v] : edges) {
     CHECK(u >= 0 && u < vertex_count && v >= 0 && v < vertex_count)
         << "edge (" << u << "," << v << ") out of range";
     CHECK_NE(u, v) << "self-loop at vertex " << u;
     if (u > v) std::swap(u, v);
-    edges_.emplace_back(u, v);
+    canonical.emplace_back(u, v);
   }
-  std::sort(edges_.begin(), edges_.end());
-  edges_.erase(std::unique(edges_.begin(), edges_.end()), edges_.end());
-  for (auto [u, v] : edges_) {
-    adjacency_[u].Set(v);
-    adjacency_[v].Set(u);
+  std::sort(canonical.begin(), canonical.end());
+  canonical.erase(std::unique(canonical.begin(), canonical.end()),
+                  canonical.end());
+  adjacency_ = BuildAdjacency(vertex_count, canonical);
+  edges_ = std::make_shared<const std::vector<std::pair<int, int>>>(
+      std::move(canonical));
+}
+
+ConflictGraph ConflictGraph::FromSortedUniqueEdges(
+    int vertex_count, std::vector<std::pair<int, int>> edges) {
+  CHECK_GE(vertex_count, 0);
+  ConflictGraph graph;
+  graph.vertex_count_ = vertex_count;
+  for (size_t i = 0; i < edges.size(); ++i) {
+    auto [u, v] = edges[i];
+    DCHECK(u >= 0 && u < v && v < vertex_count)
+        << "edge (" << u << "," << v << ") not normalized or out of range";
+    DCHECK(i == 0 || edges[i - 1] < edges[i])
+        << "edges not strictly ascending at index " << i;
   }
+  graph.adjacency_ = BuildAdjacency(vertex_count, edges);
+  graph.edges_ = std::make_shared<const std::vector<std::pair<int, int>>>(
+      std::move(edges));
+  return graph;
+}
+
+ConflictGraph ConflictGraph::DeriveFrom(const ConflictGraph& parent,
+                                        int vertex_count,
+                                        std::vector<std::pair<int, int>> edges,
+                                        int identity_limit,
+                                        const DynamicBitset& dirty) {
+  CHECK_GE(vertex_count, 0);
+  CHECK_GE(identity_limit, 0);
+  if (identity_limit > 0) {
+    // Sharing a parent bitset reinterprets it over the new universe, which
+    // is only sound when the universes coincide.
+    CHECK_EQ(vertex_count, parent.vertex_count_);
+    CHECK_EQ(dirty.size(), vertex_count);
+  }
+  ConflictGraph graph;
+  graph.vertex_count_ = vertex_count;
+  graph.adjacency_.resize(vertex_count);
+  // Fresh (still mutable) bitsets for the dirty region; shared rows for the
+  // clean identity region.
+  std::vector<std::shared_ptr<DynamicBitset>> fresh(vertex_count);
+  for (int v = 0; v < vertex_count; ++v) {
+    if (v < identity_limit && !dirty.Test(v)) {
+      graph.adjacency_[v] = parent.adjacency_[v];
+    } else {
+      fresh[v] = std::make_shared<DynamicBitset>(vertex_count);
+      graph.adjacency_[v] = fresh[v];
+    }
+  }
+  for (size_t i = 0; i < edges.size(); ++i) {
+    auto [u, v] = edges[i];
+    DCHECK(u >= 0 && u < v && v < vertex_count)
+        << "edge (" << u << "," << v << ") not normalized or out of range";
+    DCHECK(i == 0 || edges[i - 1] < edges[i])
+        << "edges not strictly ascending at index " << i;
+    if (fresh[u] != nullptr) fresh[u]->Set(v);
+    if (fresh[v] != nullptr) fresh[v]->Set(u);
+  }
+  graph.edges_ = std::make_shared<const std::vector<std::pair<int, int>>>(
+      std::move(edges));
+  return graph;
 }
 
 DynamicBitset ConflictGraph::Vicinity(int v) const {
-  DynamicBitset out = adjacency_[v];
+  DynamicBitset out = *adjacency_[v];
   out.Set(v);
   return out;
 }
@@ -42,14 +117,14 @@ void ConflictGraph::NeighborsOfSetInto(const DynamicBitset& s,
   CHECK_EQ(s.size(), vertex_count_);
   CHECK_EQ(out.size(), vertex_count_);
   out.Clear();
-  ForEachSetBit(s, [&](int v) { out |= adjacency_[v]; });
+  ForEachSetBit(s, [&](int v) { out |= *adjacency_[v]; });
 }
 
 bool ConflictGraph::IsIndependent(const DynamicBitset& s) const {
   CHECK_EQ(s.size(), vertex_count_);
   bool independent = true;
   ForEachSetBit(s, [&](int v) {
-    if (independent && adjacency_[v].Intersects(s)) independent = false;
+    if (independent && adjacency_[v]->Intersects(s)) independent = false;
   });
   return independent;
 }
@@ -73,7 +148,7 @@ std::vector<std::vector<int>> ConflictGraph::ConnectedComponents() const {
       int v = stack.back();
       stack.pop_back();
       component.push_back(v);
-      ForEachSetBit(adjacency_[v], [&](int w) {
+      ForEachSetBit(*adjacency_[v], [&](int w) {
         if (!visited[w]) {
           visited[w] = true;
           stack.push_back(w);

@@ -5,10 +5,20 @@
 // conflict graph. Vertices are global TupleIds; adjacency is stored as one
 // DynamicBitset per vertex so the optimality checks in src/core are
 // word-parallel.
+//
+// Each per-vertex bitset is held through shared_ptr<const DynamicBitset>:
+// once a graph is built its adjacency is immutable, so copying a graph (the
+// component decomposition carries per-component local graphs this way) is a
+// refcount bump per vertex, and DeriveFrom can build a successor graph that
+// shares the untouched rows of its parent's adjacency instead of
+// re-allocating O(V^2/64) bits — the dominant cost of graph construction,
+// and what makes incremental snapshot derivation (server/snapshot.h) beat a
+// full rebuild.
 
 #ifndef PREFREP_GRAPH_CONFLICT_GRAPH_H_
 #define PREFREP_GRAPH_CONFLICT_GRAPH_H_
 
+#include <memory>
 #include <utility>
 #include <vector>
 
@@ -24,18 +34,56 @@ class ConflictGraph {
   // are rejected by CHECK (a tuple never conflicts with itself).
   ConflictGraph(int vertex_count, const std::vector<std::pair<int, int>>& edges);
 
+  // Fast path for callers that already hold the edge list in canonical
+  // form — each pair (min, max), strictly ascending overall (sorted and
+  // deduplicated): skips the normalize/sort/dedup pass of the public
+  // constructor. The incremental snapshot derivation produces its merged
+  // edge list in exactly this form. Canonicality is DCHECK-verified.
+  static ConflictGraph FromSortedUniqueEdges(
+      int vertex_count, std::vector<std::pair<int, int>> edges);
+
+  // Successor-graph constructor for incremental snapshot derivation.
+  // `edges` is the new graph's full edge list in canonical form (as in
+  // FromSortedUniqueEdges). Vertices below `identity_limit` that are NOT in
+  // `dirty` denote the same tuple as in `parent` with a bit-identical
+  // neighborhood; their adjacency bitsets are shared with the parent
+  // (refcount bump, no allocation). Everything else gets a freshly built
+  // bitset from `edges`. Sharing requires equal universes: when
+  // identity_limit > 0, vertex_count must equal parent.vertex_count()
+  // (replace-style deltas; callers pass identity_limit = 0 otherwise and
+  // get a plain fresh build). The caller is responsible for `dirty`
+  // covering every identity vertex whose neighborhood changed — the
+  // randomized suites in tests/incremental_snapshot_test.cc pin the
+  // resulting adjacency against a from-scratch build.
+  static ConflictGraph DeriveFrom(const ConflictGraph& parent,
+                                  int vertex_count,
+                                  std::vector<std::pair<int, int>> edges,
+                                  int identity_limit,
+                                  const DynamicBitset& dirty);
+
   int vertex_count() const { return vertex_count_; }
-  int edge_count() const { return static_cast<int>(edges_.size()); }
+  int edge_count() const {
+    return edges_ == nullptr ? 0 : static_cast<int>(edges_->size());
+  }
   // Deduplicated, each pair normalized to (min, max), sorted.
-  const std::vector<std::pair<int, int>>& edges() const { return edges_; }
+  const std::vector<std::pair<int, int>>& edges() const {
+    static const std::vector<std::pair<int, int>> kEmpty;
+    return edges_ == nullptr ? kEmpty : *edges_;
+  }
 
   // n(t): all tuples conflicting with t.
-  const DynamicBitset& Neighbors(int v) const { return adjacency_[v]; }
+  const DynamicBitset& Neighbors(int v) const { return *adjacency_[v]; }
   // v(t) = {t} ∪ n(t).
   DynamicBitset Vicinity(int v) const;
-  int Degree(int v) const { return adjacency_[v].Count(); }
+  int Degree(int v) const { return adjacency_[v]->Count(); }
   bool HasEdge(int u, int v) const {
-    return u != v && adjacency_[u].Test(v);
+    return u != v && adjacency_[u]->Test(v);
+  }
+
+  // True iff vertex v's adjacency bitset is the same heap object in both
+  // graphs (diagnostics and tests for DeriveFrom's structural sharing).
+  bool SharesAdjacencyWith(const ConflictGraph& other, int v) const {
+    return adjacency_[v] == other.adjacency_[v];
   }
 
   // Union of n(t) over all t in `s`.
@@ -54,9 +102,15 @@ class ConflictGraph {
   std::vector<std::vector<int>> ConnectedComponents() const;
 
  private:
+  static std::vector<std::shared_ptr<const DynamicBitset>> BuildAdjacency(
+      int vertex_count, const std::vector<std::pair<int, int>>& edges);
+
   int vertex_count_ = 0;
-  std::vector<std::pair<int, int>> edges_;
-  std::vector<DynamicBitset> adjacency_;
+  // Both the edge list and the per-vertex bitsets are immutable after
+  // construction and shared with copies (a graph copy is refcount bumps —
+  // the decomposition carries per-component local graphs by copy).
+  std::shared_ptr<const std::vector<std::pair<int, int>>> edges_;
+  std::vector<std::shared_ptr<const DynamicBitset>> adjacency_;
 };
 
 }  // namespace prefrep

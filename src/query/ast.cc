@@ -1,5 +1,7 @@
 #include "query/ast.h"
 
+#include <algorithm>
+
 #include "base/logging.h"
 
 namespace prefrep {
@@ -422,6 +424,25 @@ std::string Query::ToString() const {
     }
   }
   return "?";
+}
+
+namespace {
+
+void CollectRelations(const Query& query, std::vector<std::string>* out) {
+  if (query.kind == QueryKind::kAtom) out->push_back(query.relation);
+  for (const std::unique_ptr<Query>& child : query.children) {
+    CollectRelations(*child, out);
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> ReferencedRelations(const Query& query) {
+  std::vector<std::string> out;
+  CollectRelations(query, &out);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
 }
 
 }  // namespace prefrep

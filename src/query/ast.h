@@ -113,6 +113,13 @@ struct Query {
   std::string ToString() const;
 };
 
+// Names of all relations referenced by atoms anywhere in `query`, sorted
+// and deduplicated. The session result cache (server/session.h) uses this
+// as the relation part of an entry's invalidation footprint: a cached
+// verdict/answer set can only change when one of these relations (or the
+// quantifier domain) changes.
+std::vector<std::string> ReferencedRelations(const Query& query);
+
 // Structural classification of a query, one field per Figure 5 column
 // the CQA planner (cqa/planner.h) routes on. Computed in a single pass;
 // the individual predicates above stay as the reference definitions

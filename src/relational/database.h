@@ -87,6 +87,11 @@ class Database {
   std::string ToString() const;
 
  private:
+  // DatabaseDelta::Apply (delta.h) assembles a successor database directly
+  // from these internals so untouched relations share storage with the
+  // base instead of being re-inserted tuple by tuple.
+  friend class DatabaseDelta;
+
   struct Location {
     int relation;
     int row;

@@ -1,0 +1,226 @@
+#include "relational/delta.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace prefrep {
+
+DatabaseDelta::DatabaseDelta(const Database* base)
+    : base_(base), deleted_(base->tuple_count()) {
+  CHECK(base != nullptr);
+}
+
+Status DatabaseDelta::Insert(std::string_view relation_name, Tuple tuple,
+                             TupleMeta meta) {
+  PREFREP_ASSIGN_OR_RETURN(int rel, base_->RelationIndex(relation_name));
+  const Relation& relation = base_->relations()[rel];
+  PREFREP_RETURN_IF_ERROR(ValidateTuple(relation.schema(), tuple));
+  // Duplicate against the post-delta state: a surviving base tuple or an
+  // earlier pending insert. A base tuple already staged for deletion does
+  // not block re-insertion.
+  Result<int> row = relation.Find(tuple);
+  if (row.ok() && !deleted_.Test(base_->GlobalId(rel, *row))) {
+    return Status::AlreadyExists("duplicate tuple " + tuple.ToString() +
+                                 " in relation '" +
+                                 relation.schema().relation_name() + "'");
+  }
+  auto& pending = pending_by_relation_[rel];
+  if (pending.contains(tuple)) {
+    return Status::AlreadyExists("tuple " + tuple.ToString() +
+                                 " already staged for insert into '" +
+                                 relation.schema().relation_name() + "'");
+  }
+  pending.insert(tuple);
+  inserts_.push_back(PendingInsert{rel, std::move(tuple), meta});
+  return Status::Ok();
+}
+
+Status DatabaseDelta::Delete(TupleId id) {
+  if (id < 0 || id >= base_->tuple_count()) {
+    return Status::InvalidArgument("tuple id " + std::to_string(id) +
+                                   " out of range [0, " +
+                                   std::to_string(base_->tuple_count()) + ")");
+  }
+  if (deleted_.Test(id)) {
+    return Status::AlreadyExists("tuple id " + std::to_string(id) +
+                                 " already staged for deletion");
+  }
+  deleted_.Set(id);
+  deletes_.insert(std::lower_bound(deletes_.begin(), deletes_.end(), id), id);
+  return Status::Ok();
+}
+
+Status DatabaseDelta::Delete(std::string_view relation_name,
+                             const Tuple& tuple) {
+  PREFREP_ASSIGN_OR_RETURN(TupleId id, base_->FindTuple(relation_name, tuple));
+  return Delete(id);
+}
+
+std::vector<int> DatabaseDelta::TouchedRelations() const {
+  std::vector<bool> touched(base_->relation_count(), false);
+  for (const PendingInsert& insert : inserts_) touched[insert.relation] = true;
+  for (TupleId id : deletes_) touched[base_->RelationIndexOf(id)] = true;
+  std::vector<int> out;
+  for (int rel = 0; rel < base_->relation_count(); ++rel) {
+    if (touched[rel]) out.push_back(rel);
+  }
+  return out;
+}
+
+void DatabaseDelta::FillRemap(DeltaRemap* remap) const {
+  remap->old_tuple_count = base_->tuple_count();
+  remap->new_tuple_count =
+      base_->tuple_count() - delete_count() + insert_count();
+  remap->first_shifted =
+      deletes_.empty() ? base_->tuple_count() : deletes_.front();
+  remap->old_to_new.assign(base_->tuple_count(), -1);
+  TupleId next = 0;
+  for (TupleId id = 0; id < base_->tuple_count(); ++id) {
+    if (!deleted_.Test(id)) remap->old_to_new[id] = next++;
+  }
+  remap->inserted_ids.clear();
+  remap->inserted_ids.reserve(inserts_.size());
+  for (size_t i = 0; i < inserts_.size(); ++i) {
+    remap->inserted_ids.push_back(next++);
+  }
+  CHECK_EQ(next, remap->new_tuple_count);
+}
+
+Result<Database> DatabaseDelta::Apply(DeltaRemap* remap,
+                                      ExecutionContext* context) const {
+  const int old_count = base_->tuple_count();
+  const int rel_count = base_->relation_count();
+  std::vector<bool> touched(rel_count, false);
+  std::vector<bool> has_deletes(rel_count, false);
+  for (const PendingInsert& insert : inserts_) touched[insert.relation] = true;
+  for (TupleId id : deletes_) {
+    touched[base_->RelationIndexOf(id)] = true;
+    has_deletes[base_->RelationIndexOf(id)] = true;
+  }
+
+  Database out;
+  out.relation_index_ = base_->relation_index_;
+  out.relations_.reserve(rel_count);
+  for (int rel = 0; rel < rel_count; ++rel) {
+    if (!has_deletes[rel]) {
+      // Share storage with the base (copy-on-write Relation); relations
+      // with pending inserts clone lazily on the first AddTuple below.
+      out.relations_.push_back(base_->relations_[rel]);
+    } else {
+      // Rebuild survivors in row order (== ascending global id).
+      Relation rebuilt(base_->relations_[rel].schema());
+      const Relation& source = base_->relations_[rel];
+      for (int row = 0; row < source.size(); ++row) {
+        if ((row & 1023) == 0 && context != nullptr && context->ShouldStop()) {
+          return context->status();
+        }
+        if (deleted_.Test(base_->GlobalId(rel, row))) continue;
+        Result<int> added = rebuilt.AddTuple(source.tuple(row),
+                                             source.meta(row));
+        CHECK(added.ok()) << added.status().ToString();
+      }
+      out.relations_.push_back(std::move(rebuilt));
+    }
+  }
+
+  // Global id space: survivors in old global order, then inserts in delta
+  // order (the canonical order documented in the header).
+  out.relation_global_ids_.assign(rel_count, {});
+  out.locations_.reserve(old_count - delete_count() + insert_count());
+  std::vector<int> next_row(rel_count, 0);
+  for (TupleId id = 0; id < old_count; ++id) {
+    if ((id & 4095) == 0 && context != nullptr && context->ShouldStop()) {
+      return context->status();
+    }
+    if (deleted_.Test(id)) continue;
+    int rel = base_->RelationIndexOf(id);
+    TupleId new_id = static_cast<TupleId>(out.locations_.size());
+    out.locations_.push_back(Database::Location{rel, next_row[rel]++});
+    out.relation_global_ids_[rel].push_back(new_id);
+  }
+  for (const PendingInsert& insert : inserts_) {
+    if (context != nullptr && context->ShouldStop()) return context->status();
+    Result<int> row = out.relations_[insert.relation].AddTuple(insert.tuple,
+                                                               insert.meta);
+    if (!row.ok()) return row.status();
+    CHECK_EQ(*row, next_row[insert.relation]);
+    ++next_row[insert.relation];
+    TupleId new_id = static_cast<TupleId>(out.locations_.size());
+    out.locations_.push_back(Database::Location{insert.relation, *row});
+    out.relation_global_ids_[insert.relation].push_back(new_id);
+  }
+  if (remap != nullptr) FillRemap(remap);
+  return out;
+}
+
+Result<Database> DatabaseDelta::ApplyNaive(DeltaRemap* remap) const {
+  Database out;
+  for (const Relation& rel : base_->relations()) {
+    PREFREP_RETURN_IF_ERROR(out.AddRelation(rel.schema()));
+  }
+  for (TupleId id = 0; id < base_->tuple_count(); ++id) {
+    if (deleted_.Test(id)) continue;
+    const Relation& rel = base_->relations()[base_->RelationIndexOf(id)];
+    PREFREP_RETURN_IF_ERROR(
+        out.Insert(rel.schema().relation_name(), base_->TupleOf(id),
+                   base_->MetaOf(id))
+            .status());
+  }
+  for (const PendingInsert& insert : inserts_) {
+    const Relation& rel = base_->relations()[insert.relation];
+    PREFREP_RETURN_IF_ERROR(
+        out.Insert(rel.schema().relation_name(), insert.tuple, insert.meta)
+            .status());
+  }
+  if (remap != nullptr) FillRemap(remap);
+  return out;
+}
+
+std::string DatabaseDelta::Describe() const {
+  return "delta: +" + std::to_string(insert_count()) + "/-" +
+         std::to_string(delete_count()) + " tuples over " +
+         std::to_string(TouchedRelations().size()) + " relations";
+}
+
+ValueCensus ValueCensus::Of(const Database& db) {
+  ValueCensus census;
+  for (TupleId id = 0; id < db.tuple_count(); ++id) {
+    const Tuple& tuple = db.TupleOf(id);
+    for (int i = 0; i < tuple.arity(); ++i) ++census.counts_[tuple.value(i)];
+  }
+  return census;
+}
+
+bool ValueCensus::Apply(const DatabaseDelta& delta) {
+  // Net count change per value first: a delete of a value's last occurrence
+  // paired with an insert of the same value leaves the domain unchanged.
+  std::unordered_map<Value, int64_t, Value::Hash> change;
+  for (TupleId id : delta.deletes()) {
+    const Tuple& tuple = delta.base().TupleOf(id);
+    for (int i = 0; i < tuple.arity(); ++i) --change[tuple.value(i)];
+  }
+  for (const DatabaseDelta::PendingInsert& insert : delta.inserts()) {
+    for (int i = 0; i < insert.tuple.arity(); ++i) {
+      ++change[insert.tuple.value(i)];
+    }
+  }
+  bool preserved = true;
+  for (const auto& [value, diff] : change) {
+    if (diff == 0) continue;
+    auto it = counts_.find(value);
+    int64_t before = it == counts_.end() ? 0 : it->second;
+    int64_t after = before + diff;
+    CHECK_GE(after, 0);
+    if ((before > 0) != (after > 0)) preserved = false;
+    if (after == 0) {
+      if (it != counts_.end()) counts_.erase(it);
+    } else if (it == counts_.end()) {
+      counts_.emplace(value, after);
+    } else {
+      it->second = after;
+    }
+  }
+  return preserved;
+}
+
+}  // namespace prefrep

@@ -1,0 +1,146 @@
+// DatabaseDelta: a batched set of inserts and deletes against one base
+// Database version, validated eagerly, applied as a whole.
+//
+// A delta is the unit of update for the incremental-maintenance path
+// (server/snapshot.h's Snapshot::Derive): instead of mutating a database
+// in place — impossible under the MVCC contract, snapshots are immutable —
+// callers stage changes against a base version and Apply() produces the
+// successor version. Values inside staged tuples go through the same
+// SymbolTable interning as any other Value (value.h), so tuples staged in
+// a delta compare and hash exactly like resident ones.
+//
+// Canonical post-delta tuple-id order (what Apply produces, what every
+// equivalence test pins, and what Snapshot::Derive's remap reasoning
+// relies on): surviving base tuples keep their relative global-id order
+// and are renumbered densely from 0, then pending inserts follow in delta
+// order. The old→new id map is therefore monotone, and every id below
+// `DeltaRemap::first_shifted` maps to itself — the "identity region" that
+// lets derived sessions keep cache entries keyed by tuple ids.
+//
+// Validation happens at staging time, against base ∪ delta state:
+//   - Insert: relation must exist, the tuple must match its schema, and it
+//     must not duplicate a surviving base tuple or an earlier pending
+//     insert. Deleting a base tuple first and re-inserting the same values
+//     is allowed (the reborn tuple gets a fresh id at the end).
+//   - Delete: the id must be in range and not already deleted. Pending
+//     inserts have no id yet and cannot be deleted.
+
+#ifndef PREFREP_RELATIONAL_DELTA_H_
+#define PREFREP_RELATIONAL_DELTA_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "base/bitset.h"
+#include "base/exec_context.h"
+#include "base/status.h"
+#include "relational/database.h"
+
+namespace prefrep {
+
+// How the delta moved the global tuple-id space, old version → new.
+struct DeltaRemap {
+  // Size old_tuple_count; -1 for deleted ids, else the new id. Monotone on
+  // survivors (survivors keep their relative order).
+  std::vector<TupleId> old_to_new;
+  // New ids of the delta's pending inserts, in delta order. Always at the
+  // top of the new id space (>= survivor count).
+  std::vector<TupleId> inserted_ids;
+  // Smallest old id whose mapping is not the identity (the first deleted
+  // id); every id below it denotes the same tuple in both versions. Equals
+  // old_tuple_count when nothing was deleted.
+  TupleId first_shifted = 0;
+  int old_tuple_count = 0;
+  int new_tuple_count = 0;
+
+  bool IdentityOn(TupleId old_id) const { return old_id < first_shifted; }
+};
+
+class DatabaseDelta {
+ public:
+  // Borrows `base`; it must outlive the delta and stay unmodified.
+  explicit DatabaseDelta(const Database* base);
+
+  const Database& base() const { return *base_; }
+
+  // Stages an insert (validated now, applied later).
+  Status Insert(std::string_view relation_name, Tuple tuple,
+                TupleMeta meta = TupleMeta{});
+  // Stages a delete by global tuple id.
+  Status Delete(TupleId id);
+  // Stages a delete by value (resolved through the base's tuple index).
+  Status Delete(std::string_view relation_name, const Tuple& tuple);
+
+  bool empty() const { return inserts_.empty() && deletes_.empty(); }
+  int insert_count() const { return static_cast<int>(inserts_.size()); }
+  int delete_count() const { return static_cast<int>(deletes_.size()); }
+
+  struct PendingInsert {
+    int relation = 0;  // index into base().relations()
+    Tuple tuple;
+    TupleMeta meta;
+  };
+  const std::vector<PendingInsert>& inserts() const { return inserts_; }
+  // Deleted base ids, ascending.
+  const std::vector<TupleId>& deletes() const { return deletes_; }
+  bool IsDeleted(TupleId id) const { return deleted_.Test(id); }
+
+  // Indices of relations with at least one staged insert or delete, sorted.
+  std::vector<int> TouchedRelations() const;
+
+  // Builds the post-delta database in the canonical order documented
+  // above. Fast path: untouched relations share storage with the base
+  // (relation.h's copy-on-write), touched ones are rebuilt. `remap`
+  // (optional) receives the id translation; `context` (optional) is polled
+  // so large applies are cancellable — on interrupt the context's status
+  // (kCancelled / kDeadlineExceeded) is returned and no partial database
+  // escapes.
+  Result<Database> Apply(DeltaRemap* remap = nullptr,
+                         ExecutionContext* context = nullptr) const;
+
+  // Reference implementation of the same semantics through the public
+  // Database API only (re-insert everything). The differential tests pin
+  // Apply() against this.
+  Result<Database> ApplyNaive(DeltaRemap* remap = nullptr) const;
+
+  // One line, e.g. "delta: +3/-2 tuples over 2 relations".
+  std::string Describe() const;
+
+ private:
+  void FillRemap(DeltaRemap* remap) const;
+
+  const Database* base_;
+  std::vector<PendingInsert> inserts_;
+  std::vector<TupleId> deletes_;  // sorted ascending
+  DynamicBitset deleted_;         // over base tuple ids
+  // Pending-insert tuples per relation, for duplicate staging checks.
+  std::unordered_map<int, std::unordered_set<Tuple, Tuple::Hash>>
+      pending_by_relation_;
+};
+
+// Occurrence counts of every Value in a database — the active domain with
+// multiplicities. PreparedQuery quantifier domains are drawn from the
+// active domain of the WHOLE database, so a derived snapshot can only
+// reuse parent-compiled artifacts when the domain is unchanged; the census
+// makes that check O(delta) instead of O(database).
+class ValueCensus {
+ public:
+  static ValueCensus Of(const Database& db);
+
+  // Folds the delta's value-count changes in. Returns true iff the SET of
+  // distinct values (the active domain) is unchanged — every value removed
+  // for the last time or introduced for the first time returns false.
+  bool Apply(const DatabaseDelta& delta);
+
+  size_t distinct_values() const { return counts_.size(); }
+
+ private:
+  std::unordered_map<Value, int64_t, Value::Hash> counts_;
+};
+
+}  // namespace prefrep
+
+#endif  // PREFREP_RELATIONAL_DELTA_H_

@@ -2,33 +2,38 @@
 
 namespace prefrep {
 
+Relation::Rep* Relation::Mutable() {
+  if (rep_.use_count() != 1) rep_ = std::make_shared<Rep>(*rep_);
+  return rep_.get();
+}
+
 Result<int> Relation::AddTuple(Tuple tuple, TupleMeta meta) {
-  PREFREP_RETURN_IF_ERROR(ValidateTuple(schema_, tuple));
-  if (index_.contains(tuple)) {
+  PREFREP_RETURN_IF_ERROR(ValidateTuple(rep_->schema, tuple));
+  if (rep_->index.contains(tuple)) {
     return Status::AlreadyExists("duplicate tuple " + tuple.ToString() +
-                                 " in relation '" + schema_.relation_name() +
-                                 "'");
+                                 " in relation '" +
+                                 rep_->schema.relation_name() + "'");
   }
-  int row = static_cast<int>(tuples_.size());
-  index_.emplace(tuple, row);
-  tuples_.push_back(std::move(tuple));
-  meta_.push_back(meta);
+  Rep* rep = Mutable();
+  int row = static_cast<int>(rep->tuples.size());
+  rep->index.emplace(tuple, row);
+  rep->tuples.push_back(std::move(tuple));
+  rep->meta.push_back(meta);
   return row;
 }
 
 Result<int> Relation::Find(const Tuple& tuple) const {
-  auto it = index_.find(tuple);
-  if (it == index_.end()) {
-    return Status::NotFound("tuple " + tuple.ToString() +
-                            " not in relation '" + schema_.relation_name() +
-                            "'");
+  auto it = rep_->index.find(tuple);
+  if (it == rep_->index.end()) {
+    return Status::NotFound("tuple " + tuple.ToString() + " not in relation '" +
+                            rep_->schema.relation_name() + "'");
   }
   return it->second;
 }
 
 std::string Relation::ToString() const {
-  std::string out = schema_.ToString() + " {\n";
-  for (const Tuple& t : tuples_) {
+  std::string out = rep_->schema.ToString() + " {\n";
+  for (const Tuple& t : rep_->tuples) {
     out += "  " + t.ToString() + "\n";
   }
   out += "}";

@@ -2,10 +2,20 @@
 //
 // Tuples are stored in insertion order; their index is their local id.
 // Duplicate tuples are rejected (the paper works with set semantics).
+//
+// Storage is copy-on-write: copying a Relation shares one immutable
+// representation (schema, tuples, metadata, hash index) and the first
+// mutation through a copy clones it. This is what makes Database copies —
+// and in particular ApplyDelta's derived databases (delta.h) — cheap:
+// untouched relations are shared structurally between versions instead of
+// being deep-copied. Readers holding `const Relation&` never observe a
+// representation change; mutation is only reachable through non-const
+// AddTuple.
 
 #ifndef PREFREP_RELATIONAL_RELATION_H_
 #define PREFREP_RELATIONAL_RELATION_H_
 
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -18,14 +28,16 @@ namespace prefrep {
 
 class Relation {
  public:
-  Relation() = default;
-  explicit Relation(Schema schema) : schema_(std::move(schema)) {}
+  Relation() : rep_(std::make_shared<Rep>()) {}
+  explicit Relation(Schema schema) : rep_(std::make_shared<Rep>()) {
+    rep_->schema = std::move(schema);
+  }
 
-  const Schema& schema() const { return schema_; }
-  int size() const { return static_cast<int>(tuples_.size()); }
-  const Tuple& tuple(int i) const { return tuples_[i]; }
-  const TupleMeta& meta(int i) const { return meta_[i]; }
-  const std::vector<Tuple>& tuples() const { return tuples_; }
+  const Schema& schema() const { return rep_->schema; }
+  int size() const { return static_cast<int>(rep_->tuples.size()); }
+  const Tuple& tuple(int i) const { return rep_->tuples[i]; }
+  const TupleMeta& meta(int i) const { return rep_->meta[i]; }
+  const std::vector<Tuple>& tuples() const { return rep_->tuples; }
 
   // Validates against the schema and rejects exact duplicates.
   // Returns the local row index.
@@ -35,14 +47,28 @@ class Relation {
   Result<int> Find(const Tuple& tuple) const;
   bool Contains(const Tuple& tuple) const { return Find(tuple).ok(); }
 
+  // True iff both relations point at the same underlying storage (they are
+  // copies of one another with no intervening mutation). Structural-sharing
+  // diagnostics and tests; value equality is not implied the other way.
+  bool SharesStorageWith(const Relation& other) const {
+    return rep_ == other.rep_;
+  }
+
   // Multi-line textual dump (for examples / debugging).
   std::string ToString() const;
 
  private:
-  Schema schema_;
-  std::vector<Tuple> tuples_;
-  std::vector<TupleMeta> meta_;
-  std::unordered_map<Tuple, int, Tuple::Hash> index_;
+  struct Rep {
+    Schema schema;
+    std::vector<Tuple> tuples;
+    std::vector<TupleMeta> meta;
+    std::unordered_map<Tuple, int, Tuple::Hash> index;
+  };
+
+  // Clones the representation if it is shared with another Relation.
+  Rep* Mutable();
+
+  std::shared_ptr<Rep> rep_;  // never null
 };
 
 }  // namespace prefrep

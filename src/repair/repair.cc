@@ -14,4 +14,16 @@ Result<RepairProblem> RepairProblem::Create(
   return problem;
 }
 
+RepairProblem RepairProblem::FromPrecomputedGraph(
+    const Database* db, std::vector<FunctionalDependency> fds,
+    ConflictGraph graph) {
+  CHECK(db != nullptr);
+  CHECK_EQ(graph.vertex_count(), db->tuple_count());
+  RepairProblem problem;
+  problem.db_ = db;
+  problem.fds_ = std::move(fds);
+  problem.graph_ = std::move(graph);
+  return problem;
+}
+
 }  // namespace prefrep

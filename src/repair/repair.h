@@ -26,6 +26,15 @@ class RepairProblem {
   static Result<RepairProblem> Create(const Database* db,
                                       std::vector<FunctionalDependency> fds);
 
+  // Adopts an already-computed conflict graph instead of re-running
+  // detection — the incremental snapshot derivation (server/snapshot.h)
+  // maintains the graph under deltas and hands it over here. The caller
+  // guarantees `graph` IS the conflict graph of (db, fds); nothing is
+  // re-verified.
+  static RepairProblem FromPrecomputedGraph(const Database* db,
+                                            std::vector<FunctionalDependency> fds,
+                                            ConflictGraph graph);
+
   const Database& db() const { return *db_; }
   const std::vector<FunctionalDependency>& fds() const { return fds_; }
   const ConflictGraph& graph() const { return graph_; }

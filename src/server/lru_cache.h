@@ -1,0 +1,99 @@
+// LruCache: a string-keyed map with least-recently-used eviction.
+//
+// Backs the three Session caches (session.h). Eviction order matters
+// there: the caches used to evict an arbitrary entry at capacity, which
+// under steady mixed workloads could evict the hottest query; LRU keeps
+// the working set resident (first scale-out rung of ROADMAP's server
+// track). Get() counts as a use; Put() of an existing key updates the
+// value and counts as a use; eviction removes the least recently used
+// entry once size exceeds capacity (capacity 0 = unbounded).
+//
+// Not internally synchronized — the Session guards each cache with its
+// cache mutex, and evaluation never holds it across a computation.
+
+#ifndef PREFREP_SERVER_LRU_CACHE_H_
+#define PREFREP_SERVER_LRU_CACHE_H_
+
+#include <cstddef>
+#include <list>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+
+namespace prefrep {
+
+template <typename Value>
+class LruCache {
+ public:
+  explicit LruCache(size_t capacity = 0) : capacity_(capacity) {}
+
+  // The value for `key`, marked most-recently-used; nullptr on miss. The
+  // pointer stays valid until the next mutating call.
+  Value* Get(const std::string& key) {
+    auto it = map_.find(std::string_view(key));
+    if (it == map_.end()) return nullptr;
+    entries_.splice(entries_.end(), entries_, it->second);
+    return &it->second->second;
+  }
+
+  // Read-only lookup that does NOT touch recency (diagnostics/tests).
+  const Value* Peek(const std::string& key) const {
+    auto it = map_.find(std::string_view(key));
+    return it == map_.end() ? nullptr : &it->second->second;
+  }
+
+  // Inserts or overwrites, marks most-recently-used, then evicts from the
+  // LRU end while over capacity.
+  void Put(const std::string& key, Value value) {
+    auto it = map_.find(std::string_view(key));
+    if (it != map_.end()) {
+      it->second->second = std::move(value);
+      entries_.splice(entries_.end(), entries_, it->second);
+      return;
+    }
+    entries_.emplace_back(key, std::move(value));
+    auto node = std::prev(entries_.end());
+    map_.emplace(std::string_view(node->first), node);
+    while (capacity_ > 0 && entries_.size() > capacity_) {
+      map_.erase(std::string_view(entries_.front().first));
+      entries_.pop_front();
+      ++evictions_;
+    }
+  }
+
+  bool Contains(const std::string& key) const {
+    return map_.contains(std::string_view(key));
+  }
+
+  size_t size() const { return entries_.size(); }
+  size_t capacity() const { return capacity_; }
+  size_t evictions() const { return evictions_; }
+
+  void Clear() {
+    map_.clear();
+    entries_.clear();
+  }
+
+  // Visits entries from least to most recently used (fn(key, value));
+  // seeding a derived session in this order preserves relative recency.
+  template <typename Fn>
+  void ForEachLruToMru(Fn&& fn) const {
+    for (const auto& [key, value] : entries_) fn(key, value);
+  }
+
+ private:
+  using Entry = std::pair<std::string, Value>;
+
+  size_t capacity_;
+  size_t evictions_ = 0;
+  // Front = least recently used. string_view keys point into the list
+  // nodes, whose strings are stable across splice/push/pop.
+  std::list<Entry> entries_;
+  std::unordered_map<std::string_view, typename std::list<Entry>::iterator>
+      map_;
+};
+
+}  // namespace prefrep
+
+#endif  // PREFREP_SERVER_LRU_CACHE_H_

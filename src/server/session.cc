@@ -1,5 +1,6 @@
 #include "server/session.h"
 
+#include <algorithm>
 #include <utility>
 
 namespace prefrep {
@@ -59,27 +60,67 @@ std::string PlanKey(CqaRequest kind, RepairFamily family, bool priority_empty,
   return key;
 }
 
-template <typename Map>
-void EvictIfFull(Map* map, size_t cap) {
-  if (cap > 0 && map->size() >= cap) map->erase(map->begin());
+// Intersects two sorted int vectors (true iff nonempty intersection).
+bool SortedIntersect(const std::vector<int>& a, const std::vector<int>& b) {
+  size_t i = 0;
+  size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      return true;
+    }
+  }
+  return false;
 }
 
 }  // namespace
 
 std::string SessionCacheStats::ToString() const {
-  return "prepared " + std::to_string(prepared_hits) + "/" +
-         std::to_string(prepared_misses) + ", plan " +
-         std::to_string(plan_hits) + "/" + std::to_string(plan_misses) +
-         ", result " + std::to_string(result_hits) + "/" +
-         std::to_string(result_misses) + " (hits/misses)";
+  std::string out = "prepared " + std::to_string(prepared_hits) + "/" +
+                    std::to_string(prepared_misses) + ", plan " +
+                    std::to_string(plan_hits) + "/" +
+                    std::to_string(plan_misses) + ", result " +
+                    std::to_string(result_hits) + "/" +
+                    std::to_string(result_misses) + " (hits/misses)";
+  if (seeded_plans > 0 || seeded_results > 0 || seed_dropped > 0) {
+    out += "; seeded plan " + std::to_string(seeded_plans) + ", result " +
+           std::to_string(seeded_results) + ", dropped " +
+           std::to_string(seed_dropped);
+  }
+  return out;
 }
 
 Session::Session(std::shared_ptr<const Snapshot> snapshot,
                  SessionOptions options)
     : snapshot_(std::move(snapshot)),
       options_(options),
+      prepared_cache_(options.max_cache_entries),
+      plan_cache_(options.max_cache_entries),
+      result_cache_(options.max_cache_entries),
       paused_(options.start_paused) {
+  const Database& db = snapshot_->db();
+  const ComponentDecomposition& decomposition = snapshot_->decomposition();
+  relation_components_.assign(db.relation_count(), {});
+  for (TupleId id = 0; id < db.tuple_count(); ++id) {
+    int component = decomposition.ComponentOf(id);
+    if (component < 0) continue;
+    std::vector<int>& row = relation_components_[db.RelationIndexOf(id)];
+    if (row.empty() || row.back() != component) row.push_back(component);
+  }
+  for (std::vector<int>& row : relation_components_) {
+    std::sort(row.begin(), row.end());
+    row.erase(std::unique(row.begin(), row.end()), row.end());
+  }
   dispatcher_ = std::thread([this] { DispatchLoop(); });
+}
+
+Session::Session(std::shared_ptr<const Snapshot> snapshot,
+                 const Session& parent, SessionOptions options)
+    : Session(std::move(snapshot), options) {
+  SeedFromParent(parent);
 }
 
 Session::~Session() {
@@ -110,25 +151,125 @@ Session::~Session() {
 
 // ---- caches ---------------------------------------------------------------
 
+std::vector<int> Session::ComponentsForRelations(
+    const std::vector<int>& relations) const {
+  std::vector<int> out;
+  for (int relation : relations) {
+    const std::vector<int>& row = relation_components_[relation];
+    out.insert(out.end(), row.begin(), row.end());
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+Session::ResultFootprint Session::FootprintFor(const Query& query,
+                                               const Priority& priority) const {
+  ResultFootprint footprint;
+  for (const std::string& name : ReferencedRelations(query)) {
+    Result<int> relation = snapshot_->db().RelationIndex(name);
+    // A relation absent from the database stays absent in every derived
+    // version (deltas cannot add relations), so it never invalidates.
+    if (relation.ok()) footprint.relations.push_back(*relation);
+  }
+  std::sort(footprint.relations.begin(), footprint.relations.end());
+  footprint.components = ComponentsForRelations(footprint.relations);
+  for (const auto& [x, y] : priority.arcs()) {
+    footprint.max_tuple_id = std::max(footprint.max_tuple_id, std::max(x, y));
+  }
+  return footprint;
+}
+
+void Session::SeedFromParent(const Session& parent) {
+  const SnapshotDeltaInfo* info = snapshot_->delta_info();
+  CHECK(info != nullptr)
+      << "derived-session constructor needs a snapshot from Snapshot::Derive";
+  CHECK_EQ(info->parent_id, parent.snapshot().id())
+      << "snapshot was not derived from the parent session's snapshot";
+
+  // Relation stability in the new version: untouched by the delta AND all
+  // ids below first_shifted_id (so global ids — mask bits, priority arcs —
+  // denote the same tuples).
+  const Database& db = snapshot_->db();
+  std::vector<bool> stable(db.relation_count(), true);
+  for (int relation : info->touched_relations) stable[relation] = false;
+  for (int relation = 0; relation < db.relation_count(); ++relation) {
+    if (!stable[relation]) continue;
+    int size = db.relations()[relation].size();
+    // Ids are appended per relation in insertion order: the last row holds
+    // the relation's largest global id.
+    if (size > 0 && db.GlobalId(relation, size - 1) >= info->first_shifted_id) {
+      stable[relation] = false;
+    }
+  }
+  // The planner reads exactly one instance property: conflict-freeness.
+  // Plans transfer iff it is unchanged.
+  const bool plans_transfer =
+      (parent.snapshot().graph().edge_count() == 0) ==
+      (snapshot_->graph().edge_count() == 0);
+
+  std::scoped_lock lock(cache_mu_, parent.cache_mu_);
+  if (plans_transfer) {
+    parent.plan_cache_.ForEachLruToMru(
+        [&](const std::string& key, const CqaPlan& plan) {
+          plan_cache_.Put(key, plan);
+          ++stats_.seeded_plans;
+        });
+  } else {
+    stats_.seed_dropped += parent.plan_cache_.size();
+  }
+  parent.result_cache_.ForEachLruToMru([&](const std::string& key,
+                                           const CachedResult& entry) {
+    const ResultFootprint& footprint = entry.footprint;
+    bool survives = info->domain_preserved &&
+                    footprint.max_tuple_id < info->first_shifted_id &&
+                    !SortedIntersect(footprint.components,
+                                     info->dirty_parent_components);
+    if (survives) {
+      for (int relation : footprint.relations) {
+        if (!stable[relation]) {
+          survives = false;
+          break;
+        }
+      }
+    }
+    if (!survives) {
+      ++stats_.seed_dropped;
+      return;
+    }
+    CachedResult seeded = entry;
+    // Re-express the component footprint in the new decomposition's ids.
+    seeded.footprint.components =
+        ComponentsForRelations(seeded.footprint.relations);
+    result_cache_.Put(key, std::move(seeded));
+    ++stats_.seeded_results;
+  });
+  // Prepared masters are intentionally not seeded: they are compiled
+  // against the parent database's tuple universe (mask sizing, quantifier
+  // domains, row->id maps) and recompile lazily on first use instead.
+}
+
 Result<std::shared_ptr<const PreparedQuery>> Session::PreparedFor(
     const std::string& query_text, const Query& query) {
   {
     std::lock_guard<std::mutex> lock(cache_mu_);
-    auto it = prepared_cache_.find(query_text);
-    if (it != prepared_cache_.end()) {
+    std::shared_ptr<const PreparedQuery>* master =
+        prepared_cache_.Get(query_text);
+    if (master != nullptr) {
       ++stats_.prepared_hits;
-      return it->second;
+      return *master;
     }
     ++stats_.prepared_misses;
   }
   // Compile outside the lock: compilation cost is the whole point of the
-  // cache. A racing thread may compile the same query; first insert wins.
+  // cache. A racing thread may compile the same query; last insert wins
+  // (the masters are equivalent either way).
   PREFREP_ASSIGN_OR_RETURN(PreparedQuery compiled,
                            PreparedQuery::Compile(snapshot_->db(), query));
   auto master = std::make_shared<const PreparedQuery>(std::move(compiled));
   std::lock_guard<std::mutex> lock(cache_mu_);
-  EvictIfFull(&prepared_cache_, options_.max_cache_entries);
-  return prepared_cache_.emplace(query_text, master).first->second;
+  prepared_cache_.Put(query_text, master);
+  return master;
 }
 
 SessionCacheStats Session::cache_stats() const {
@@ -138,9 +279,9 @@ SessionCacheStats Session::cache_stats() const {
 
 void Session::ClearCache() {
   std::lock_guard<std::mutex> lock(cache_mu_);
-  prepared_cache_.clear();
-  plan_cache_.clear();
-  result_cache_.clear();
+  prepared_cache_.Clear();
+  plan_cache_.Clear();
+  result_cache_.Clear();
 }
 
 // ---- synchronous facade ---------------------------------------------------
@@ -169,18 +310,18 @@ Result<CqaVerdict> Session::EvalVerdict(const Query& query,
   std::optional<CqaPlan> plan;
   {
     std::lock_guard<std::mutex> lock(cache_mu_);
-    auto it = result_cache_.find(result_key);
-    if (it != result_cache_.end() && it->second.verdict.has_value()) {
+    CachedResult* entry = result_cache_.Get(result_key);
+    if (entry != nullptr && entry->verdict.has_value()) {
       ++stats_.result_hits;
-      if (executed != nullptr) *executed = it->second.plan;
+      if (executed != nullptr) *executed = entry->plan;
       if (cache_hit != nullptr) *cache_hit = true;
-      return *it->second.verdict;
+      return *entry->verdict;
     }
     ++stats_.result_misses;
-    auto plan_it = plan_cache_.find(plan_key);
-    if (plan_it != plan_cache_.end()) {
+    CqaPlan* cached_plan = plan_cache_.Get(plan_key);
+    if (cached_plan != nullptr) {
       ++stats_.plan_hits;
-      plan = plan_it->second;
+      plan = *cached_plan;
     } else {
       ++stats_.plan_misses;
     }
@@ -196,17 +337,17 @@ Result<CqaVerdict> Session::EvalVerdict(const Query& query,
       problem(), priority, family, query, planner_options, &ran);
   if (executed != nullptr) *executed = ran;
   if (verdict.ok()) {
+    CachedResult entry;
+    entry.verdict = *verdict;
+    entry.plan = ran;
+    entry.footprint = FootprintFor(query, priority);
     std::lock_guard<std::mutex> lock(cache_mu_);
     if (!plan.has_value()) {
       // Cache the plan that actually RAN (post any runtime fallback):
       // replaying it skips a doomed tier-1 attempt next time.
-      EvictIfFull(&plan_cache_, options_.max_cache_entries);
-      plan_cache_.emplace(plan_key, ran);
+      plan_cache_.Put(plan_key, ran);
     }
-    EvictIfFull(&result_cache_, options_.max_cache_entries);
-    CachedResult& entry = result_cache_[result_key];
-    entry.verdict = *verdict;
-    entry.plan = ran;
+    result_cache_.Put(result_key, std::move(entry));
   }
   return verdict;
 }
@@ -233,18 +374,18 @@ Result<OpenAnswer> Session::EvalAnswers(const Query& query,
   std::optional<CqaPlan> plan;
   {
     std::lock_guard<std::mutex> lock(cache_mu_);
-    auto it = result_cache_.find(result_key);
-    if (it != result_cache_.end() && it->second.answers.has_value()) {
+    CachedResult* entry = result_cache_.Get(result_key);
+    if (entry != nullptr && entry->answers.has_value()) {
       ++stats_.result_hits;
-      if (executed != nullptr) *executed = it->second.plan;
+      if (executed != nullptr) *executed = entry->plan;
       if (cache_hit != nullptr) *cache_hit = true;
-      return *it->second.answers;
+      return *entry->answers;
     }
     ++stats_.result_misses;
-    auto plan_it = plan_cache_.find(plan_key);
-    if (plan_it != plan_cache_.end()) {
+    CqaPlan* cached_plan = plan_cache_.Get(plan_key);
+    if (cached_plan != nullptr) {
       ++stats_.plan_hits;
-      plan = plan_it->second;
+      plan = *cached_plan;
     } else {
       ++stats_.plan_misses;
     }
@@ -260,15 +401,15 @@ Result<OpenAnswer> Session::EvalAnswers(const Query& query,
       problem(), priority, family, query, planner_options, &ran);
   if (executed != nullptr) *executed = ran;
   if (answers.ok()) {
-    std::lock_guard<std::mutex> lock(cache_mu_);
-    if (!plan.has_value()) {
-      EvictIfFull(&plan_cache_, options_.max_cache_entries);
-      plan_cache_.emplace(plan_key, ran);
-    }
-    EvictIfFull(&result_cache_, options_.max_cache_entries);
-    CachedResult& entry = result_cache_[result_key];
+    CachedResult entry;
     entry.answers = *answers;
     entry.plan = ran;
+    entry.footprint = FootprintFor(query, priority);
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    if (!plan.has_value()) {
+      plan_cache_.Put(plan_key, ran);
+    }
+    result_cache_.Put(result_key, std::move(entry));
   }
   return answers;
 }

@@ -26,6 +26,23 @@
 // Snapshot and a new Session; the old session stays correct for the old
 // version until dropped.
 //
+// For a snapshot built by Snapshot::Derive, the derived-session
+// constructor seeds the plan and result caches from the parent session
+// instead of starting cold. Each result entry carries an invalidation
+// footprint — the referenced relations, the components they overlap, and
+// the largest tuple id in its priority-arc key — and survives iff the
+// delta left all of it untouched: the active domain is preserved, no
+// footprint relation was touched or had ids shift (all its ids below
+// first_shifted_id), and no footprint component is in the dirty set.
+// Surviving entries get their component footprint re-expressed in the new
+// decomposition; everything else is dropped. Plan entries are seeded
+// whenever conflict-free-ness didn't change (the only instance property
+// the planner reads). Prepared masters are NOT seeded: they are compiled
+// against the parent's tuple universe (mask sizes, domains) and recompile
+// lazily per query instead. All caches evict least-recently-used at
+// max_cache_entries (lru_cache.h); seeding preserves the parent's recency
+// order.
+//
 // Submit/Wait run requests on the session's dispatcher thread with
 // admission control: at most max_pending_requests are queued or running,
 // further Submits fail fast with kResourceExhausted. Each admitted
@@ -62,13 +79,15 @@
 #include "query/ast.h"
 #include "query/evaluator.h"
 #include "query/prepared.h"
+#include "server/lru_cache.h"
 #include "server/snapshot.h"
 
 namespace prefrep {
 
 struct SessionOptions {
   // Per-cache entry cap (prepared / plan / result each); insertion past
-  // the cap evicts an arbitrary entry, bounding memory.
+  // the cap evicts the least-recently-used entry, bounding memory while
+  // keeping the hot working set resident.
   size_t max_cache_entries = 1024;
   // Admission cap: queued + running async requests. Submits beyond it
   // fail with kResourceExhausted instead of queueing unboundedly.
@@ -86,8 +105,15 @@ struct SessionCacheStats {
   uint64_t plan_misses = 0;
   uint64_t result_hits = 0;
   uint64_t result_misses = 0;
+  // Derived-session seeding: entries inherited from the parent session vs
+  // dropped because the delta invalidated their footprint. Zero for
+  // sessions built without a parent.
+  uint64_t seeded_plans = 0;
+  uint64_t seeded_results = 0;
+  uint64_t seed_dropped = 0;
 
-  // "prepared 3/1, plan 2/2, result 5/3 (hits/misses)".
+  // "prepared 3/1, plan 2/2, result 5/3 (hits/misses)"; a derived session
+  // appends "; seeded plan 2, result 4, dropped 1".
   std::string ToString() const;
 };
 
@@ -119,6 +145,14 @@ class Session {
  public:
   explicit Session(std::shared_ptr<const Snapshot> snapshot,
                    SessionOptions options = {});
+
+  // Derived-session constructor: `snapshot` must come from
+  // Snapshot::Derive with `parent.snapshot()` as its base. Seeds the plan
+  // and result caches from `parent` per the contract in the file comment;
+  // `parent` is only read during construction and not retained.
+  Session(std::shared_ptr<const Snapshot> snapshot, const Session& parent,
+          SessionOptions options = {});
+
   ~Session();
 
   Session(const Session&) = delete;
@@ -192,10 +226,19 @@ class Session {
   void ClearCache();
 
  private:
+  // Everything the delta could invalidate about a cached result, recorded
+  // at insert time in the session's own snapshot terms.
+  struct ResultFootprint {
+    std::vector<int> relations;   // referenced relation indices, sorted
+    std::vector<int> components;  // components overlapping them, sorted
+    TupleId max_tuple_id = -1;    // largest id in the priority-arc key
+  };
+
   struct CachedResult {
     std::optional<CqaVerdict> verdict;
     std::optional<OpenAnswer> answers;
     CqaPlan plan;
+    ResultFootprint footprint;
   };
 
   enum class RequestState { kQueued, kRunning, kDone };
@@ -216,6 +259,19 @@ class Session {
   Result<std::shared_ptr<const PreparedQuery>> PreparedFor(
       const std::string& query_text, const Query& query);
 
+  // Components of this session's snapshot overlapping the given relation
+  // indices (sorted union of relation_components_ rows).
+  std::vector<int> ComponentsForRelations(
+      const std::vector<int>& relations) const;
+  // The invalidation footprint of a (query, priority) result in this
+  // snapshot's terms.
+  ResultFootprint FootprintFor(const Query& query,
+                               const Priority& priority) const;
+  // Copies surviving plan/result entries from `parent` (see the file
+  // comment for the survival conditions). Called by the derived-session
+  // constructor before any request runs.
+  void SeedFromParent(const Session& parent);
+
   Result<CqaVerdict> EvalVerdict(const Query& query, const Priority& priority,
                                  RepairFamily family,
                                  const EvalOptions& options, CqaPlan* executed,
@@ -232,12 +288,16 @@ class Session {
   std::shared_ptr<const Snapshot> snapshot_;
   SessionOptions options_;
 
+  // Components overlapping each relation (row = relation index), computed
+  // once at construction — the snapshot is immutable, so this never
+  // changes. Used for result footprints.
+  std::vector<std::vector<int>> relation_components_;
+
   mutable std::mutex cache_mu_;
   SessionCacheStats stats_;
-  std::unordered_map<std::string, std::shared_ptr<const PreparedQuery>>
-      prepared_cache_;
-  std::unordered_map<std::string, CqaPlan> plan_cache_;
-  std::unordered_map<std::string, CachedResult> result_cache_;
+  LruCache<std::shared_ptr<const PreparedQuery>> prepared_cache_;
+  LruCache<CqaPlan> plan_cache_;
+  LruCache<CachedResult> result_cache_;
 
   mutable std::mutex queue_mu_;
   std::condition_variable queue_cv_;

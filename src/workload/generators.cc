@@ -276,6 +276,35 @@ GeneratedInstance MakeComponentsInstance(Rng& rng, int components,
   return MakeComponentsInstance(rng, sizes);
 }
 
+GeneratedInstance MakeMultiRelationComponentsInstance(Rng& rng, int relations,
+                                                      int groups_per_relation,
+                                                      int min_size,
+                                                      int max_size) {
+  CHECK_GE(relations, 1);
+  CHECK_GE(groups_per_relation, 0);
+  CHECK_GE(min_size, 1);
+  CHECK_GE(max_size, min_size);
+  GeneratedInstance out;
+  out.db = std::make_unique<Database>();
+  for (int r = 0; r < relations; ++r) {
+    Schema schema = NumericSchema("R" + std::to_string(r), {"K", "V", "W"});
+    CHECK(out.db->AddRelation(schema).ok());
+    out.fds.push_back(MustFd(schema, "K -> V"));
+    for (int g = 0; g < groups_per_relation; ++g) {
+      int size = static_cast<int>(rng.UniformRange(min_size, max_size));
+      int classes =
+          size >= 2 ? static_cast<int>(rng.UniformRange(2, size)) : 1;
+      for (int j = 0; j < size; ++j) {
+        int v = j < classes ? j : static_cast<int>(rng.UniformInt(classes));
+        MustInsert(*out.db, schema.relation_name(),
+                   Tuple::Of(Value::Number(static_cast<int64_t>(g)),
+                             Value::Number(v), Value::Number(j)));
+      }
+    }
+  }
+  return out;
+}
+
 GeneratedInstance MakeIntegrationWorkload(Rng& rng, int sources, int keys,
                                           double coverage,
                                           int value_domain) {

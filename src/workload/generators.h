@@ -113,6 +113,18 @@ GeneratedInstance MakeComponentsInstance(Rng& rng,
 GeneratedInstance MakeComponentsInstance(Rng& rng, int components,
                                          int min_size, int max_size);
 
+// Multi-relation variant: `relations` relations R0..R{relations-1}, each
+// laid out like MakeComponentsInstance (schema Ri(K, V, W), FD K -> V,
+// `groups_per_relation` complete-multipartite components with sizes
+// uniform in [min_size, max_size]). Global tuple ids are assigned relation
+// by relation, so a delta confined to the last relation leaves every
+// earlier relation in the identity region — the workload shape the
+// incremental snapshot derivation (Snapshot::Derive) is built for, used by
+// its equivalence tests and bench_incremental_update.
+GeneratedInstance MakeMultiRelationComponentsInstance(
+    Rng& rng, int relations, int groups_per_relation, int min_size,
+    int max_size);
+
 // Data-integration workload (the paper's §1 motivation, scaled up): the
 // union of `sources` individually consistent sources over R(K, V) with key
 // FD K -> V. Each source covers each key in [0, keys) with probability

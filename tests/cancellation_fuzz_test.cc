@@ -25,7 +25,9 @@
 #include "core/families.h"
 #include "cqa/cqa.h"
 #include "query/parser.h"
+#include "relational/delta.h"
 #include "repair/repair.h"
+#include "server/snapshot.h"
 #include "workload/generators.h"
 
 namespace prefrep {
@@ -294,6 +296,69 @@ TEST(CancellationFuzzStressTest, StressRandomCutsAcrossFamiliesParallel) {
             << cut.status().ToString();
       }
     }
+  }
+}
+
+// ------------------------------------------------ snapshot-derive fuzz --
+
+// Derive must honor the same contract as the enumeration stack: a cut at
+// any poll boundary yields a clean kCancelled, the parent snapshot is
+// untouched, no partial successor escapes, and an uninterrupted rerun is
+// bit-for-bit identical to a from-scratch rebuild.
+TEST(CancellationFuzzTest, SnapshotDeriveCancelsCleanlyAtArbitraryPolls) {
+  Rng rng(908070);
+  GeneratedInstance inst = MakeComponentsInstance(rng, {6, 5, 4, 3, 2});
+  auto base = Snapshot::Create(*inst.db, inst.fds);
+  ASSERT_TRUE(base.ok());
+  const std::string base_before = (*base)->Describe();
+
+  DatabaseDelta delta(&(*base)->db());
+  for (TupleId id = 0; id < (*base)->db().tuple_count(); ++id) {
+    if (rng.UniformDouble() < 0.3) CHECK(delta.Delete(id).ok());
+  }
+  for (int i = 0; i < 6; ++i) {
+    (void)delta.Insert("R", Tuple::Of(Value::Number(rng.UniformInt(6)),
+                                      Value::Number(rng.UniformInt(6)),
+                                      Value::Number(rng.UniformInt(20))));
+  }
+  auto rebuilt = Snapshot::Create(*delta.ApplyNaive(), (*base)->fds());
+  ASSERT_TRUE(rebuilt.ok());
+
+  // Governed-but-uninterrupted run records the poll budget.
+  ExecutionContext clean;
+  auto governed = Snapshot::Derive(*base, delta, &clean);
+  ASSERT_TRUE(governed.ok()) << governed.status().ToString();
+  const uint64_t total_polls = clean.poll_count();
+  EXPECT_GT(total_polls, 0u);
+
+  auto same_as_rebuilt = [&](const Snapshot& got) {
+    EXPECT_EQ(got.graph().edges(), (*rebuilt)->graph().edges());
+    ASSERT_EQ(got.decomposition().components().size(),
+              (*rebuilt)->decomposition().components().size());
+    for (size_t c = 0; c < got.decomposition().components().size(); ++c) {
+      EXPECT_EQ(got.decomposition().components()[c].vertices,
+                (*rebuilt)->decomposition().components()[c].vertices);
+    }
+    EXPECT_TRUE(got.decomposition().isolated() ==
+                (*rebuilt)->decomposition().isolated());
+  };
+  same_as_rebuilt(**governed);
+
+  for (int trial = 0; trial < 16; ++trial) {
+    ExecutionContext context;
+    context.CancelAfterPolls(rng.UniformRange(1, total_polls + 3));
+    auto cut = Snapshot::Derive(*base, delta, &context);
+    if (cut.ok()) {
+      same_as_rebuilt(**cut);
+    } else {
+      EXPECT_EQ(cut.status().code(), StatusCode::kCancelled)
+          << cut.status().ToString();
+    }
+    EXPECT_EQ((*base)->Describe(), base_before);  // parent untouched
+    // Immediate clean rerun: identical to the rebuild.
+    auto rerun = Snapshot::Derive(*base, delta);
+    ASSERT_TRUE(rerun.ok()) << rerun.status().ToString();
+    same_as_rebuilt(**rerun);
   }
 }
 

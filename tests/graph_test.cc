@@ -3,8 +3,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
 
+#include "base/random.h"
 #include "graph/conflict_graph.h"
 #include "graph/digraph.h"
 #include "graph/mis.h"
@@ -94,6 +96,108 @@ TEST(ConflictGraphTest, EmptyGraph) {
   ConflictGraph g(0, {});
   EXPECT_EQ(g.vertex_count(), 0);
   EXPECT_TRUE(g.IsMaximalIndependent(DynamicBitset(0)));
+}
+
+// -------------------------------------------------------------- DeriveFrom --
+
+// Asserts the two graphs agree on every accessor the engines use.
+void ExpectSameGraph(const ConflictGraph& got, const ConflictGraph& want) {
+  ASSERT_EQ(got.vertex_count(), want.vertex_count());
+  EXPECT_EQ(got.edges(), want.edges());
+  for (int v = 0; v < want.vertex_count(); ++v) {
+    EXPECT_EQ(got.Neighbors(v), want.Neighbors(v)) << "vertex " << v;
+  }
+}
+
+TEST(ConflictGraphDeriveTest, CleanIdentityVerticesShareAdjacency) {
+  // Parent: path 0-1-2-3 plus edge 3-4. Child drops 3-4 and adds 2-4:
+  // vertices 0 and 1 keep their exact neighborhoods.
+  ConflictGraph parent(5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}});
+  std::vector<std::pair<int, int>> edges = {{0, 1}, {1, 2}, {2, 3}, {2, 4}};
+  DynamicBitset dirty(5);
+  dirty.Set(2);
+  dirty.Set(3);
+  dirty.Set(4);
+  ConflictGraph derived =
+      ConflictGraph::DeriveFrom(parent, 5, edges, /*identity_limit=*/5, dirty);
+  ExpectSameGraph(derived, ConflictGraph(5, edges));
+  EXPECT_TRUE(derived.SharesAdjacencyWith(parent, 0));
+  EXPECT_TRUE(derived.SharesAdjacencyWith(parent, 1));
+  EXPECT_FALSE(derived.SharesAdjacencyWith(parent, 2));
+  EXPECT_FALSE(derived.SharesAdjacencyWith(parent, 3));
+  EXPECT_FALSE(derived.SharesAdjacencyWith(parent, 4));
+}
+
+TEST(ConflictGraphDeriveTest, IdentityLimitBoundsSharing) {
+  // Same edge set, but only vertices below the limit may share.
+  ConflictGraph parent(4, {{0, 1}, {2, 3}});
+  std::vector<std::pair<int, int>> edges = {{0, 1}, {2, 3}};
+  ConflictGraph derived = ConflictGraph::DeriveFrom(
+      parent, 4, edges, /*identity_limit=*/2, DynamicBitset(4));
+  ExpectSameGraph(derived, parent);
+  EXPECT_TRUE(derived.SharesAdjacencyWith(parent, 0));
+  EXPECT_TRUE(derived.SharesAdjacencyWith(parent, 1));
+  EXPECT_FALSE(derived.SharesAdjacencyWith(parent, 2));
+  EXPECT_FALSE(derived.SharesAdjacencyWith(parent, 3));
+}
+
+TEST(ConflictGraphDeriveTest, ZeroIdentityLimitIsAFreshBuild) {
+  // identity_limit = 0 is the non-replace-style escape hatch: any vertex
+  // count is allowed and nothing is shared.
+  ConflictGraph parent(4, {{0, 1}, {1, 2}, {2, 3}});
+  std::vector<std::pair<int, int>> edges = {{0, 1}, {1, 2}};
+  ConflictGraph derived = ConflictGraph::DeriveFrom(
+      parent, 3, edges, /*identity_limit=*/0, DynamicBitset(3));
+  ExpectSameGraph(derived, ConflictGraph(3, edges));
+  for (int v = 0; v < 3; ++v) {
+    EXPECT_FALSE(derived.SharesAdjacencyWith(parent, v));
+  }
+}
+
+TEST(ConflictGraphDeriveTest, MatchesFromSortedUniqueEdges) {
+  // Randomized: perturb a random parent by rewiring edges above a split
+  // point; below the split the neighborhoods into the dirty region change
+  // too, so dirty = every endpoint of a changed edge.
+  Rng rng(20260808);
+  for (int round = 0; round < 50; ++round) {
+    const int n = 2 + static_cast<int>(rng.UniformInt(40));
+    std::vector<std::pair<int, int>> parent_edges;
+    for (int u = 0; u < n; ++u) {
+      for (int v = u + 1; v < n; ++v) {
+        if (rng.UniformInt(100) < 15) parent_edges.emplace_back(u, v);
+      }
+    }
+    ConflictGraph parent(n, parent_edges);
+    // Toggle a few pairs; mark both endpoints of every toggled pair dirty.
+    std::vector<std::pair<int, int>> edges = parent.edges();
+    DynamicBitset dirty(n);
+    const int toggles = 1 + static_cast<int>(rng.UniformInt(5));
+    for (int t = 0; t < toggles; ++t) {
+      int u = static_cast<int>(rng.UniformInt(n));
+      int v = static_cast<int>(rng.UniformInt(n));
+      if (u == v) continue;
+      if (u > v) std::swap(u, v);
+      auto it = std::find(edges.begin(), edges.end(), std::make_pair(u, v));
+      if (it == edges.end()) {
+        edges.emplace_back(u, v);
+      } else {
+        edges.erase(it);
+      }
+      dirty.Set(u);
+      dirty.Set(v);
+    }
+    std::sort(edges.begin(), edges.end());
+    ConflictGraph derived =
+        ConflictGraph::DeriveFrom(parent, n, edges, /*identity_limit=*/n,
+                                  dirty);
+    ConflictGraph rebuilt = ConflictGraph::FromSortedUniqueEdges(n, edges);
+    ExpectSameGraph(derived, rebuilt);
+    for (int v = 0; v < n; ++v) {
+      if (!dirty.Test(v)) {
+        EXPECT_TRUE(derived.SharesAdjacencyWith(parent, v));
+      }
+    }
+  }
 }
 
 // --------------------------------------------------------------------- MIS --

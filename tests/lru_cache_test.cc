@@ -1,0 +1,119 @@
+// Tests for src/server/lru_cache.h: recency-ordered eviction, touch
+// semantics of Get/Put, Peek's non-touching lookup, and the LRU-to-MRU
+// iteration order the derived-session seeding relies on.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "server/lru_cache.h"
+
+namespace prefrep {
+namespace {
+
+TEST(LruCacheTest, MissReturnsNull) {
+  LruCache<int> cache(2);
+  EXPECT_EQ(cache.Get("a"), nullptr);
+  EXPECT_EQ(cache.Peek("a"), nullptr);
+  EXPECT_FALSE(cache.Contains("a"));
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(LruCacheTest, PutGetRoundTrip) {
+  LruCache<int> cache(2);
+  cache.Put("a", 1);
+  ASSERT_NE(cache.Get("a"), nullptr);
+  EXPECT_EQ(*cache.Get("a"), 1);
+  EXPECT_TRUE(cache.Contains("a"));
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(LruCacheTest, EvictsLeastRecentlyUsed) {
+  LruCache<int> cache(2);
+  cache.Put("a", 1);
+  cache.Put("b", 2);
+  cache.Put("c", 3);  // evicts a: oldest, never touched
+  EXPECT_FALSE(cache.Contains("a"));
+  EXPECT_TRUE(cache.Contains("b"));
+  EXPECT_TRUE(cache.Contains("c"));
+  EXPECT_EQ(cache.evictions(), 1u);
+}
+
+TEST(LruCacheTest, GetRefreshesRecency) {
+  LruCache<int> cache(2);
+  cache.Put("a", 1);
+  cache.Put("b", 2);
+  ASSERT_NE(cache.Get("a"), nullptr);  // a becomes most recent
+  cache.Put("c", 3);                   // evicts b, not a
+  EXPECT_TRUE(cache.Contains("a"));
+  EXPECT_FALSE(cache.Contains("b"));
+  EXPECT_TRUE(cache.Contains("c"));
+}
+
+TEST(LruCacheTest, PutOverwriteRefreshesRecencyAndValue) {
+  LruCache<int> cache(2);
+  cache.Put("a", 1);
+  cache.Put("b", 2);
+  cache.Put("a", 10);  // overwrite: a most recent, size unchanged
+  EXPECT_EQ(cache.size(), 2u);
+  cache.Put("c", 3);  // evicts b
+  EXPECT_TRUE(cache.Contains("a"));
+  EXPECT_FALSE(cache.Contains("b"));
+  EXPECT_EQ(*cache.Get("a"), 10);
+}
+
+TEST(LruCacheTest, PeekDoesNotTouch) {
+  LruCache<int> cache(2);
+  cache.Put("a", 1);
+  cache.Put("b", 2);
+  ASSERT_NE(cache.Peek("a"), nullptr);  // read-only: a stays oldest
+  cache.Put("c", 3);                    // still evicts a
+  EXPECT_FALSE(cache.Contains("a"));
+  EXPECT_TRUE(cache.Contains("b"));
+}
+
+TEST(LruCacheTest, ZeroCapacityIsUnbounded) {
+  LruCache<int> cache;
+  for (int i = 0; i < 1000; ++i) cache.Put("k" + std::to_string(i), i);
+  EXPECT_EQ(cache.size(), 1000u);
+  EXPECT_EQ(cache.evictions(), 0u);
+}
+
+TEST(LruCacheTest, ClearEmptiesButKeepsCapacity) {
+  LruCache<int> cache(2);
+  cache.Put("a", 1);
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.capacity(), 2u);
+  EXPECT_FALSE(cache.Contains("a"));
+  cache.Put("b", 2);
+  EXPECT_TRUE(cache.Contains("b"));
+}
+
+TEST(LruCacheTest, ForEachVisitsLruToMru) {
+  LruCache<int> cache(10);
+  cache.Put("a", 1);
+  cache.Put("b", 2);
+  cache.Put("c", 3);
+  ASSERT_NE(cache.Get("a"), nullptr);  // order now b, c, a
+  std::vector<std::string> order;
+  cache.ForEachLruToMru(
+      [&](const std::string& key, const int&) { order.push_back(key); });
+  EXPECT_EQ(order, (std::vector<std::string>{"b", "c", "a"}));
+}
+
+TEST(LruCacheTest, ManyEntriesSurviveRehashing) {
+  // string_view keys point into list nodes; a growing map must rehash
+  // without invalidating them.
+  LruCache<int> cache(512);
+  for (int i = 0; i < 512; ++i) cache.Put("key-" + std::to_string(i), i);
+  for (int i = 0; i < 512; ++i) {
+    int* v = cache.Get("key-" + std::to_string(i));
+    ASSERT_NE(v, nullptr);
+    EXPECT_EQ(*v, i);
+  }
+}
+
+}  // namespace
+}  // namespace prefrep

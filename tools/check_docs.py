@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Documentation consistency checker (CI `docs` job).
+
+Two guarantees, so the docs cannot silently rot as the tree grows:
+
+  1. Every intra-repository markdown link resolves: for each `[text](target)`
+     in a tracked *.md file whose target is not an external URL or a pure
+     anchor, the referenced file (relative to the linking file) must exist.
+  2. docs/ARCHITECTURE.md stays complete: every module directory under src/
+     must be mentioned (as `src/<module>/`), so adding a module without
+     documenting it fails CI.
+
+Stdlib only; exits non-zero with one line per violation.
+"""
+
+import argparse
+import pathlib
+import re
+import sys
+
+# [text](target) — target captured up to the closing paren; markdown image
+# links ![alt](target) match the same pattern via the [alt] part.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+SKIP_DIRS = {".git", "build", "third_party", ".ccache"}
+
+EXTERNAL_PREFIXES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def markdown_files(root: pathlib.Path):
+    for path in sorted(root.rglob("*.md")):
+        if any(part in SKIP_DIRS for part in path.parts):
+            continue
+        yield path
+
+
+def check_links(root: pathlib.Path) -> list:
+    errors = []
+    for md in markdown_files(root):
+        text = md.read_text(encoding="utf-8")
+        for match in LINK_RE.finditer(text):
+            target = match.group(1)
+            if target.startswith(EXTERNAL_PREFIXES):
+                continue
+            if target.startswith("#"):  # intra-document anchor
+                continue
+            path_part = target.split("#", 1)[0]
+            if not path_part:
+                continue
+            resolved = (md.parent / path_part).resolve()
+            if not resolved.exists():
+                errors.append(
+                    f"{md.relative_to(root)}: broken link '{target}'"
+                )
+    return errors
+
+
+def check_architecture_coverage(root: pathlib.Path) -> list:
+    arch = root / "docs" / "ARCHITECTURE.md"
+    if not arch.exists():
+        return ["docs/ARCHITECTURE.md does not exist"]
+    text = arch.read_text(encoding="utf-8")
+    errors = []
+    src = root / "src"
+    for module in sorted(p.name for p in src.iterdir() if p.is_dir()):
+        if f"src/{module}/" not in text:
+            errors.append(
+                f"docs/ARCHITECTURE.md: module 'src/{module}/' is not"
+                " documented"
+            )
+    return errors
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--root",
+        type=pathlib.Path,
+        default=pathlib.Path(__file__).resolve().parent.parent,
+        help="repository root (default: the parent of tools/)",
+    )
+    args = parser.parse_args()
+
+    errors = check_links(args.root) + check_architecture_coverage(args.root)
+    for error in errors:
+        print(f"error: {error}", file=sys.stderr)
+    if not errors:
+        count = len(list(markdown_files(args.root)))
+        print(f"docs check OK ({count} markdown files)")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
