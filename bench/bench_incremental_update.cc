@@ -2,15 +2,19 @@
 // rebuild, on a multi-relation multi-component instance (8 relations x 50
 // complete-multipartite components, ~6400 tuples, ~400 components).
 //
-// Three families of rows:
-//   - Derive/<i>: build the successor snapshot incrementally from a staged
-//     balanced delta of <ops> deletes + <ops> inserts confined to the last
-//     relation (the `delta_pct` counter reports deletes + inserts as a
+// Row families:
+//   - Derive{,InsertOnly,DeleteTail,DeleteScattered}/<i>: build the
+//     successor snapshot incrementally from a staged delta of the named
+//     shape (the `delta_pct` counter reports staged operations as a
 //     percentage of the instance). Untouched relations share storage, the
 //     survivor conflict edges and the adjacency bitsets of the identity
-//     region are carried over (ConflictGraph::DeriveFrom), only inserted
-//     tuples probe the per-FD LHS index, and only dirty components re-BFS.
-//   - FullRebuild/<i>: the from-scratch baseline on the same delta —
+//     region are carried over (ConflictGraph::DeriveFrom — ragged rows let
+//     insert-only and delete-only deltas share too, despite the changed
+//     universe size), only inserted tuples probe the per-FD LHS index, and
+//     only dirty components re-BFS. DeleteScattered spreads deletions from
+//     id 0 up, erasing the identity prefix: it reports how Derive degrades
+//     when the sharing cannot engage.
+//   - FullRebuild{...}/<i>: the from-scratch baseline on the same deltas —
 //     re-insert every tuple (DatabaseDelta::ApplyNaive) and
 //     Snapshot::Create, which re-detects all conflicts, rebuilds the whole
 //     adjacency structure and re-decomposes the graph.
@@ -21,8 +25,9 @@
 //     the active domain, so the derive path's seeded session keeps serving
 //     the queries from cache while the rebuild path re-answers them cold.
 //
-// Acceptance signal (BENCH_pr9.json): at delta <= 1% of the instance the
-// Derive rows must beat FullRebuild by >= 10x.
+// Acceptance signals (BENCH_pr10.json): at delta <= 1% of the instance the
+// balanced Derive rows must beat FullRebuild by >= 10x, and the insert-only
+// and delete-tail rows by >= 5x (PR 9 rebuilt those shapes from scratch).
 
 #include <memory>
 #include <vector>
@@ -39,31 +44,60 @@ constexpr uint64_t kSeed = 20260808;
 
 // ------------------------------------------- derive vs rebuild sweep --
 
-struct UpdateSetup {
-  std::shared_ptr<const Snapshot> snapshot;
-  // One staged delta per sweep size, reusable: Derive/Apply never consume
-  // the delta.
-  std::vector<std::unique_ptr<DatabaseDelta>> deltas;
-  std::vector<int> ops;  // deletes == inserts per delta
+// Delta shapes swept by the Derive/FullRebuild rows. PR 9 only derived
+// adjacency incrementally for kBalanced (equal counts keep the universe
+// size fixed); the ragged sharing of PR 10 extends it to the unbalanced
+// shapes, which used to rebuild every adjacency row from scratch.
+enum class DeltaShape {
+  kBalanced,         // `ops` tail deletes + `ops` conflicting inserts
+  kInsertOnly,       // `ops` conflicting inserts, universe grows
+  kDeleteTail,       // `ops` tail deletes, identity prefix maximal
+  kDeleteScattered,  // `ops` evenly spaced deletes from id 0 up: the
+                     // dense renumbering leaves no identity prefix, the
+                     // worst case the sharing cannot help
 };
 
-// Balanced replace-style delta confined to the tail relation: deletes the
-// last `ops` tuples (all in R7) and inserts `ops` fresh tuples whose keys
-// join R7's first eight groups (so inserts create real conflict edges and
-// dirty real components, not just isolated vertices). Equal delete/insert
-// counts keep the tuple universe size unchanged, which is what lets
-// ConflictGraph::DeriveFrom share the identity region's adjacency bitsets.
-std::unique_ptr<DatabaseDelta> StageDelta(const Snapshot& snapshot, int ops) {
+struct UpdateSetup {
+  std::shared_ptr<const Snapshot> snapshot;
+  // One staged delta per (shape, sweep size), reusable: Derive/Apply never
+  // consume the delta.
+  std::vector<std::unique_ptr<DatabaseDelta>> deltas[4];
+  std::vector<int> ops;  // staged operations per sweep size
+};
+
+// Stages one delta of `shape`. Deletes are confined to the tail relation
+// for kBalanced/kDeleteTail (all in R7); inserts join R7's first eight key
+// groups, so they create real conflict edges and dirty real components,
+// not just isolated vertices. Unique W values keep every insert fresh.
+std::unique_ptr<DatabaseDelta> StageDelta(const Snapshot& snapshot, int ops,
+                                          DeltaShape shape) {
   auto delta = std::make_unique<DatabaseDelta>(&snapshot.db());
   const int n = snapshot.db().tuple_count();
-  for (int i = 0; i < ops; ++i) {
-    CHECK(delta->Delete(static_cast<TupleId>(n - 1 - i)).ok());
+  switch (shape) {
+    case DeltaShape::kBalanced:
+    case DeltaShape::kDeleteTail:
+      for (int i = 0; i < ops; ++i) {
+        CHECK(delta->Delete(static_cast<TupleId>(n - 1 - i)).ok());
+      }
+      break;
+    case DeltaShape::kDeleteScattered: {
+      const int stride = n / ops;
+      CHECK(stride >= 1);
+      for (int i = 0; i < ops; ++i) {
+        CHECK(delta->Delete(static_cast<TupleId>(i * stride)).ok());
+      }
+      break;
+    }
+    case DeltaShape::kInsertOnly:
+      break;
   }
-  for (int i = 0; i < ops; ++i) {
-    auto status = delta->Insert(
-        "R7", Tuple::Of(Value::Number(i % 8), Value::Number(1),
-                        Value::Number(100000 + i)));
-    CHECK(status.ok()) << status.ToString();
+  if (shape == DeltaShape::kBalanced || shape == DeltaShape::kInsertOnly) {
+    for (int i = 0; i < ops; ++i) {
+      auto status = delta->Insert(
+          "R7", Tuple::Of(Value::Number(i % 8), Value::Number(1),
+                          Value::Number(100000 + i)));
+      CHECK(status.ok()) << status.ToString();
+    }
   }
   return delta;
 }
@@ -78,43 +112,49 @@ UpdateSetup& SharedSetup() {
     auto snapshot = Snapshot::Create(*inst.db, inst.fds);
     CHECK(snapshot.ok()) << snapshot.status().ToString();
     s->snapshot = *std::move(snapshot);
-    // ~0.1%, ~0.5%, ~1%, ~5%, ~20% of the instance (deletes + inserts
-    // both count).
+    // Staged ops ~0.05%, ~0.25%, ~0.5%, ~2.5%, ~10% of the instance per
+    // side (the balanced shape's delta_pct doubles: deletes + inserts).
     const int n = s->snapshot->db().tuple_count();
     for (int ops : {n / 2000 + 1, n / 400, n / 200, n / 40, n / 10}) {
       s->ops.push_back(ops);
-      s->deltas.push_back(StageDelta(*s->snapshot, ops));
+      for (int shape = 0; shape < 4; ++shape) {
+        s->deltas[shape].push_back(
+            StageDelta(*s->snapshot, ops, static_cast<DeltaShape>(shape)));
+      }
     }
     return s;
   }();
   return *setup;
 }
 
-double DeltaPercent(const UpdateSetup& setup, size_t index) {
-  return 100.0 * 2 * setup.ops[index] / setup.snapshot->db().tuple_count();
+double DeltaPercent(const UpdateSetup& setup, DeltaShape shape, size_t index) {
+  const int sides = shape == DeltaShape::kBalanced ? 2 : 1;
+  return 100.0 * sides * setup.ops[index] /
+         setup.snapshot->db().tuple_count();
 }
 
-void BM_IncrementalUpdate_Derive(benchmark::State& state) {
+template <DeltaShape kShape>
+void DeriveBench(benchmark::State& state) {
   UpdateSetup& setup = SharedSetup();
   const size_t index = static_cast<size_t>(state.range(0));
-  const DatabaseDelta& delta = *setup.deltas[index];
+  const DatabaseDelta& delta =
+      *setup.deltas[static_cast<int>(kShape)][index];
   for (auto _ : state) {
     auto derived = Snapshot::Derive(setup.snapshot, delta);
     CHECK(derived.ok()) << derived.status().ToString();
     KeepAlive(*derived);
   }
   state.SetItemsProcessed(state.iterations());
-  state.counters["delta_pct"] = DeltaPercent(setup, index);
+  state.counters["delta_pct"] = DeltaPercent(setup, kShape, index);
   state.SetLabel("incremental successor snapshot");
 }
-BENCHMARK(BM_IncrementalUpdate_Derive)
-    ->DenseRange(0, 4)
-    ->Unit(benchmark::kMicrosecond);
 
-void BM_IncrementalUpdate_FullRebuild(benchmark::State& state) {
+template <DeltaShape kShape>
+void RebuildBench(benchmark::State& state) {
   UpdateSetup& setup = SharedSetup();
   const size_t index = static_cast<size_t>(state.range(0));
-  const DatabaseDelta& delta = *setup.deltas[index];
+  const DatabaseDelta& delta =
+      *setup.deltas[static_cast<int>(kShape)][index];
   for (auto _ : state) {
     auto db = delta.ApplyNaive();
     CHECK(db.ok());
@@ -123,10 +163,63 @@ void BM_IncrementalUpdate_FullRebuild(benchmark::State& state) {
     KeepAlive(*rebuilt);
   }
   state.SetItemsProcessed(state.iterations());
-  state.counters["delta_pct"] = DeltaPercent(setup, index);
+  state.counters["delta_pct"] = DeltaPercent(setup, kShape, index);
   state.SetLabel("re-insert + full conflict re-detection");
 }
+
+void BM_IncrementalUpdate_Derive(benchmark::State& state) {
+  DeriveBench<DeltaShape::kBalanced>(state);
+}
+BENCHMARK(BM_IncrementalUpdate_Derive)
+    ->DenseRange(0, 4)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_IncrementalUpdate_FullRebuild(benchmark::State& state) {
+  RebuildBench<DeltaShape::kBalanced>(state);
+}
 BENCHMARK(BM_IncrementalUpdate_FullRebuild)
+    ->DenseRange(0, 4)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_IncrementalUpdate_DeriveInsertOnly(benchmark::State& state) {
+  DeriveBench<DeltaShape::kInsertOnly>(state);
+}
+BENCHMARK(BM_IncrementalUpdate_DeriveInsertOnly)
+    ->DenseRange(0, 4)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_IncrementalUpdate_FullRebuildInsertOnly(benchmark::State& state) {
+  RebuildBench<DeltaShape::kInsertOnly>(state);
+}
+BENCHMARK(BM_IncrementalUpdate_FullRebuildInsertOnly)
+    ->DenseRange(0, 4)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_IncrementalUpdate_DeriveDeleteTail(benchmark::State& state) {
+  DeriveBench<DeltaShape::kDeleteTail>(state);
+}
+BENCHMARK(BM_IncrementalUpdate_DeriveDeleteTail)
+    ->DenseRange(0, 4)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_IncrementalUpdate_FullRebuildDeleteTail(benchmark::State& state) {
+  RebuildBench<DeltaShape::kDeleteTail>(state);
+}
+BENCHMARK(BM_IncrementalUpdate_FullRebuildDeleteTail)
+    ->DenseRange(0, 4)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_IncrementalUpdate_DeriveDeleteScattered(benchmark::State& state) {
+  DeriveBench<DeltaShape::kDeleteScattered>(state);
+}
+BENCHMARK(BM_IncrementalUpdate_DeriveDeleteScattered)
+    ->DenseRange(0, 4)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_IncrementalUpdate_FullRebuildDeleteScattered(benchmark::State& state) {
+  RebuildBench<DeltaShape::kDeleteScattered>(state);
+}
+BENCHMARK(BM_IncrementalUpdate_FullRebuildDeleteScattered)
     ->DenseRange(0, 4)
     ->Unit(benchmark::kMicrosecond);
 

@@ -235,8 +235,14 @@ class Shell {
     TupleMeta meta;
     PREFREP_RETURN_IF_ERROR(
         ParseTupleArgs(args, snapshot_->db(), &name, &tuple, &meta));
+    // Delete resolves against the post-delta state: deleting values that
+    // match a pending insert un-stages that insert instead.
+    const int inserts_before = PendingDelta().insert_count();
     PREFREP_RETURN_IF_ERROR(PendingDelta().Delete(name, tuple));
-    std::printf("staged delete (%s; 'apply' to derive)\n",
+    std::printf("%s (%s; 'apply' to derive)\n",
+                delta_->insert_count() < inserts_before
+                    ? "un-staged pending insert"
+                    : "staged delete",
                 delta_->Describe().c_str());
     return Status::Ok();
   }

@@ -1,5 +1,6 @@
 #include "base/bitset.h"
 
+#include <algorithm>
 #include <bit>
 
 namespace prefrep {
@@ -18,8 +19,15 @@ bool DynamicBitset::Any() const {
 }
 
 DynamicBitset& DynamicBitset::operator|=(const DynamicBitset& o) {
-  CHECK_EQ(size_, o.size_);
-  for (size_t i = 0; i < words_.size(); ++i) words_[i] |= o.words_[i];
+  // Ragged-tolerant: `o` is read zero-extended and truncated to this
+  // universe. Dropping a SET bit of `o` would change the meaning — the
+  // only sanctioned ragged sources (shared adjacency rows of derived
+  // conflict graphs) never have one past min(sizes).
+  DCHECK(o.NextSetBit(size_) == -1)
+      << "operator|= would drop set bits of a larger operand";
+  const size_t common = std::min(words_.size(), o.words_.size());
+  for (size_t i = 0; i < common; ++i) words_[i] |= o.words_[i];
+  if (o.size_ > size_) ClearPadding();  // boundary word may straddle sizes
   return *this;
 }
 
@@ -50,20 +58,34 @@ void DynamicBitset::AssignOr(const DynamicBitset& a, const DynamicBitset& b) {
 }
 
 void DynamicBitset::AssignAnd(const DynamicBitset& a, const DynamicBitset& b) {
-  CHECK_EQ(size_, a.size_);
-  CHECK_EQ(size_, b.size_);
-  for (size_t i = 0; i < words_.size(); ++i) {
+  // Ragged-tolerant: sources read zero-extended, result confined to this
+  // universe. Exact as long as a ∩ b has no element >= size_, which holds
+  // whenever either operand fits (the common case: one operand is a
+  // full-universe mask, the other a possibly-ragged adjacency row).
+  DCHECK(a.NextSetBit(size_) == -1 || b.NextSetBit(size_) == -1)
+      << "AssignAnd would drop set bits of the intersection";
+  const size_t common =
+      std::min({words_.size(), a.words_.size(), b.words_.size()});
+  for (size_t i = 0; i < common; ++i) {
     words_[i] = a.words_[i] & b.words_[i];
   }
+  for (size_t i = common; i < words_.size(); ++i) words_[i] = 0;
+  if (common == words_.size() && !words_.empty()) ClearPadding();
 }
 
 void DynamicBitset::AssignDifference(const DynamicBitset& a,
                                      const DynamicBitset& b) {
-  CHECK_EQ(size_, a.size_);
-  CHECK_EQ(size_, b.size_);
-  for (size_t i = 0; i < words_.size(); ++i) {
-    words_[i] = a.words_[i] & ~b.words_[i];
+  // Ragged-tolerant (see AssignAnd); exact when a's set bits fit this
+  // universe — a \ b can only shrink a.
+  DCHECK(a.NextSetBit(size_) == -1)
+      << "AssignDifference would drop set bits of the minuend";
+  const size_t a_common = std::min(words_.size(), a.words_.size());
+  for (size_t i = 0; i < a_common; ++i) {
+    uint64_t bw = i < b.words_.size() ? b.words_[i] : 0;
+    words_[i] = a.words_[i] & ~bw;
   }
+  for (size_t i = a_common; i < words_.size(); ++i) words_[i] = 0;
+  if (a_common == words_.size() && !words_.empty()) ClearPadding();
 }
 
 int DynamicBitset::CountInWordRange(int word_begin, int word_end) const {
@@ -100,8 +122,10 @@ bool DynamicBitset::IsSubsetOf(const DynamicBitset& o) const {
 }
 
 bool DynamicBitset::Intersects(const DynamicBitset& o) const {
-  CHECK_EQ(size_, o.size_);
-  for (size_t i = 0; i < words_.size(); ++i) {
+  // Ragged-tolerant: under zero-extension the intersection lives entirely
+  // in the common prefix, so differing sizes need no further care.
+  const size_t common = std::min(words_.size(), o.words_.size());
+  for (size_t i = 0; i < common; ++i) {
     if ((words_[i] & o.words_[i]) != 0) return true;
   }
   return false;

@@ -92,20 +92,34 @@ class DynamicBitset {
     for (auto& w : words_) w = 0;
   }
 
-  // In-place set algebra. Operands must share the same universe size.
-  DynamicBitset& operator|=(const DynamicBitset& o);
+  // In-place set algebra. Most operations require operands over one
+  // universe size; the ones marked RAGGED-TOLERANT additionally accept a
+  // source operand of a different size with zero-extension semantics: the
+  // source is read as if padded with zeros beyond its size, and the result
+  // is confined to the destination's universe. The tolerance exists for
+  // one producer — ConflictGraph::DeriveFrom shares adjacency rows sized
+  // to a PARENT universe with a child graph of a different vertex count
+  // (graph/conflict_graph.h); such rows provably have no set bit at or
+  // beyond min(sizes), so truncation and zero-extension are both exact.
+  // Debug builds DCHECK that no SET bit is dropped, so an accidental size
+  // mismatch elsewhere still trips in every test configuration.
+  //
+  DynamicBitset& operator|=(const DynamicBitset& o);  // RAGGED-TOLERANT in o
   DynamicBitset& operator&=(const DynamicBitset& o);
   DynamicBitset& operator^=(const DynamicBitset& o);
   // Set difference: removes every element of `o`.
   DynamicBitset& Subtract(const DynamicBitset& o);
 
   // Three-operand in-place forms: *this = a OP b, overwriting the previous
-  // contents without touching the heap (all three must share one universe).
-  // These are the workhorses of the enumeration hot loops, where `*this` is
-  // a pooled scratch buffer reused across search nodes.
+  // contents without touching the heap. These are the workhorses of the
+  // enumeration hot loops, where `*this` is a pooled scratch buffer reused
+  // across search nodes.
   void AssignOr(const DynamicBitset& a, const DynamicBitset& b);
+  // RAGGED-TOLERANT in `a` and `b` (a ∩ b must fit the destination; in
+  // practice one operand is a full-universe mask that bounds the result).
   void AssignAnd(const DynamicBitset& a, const DynamicBitset& b);
-  // *this = a \ b.
+  // *this = a \ b. RAGGED-TOLERANT in `a` and `b` (a's set bits must fit
+  // the destination).
   void AssignDifference(const DynamicBitset& a, const DynamicBitset& b);
 
   friend DynamicBitset operator|(DynamicBitset a, const DynamicBitset& b) {
@@ -126,6 +140,8 @@ class DynamicBitset {
   DynamicBitset Complement() const;
 
   bool IsSubsetOf(const DynamicBitset& o) const;
+  // RAGGED-TOLERANT: operands of different sizes intersect over their
+  // common prefix (exact under zero-extension — no DCHECK needed).
   bool Intersects(const DynamicBitset& o) const;
   int IntersectionCount(const DynamicBitset& o) const;
 

@@ -64,6 +64,7 @@ ComponentDecomposition::ComponentDecomposition(const ConflictGraph& graph)
     component.vertices = vertices;
     components_.push_back(std::move(component));
   }
+  rebuilt_component_count_ = static_cast<int>(components_.size());
 }
 
 ComponentDecomposition::ComponentDecomposition(
@@ -140,6 +141,13 @@ ComponentDecomposition::ComponentDecomposition(
             [](const GraphComponent& a, const GraphComponent& b) {
               return a.vertices.front() < b.vertices.front();
             });
+
+  // Count directly from the two lists rather than by parent/child set
+  // arithmetic — fresh edges can merge several dirty parent components
+  // into one child component, so differences of totals don't track what
+  // was actually BFS-built.
+  carried_component_count_ = static_cast<int>(carried.size());
+  rebuilt_component_count_ = static_cast<int>(rebuilt.size());
 
   // Merge carried and rebuilt by smallest vertex — the global order
   // ComponentDecomposition(graph) would produce — and index everything.

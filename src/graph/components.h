@@ -102,6 +102,14 @@ class ComponentDecomposition {
   // Degree-0 vertices; they belong to every repair of every family.
   const DynamicBitset& isolated() const { return isolated_; }
 
+  // How this decomposition was obtained (delta diagnostics): components
+  // carried over from a seed's clean parent components vs. components
+  // actually built by BFS over the dirty region. A from-scratch
+  // decomposition counts every component as rebuilt. Always:
+  // carried + rebuilt == components().size().
+  int carried_component_count() const { return carried_component_count_; }
+  int rebuilt_component_count() const { return rebuilt_component_count_; }
+
   // Component index of a global vertex, or -1 for isolated vertices.
   int ComponentOf(int global_vertex) const {
     return component_of_[global_vertex];
@@ -120,6 +128,8 @@ class ComponentDecomposition {
  private:
   int vertex_count_ = 0;
   std::vector<GraphComponent> components_;
+  int carried_component_count_ = 0;
+  int rebuilt_component_count_ = 0;
   DynamicBitset isolated_;
   std::vector<int> component_of_;
   std::vector<int> local_index_;

@@ -67,9 +67,11 @@ ConflictGraph ConflictGraph::DeriveFrom(const ConflictGraph& parent,
   CHECK_GE(vertex_count, 0);
   CHECK_GE(identity_limit, 0);
   if (identity_limit > 0) {
-    // Sharing a parent bitset reinterprets it over the new universe, which
-    // is only sound when the universes coincide.
-    CHECK_EQ(vertex_count, parent.vertex_count_);
+    // Sharing a parent bitset reinterprets it over the new universe
+    // (zero-extended or truncated — see the header); the identity region
+    // itself must exist in both universes.
+    CHECK_LE(identity_limit, vertex_count);
+    CHECK_LE(identity_limit, parent.vertex_count_);
     CHECK_EQ(dirty.size(), vertex_count);
   }
   ConflictGraph graph;
@@ -101,7 +103,11 @@ ConflictGraph ConflictGraph::DeriveFrom(const ConflictGraph& parent,
 }
 
 DynamicBitset ConflictGraph::Vicinity(int v) const {
-  DynamicBitset out = *adjacency_[v];
+  // Not a plain copy: a ragged row would hand the caller a set over the
+  // wrong universe. Normalize to vertex_count() via the ragged-tolerant
+  // OR (exact — row bits never reach past min(sizes)).
+  DynamicBitset out(vertex_count_);
+  out |= *adjacency_[v];
   out.Set(v);
   return out;
 }

@@ -45,16 +45,28 @@ class ConflictGraph {
   // Successor-graph constructor for incremental snapshot derivation.
   // `edges` is the new graph's full edge list in canonical form (as in
   // FromSortedUniqueEdges). Vertices below `identity_limit` that are NOT in
-  // `dirty` denote the same tuple as in `parent` with a bit-identical
-  // neighborhood; their adjacency bitsets are shared with the parent
+  // `dirty` denote the same tuple as in `parent` with the same set of
+  // neighbors; their adjacency bitsets are shared with the parent
   // (refcount bump, no allocation). Everything else gets a freshly built
-  // bitset from `edges`. Sharing requires equal universes: when
-  // identity_limit > 0, vertex_count must equal parent.vertex_count()
-  // (replace-style deltas; callers pass identity_limit = 0 otherwise and
-  // get a plain fresh build). The caller is responsible for `dirty`
-  // covering every identity vertex whose neighborhood changed — the
-  // randomized suites in tests/incremental_snapshot_test.cc pin the
-  // resulting adjacency against a from-scratch build.
+  // bitset from `edges`.
+  //
+  // The universes need NOT coincide: a shared row keeps the parent's
+  // size, and the graph's adjacency is therefore RAGGED — row v may be
+  // sized to a different universe than vertex_count(). That is sound
+  // because a clean identity vertex has every neighbor below
+  // identity_limit <= min(vertex_count, parent.vertex_count()), so the
+  // row read zero-extended (insert-heavy child, row smaller than the
+  // universe) or truncated (delete-heavy child, row larger) is exactly
+  // the child's neighborhood. Every adjacency consumer goes through the
+  // ragged-tolerant DynamicBitset operations (base/bitset.h) or the
+  // accessors below, which normalize where a sized value escapes
+  // (Vicinity) and guard where an index could overrun a smaller row
+  // (HasEdge). `identity_limit` must not exceed either universe; the
+  // caller is responsible for `dirty` (sized vertex_count) covering every
+  // identity vertex whose neighborhood changed — the randomized suites in
+  // tests/incremental_snapshot_test.cc pin the resulting adjacency
+  // against a from-scratch build for balanced and unbalanced deltas
+  // alike.
   static ConflictGraph DeriveFrom(const ConflictGraph& parent,
                                   int vertex_count,
                                   std::vector<std::pair<int, int>> edges,
@@ -71,13 +83,22 @@ class ConflictGraph {
     return edges_ == nullptr ? kEmpty : *edges_;
   }
 
-  // n(t): all tuples conflicting with t.
+  // n(t): all tuples conflicting with t. In a DeriveFrom-built graph the
+  // returned row may be RAGGED — sized to the parent universe, with
+  // zero-extension semantics beyond its size (see DeriveFrom). Combine it
+  // only through the ragged-tolerant DynamicBitset operations, and never
+  // assume its size() equals vertex_count().
   const DynamicBitset& Neighbors(int v) const { return *adjacency_[v]; }
-  // v(t) = {t} ∪ n(t).
+  // v(t) = {t} ∪ n(t), always sized to vertex_count() (safe to store and
+  // combine with same-universe sets even when the underlying row is
+  // ragged).
   DynamicBitset Vicinity(int v) const;
   int Degree(int v) const { return adjacency_[v]->Count(); }
   bool HasEdge(int u, int v) const {
-    return u != v && adjacency_[u]->Test(v);
+    // A ragged row shorter than the universe has no neighbors at or
+    // beyond its size (zero-extension), so an out-of-row index is simply
+    // a non-edge.
+    return u != v && v < adjacency_[u]->size() && adjacency_[u]->Test(v);
   }
 
   // True iff vertex v's adjacency bitset is the same heap object in both

@@ -44,8 +44,10 @@ bool CanExtendToCyclicOrientation(
   int n = graph.vertex_count();
   // allowed[u] = vertices v such that the arc u->v is consistent with the
   // partial orientation: edge {u,v} exists and is not oriented v->u.
+  // |= (not copy-assign) so each set is sized to the universe even when the
+  // graph hands back a ragged derived row.
   std::vector<DynamicBitset> allowed(n, DynamicBitset(n));
-  for (int v = 0; v < n; ++v) allowed[v] = graph.Neighbors(v);
+  for (int v = 0; v < n; ++v) allowed[v] |= graph.Neighbors(v);
   for (auto [u, v] : oriented_arcs) {
     CHECK(graph.HasEdge(u, v)) << "orientation of non-edge (" << u << ","
                                << v << ")";

@@ -52,8 +52,39 @@ Status DatabaseDelta::Delete(TupleId id) {
 
 Status DatabaseDelta::Delete(std::string_view relation_name,
                              const Tuple& tuple) {
-  PREFREP_ASSIGN_OR_RETURN(TupleId id, base_->FindTuple(relation_name, tuple));
-  return Delete(id);
+  // Resolve against the POST-delta state, not just the base: a surviving
+  // base tuple is staged for deletion, while a value-equal pending insert
+  // (including a re-insert of a deleted base tuple) is simply un-staged.
+  Result<TupleId> id = base_->FindTuple(relation_name, tuple);
+  if (id.ok() && !deleted_.Test(*id)) return Delete(*id);
+  Status removed = RemoveInsert(relation_name, tuple);
+  if (removed.ok() || removed.code() != StatusCode::kNotFound) return removed;
+  // Nothing pending either; report the base-side resolution failure
+  // (kNotFound, or kAlreadyExists for an already-staged deletion).
+  if (id.ok()) {
+    return Status::AlreadyExists("tuple id " + std::to_string(*id) +
+                                 " already staged for deletion");
+  }
+  return id.status();
+}
+
+Status DatabaseDelta::RemoveInsert(std::string_view relation_name,
+                                   const Tuple& tuple) {
+  PREFREP_ASSIGN_OR_RETURN(int rel, base_->RelationIndex(relation_name));
+  auto pending = pending_by_relation_.find(rel);
+  if (pending == pending_by_relation_.end() ||
+      !pending->second.contains(tuple)) {
+    return Status::NotFound("no pending insert of " + tuple.ToString() +
+                            " into '" + std::string(relation_name) + "'");
+  }
+  pending->second.erase(tuple);
+  for (auto it = inserts_.begin(); it != inserts_.end(); ++it) {
+    if (it->relation == rel && it->tuple == tuple) {
+      inserts_.erase(it);
+      break;
+    }
+  }
+  return Status::Ok();
 }
 
 std::vector<int> DatabaseDelta::TouchedRelations() const {

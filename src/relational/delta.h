@@ -22,8 +22,12 @@
 //     must not duplicate a surviving base tuple or an earlier pending
 //     insert. Deleting a base tuple first and re-inserting the same values
 //     is allowed (the reborn tuple gets a fresh id at the end).
-//   - Delete: the id must be in range and not already deleted. Pending
-//     inserts have no id yet and cannot be deleted.
+//   - Delete by id: the id must be in range and not already deleted.
+//     Pending inserts have no id yet and cannot be deleted by id.
+//   - Delete by value: resolves against the post-delta state — a surviving
+//     base tuple is staged for deletion; a value-equal pending insert is
+//     un-staged instead (RemoveInsert), so staging an insert and deleting
+//     the same values is a no-op pair.
 
 #ifndef PREFREP_RELATIONAL_DELTA_H_
 #define PREFREP_RELATIONAL_DELTA_H_
@@ -71,8 +75,15 @@ class DatabaseDelta {
                 TupleMeta meta = TupleMeta{});
   // Stages a delete by global tuple id.
   Status Delete(TupleId id);
-  // Stages a delete by value (resolved through the base's tuple index).
+  // Stages a delete by value against the post-delta state: a surviving
+  // base tuple is staged for deletion, a value-equal pending insert is
+  // un-staged (see RemoveInsert). kNotFound when neither exists;
+  // kAlreadyExists when the only match is a base tuple already staged for
+  // deletion (with no pending re-insert).
   Status Delete(std::string_view relation_name, const Tuple& tuple);
+  // Un-stages a pending insert of exactly `tuple` (kNotFound if none is
+  // pending). Later pending inserts keep their relative delta order.
+  Status RemoveInsert(std::string_view relation_name, const Tuple& tuple);
 
   bool empty() const { return inserts_.empty() && deletes_.empty(); }
   int insert_count() const { return static_cast<int>(inserts_.size()); }

@@ -68,11 +68,16 @@ class LruCache {
 
   size_t size() const { return entries_.size(); }
   size_t capacity() const { return capacity_; }
+  // Evictions since construction or the last Clear().
   size_t evictions() const { return evictions_; }
 
+  // Empties the cache and resets the eviction counter: a cleared cache
+  // reports no activity (the shell's `cache` command surfaces these
+  // numbers, and phantom evictions on an empty cache read as a bug).
   void Clear() {
     map_.clear();
     entries_.clear();
+    evictions_ = 0;
   }
 
   // Visits entries from least to most recently used (fn(key, value));

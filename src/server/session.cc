@@ -282,6 +282,9 @@ void Session::ClearCache() {
   prepared_cache_.Clear();
   plan_cache_.Clear();
   result_cache_.Clear();
+  // Counters restart with the emptied caches — a cleared session must not
+  // report hit/miss/seed activity it can no longer back with entries.
+  stats_ = SessionCacheStats{};
 }
 
 // ---- synchronous facade ---------------------------------------------------

@@ -222,7 +222,10 @@ class Session {
 
   // ---- cache management -------------------------------------------------
 
+  // Counters since session construction or the last ClearCache().
   SessionCacheStats cache_stats() const;
+  // Empties all three caches and zeroes cache_stats() — after a clear the
+  // session reports no phantom hit/miss/seed/eviction activity.
   void ClearCache();
 
  private:

@@ -76,12 +76,12 @@ Result<std::shared_ptr<const Snapshot>> Snapshot::Derive(
   // same tuple and id in parent and child) have a CHANGED neighborhood:
   // an old edge whose other endpoint is at or above first_shifted (deleted
   // or renumbered) rewrites the low endpoint's bitset, as does a fresh
-  // edge. Everything unmarked can share its adjacency bitset with the
-  // parent graph — but only when the universes coincide (equal tuple
-  // counts, i.e. replace-style deltas), which ConflictGraph::DeriveFrom
-  // gates via identity_limit.
-  const int adjacency_identity_limit =
-      remap.new_tuple_count == remap.old_tuple_count ? remap.first_shifted : 0;
+  // edge. Everything unmarked shares its adjacency bitset with the parent
+  // graph even when the tuple counts differ: a clean identity row has all
+  // neighbors below first_shifted <= min(old_count, new_count), so reading
+  // it zero-extended (insert-heavy) or truncated (delete-heavy) over the
+  // child universe is exact (see ConflictGraph::DeriveFrom).
+  const int adjacency_identity_limit = remap.first_shifted;
   DynamicBitset dirty_adjacency(remap.new_tuple_count);
   std::vector<std::pair<TupleId, TupleId>> surviving_edges;
   surviving_edges.reserve(base->graph().edges().size());
@@ -174,12 +174,11 @@ Result<std::shared_ptr<const Snapshot>> Snapshot::Derive(
   info->domain_preserved = domain_preserved;
   info->inserted_tuples = delta.insert_count();
   info->deleted_tuples = delta.delete_count();
-  info->rebuilt_components = static_cast<int>(
-      snapshot->decomposition_->components().size() -
-      (parent_decomposition.components().size() - seed.dirty_components.size()));
-  info->carried_components =
-      static_cast<int>(parent_decomposition.components().size() -
-                       seed.dirty_components.size());
+  // Direct counts from the seeded decomposition: set arithmetic over
+  // parent/child totals undercounts rebuilds when fresh edges merge
+  // several dirty parent components into one child component.
+  info->rebuilt_components = snapshot->decomposition_->rebuilt_component_count();
+  info->carried_components = snapshot->decomposition_->carried_component_count();
   snapshot->delta_info_ = std::move(info);
   snapshot->id_ = g_next_snapshot_id.fetch_add(1, std::memory_order_relaxed) + 1;
   return std::shared_ptr<const Snapshot>(std::move(snapshot));

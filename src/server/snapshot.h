@@ -17,11 +17,13 @@
 //     the parent via Relation's copy-on-write),
 //   - keeps every conflict edge between surviving tuples (LHS agreement is
 //     a property of the two tuples alone) and probes only the inserted
-//     tuples against the per-FD LHS hash index for fresh edges; when the
-//     delta is replace-style (equal tuple counts) the successor graph also
-//     shares the adjacency bitsets of every identity-region tuple whose
-//     neighborhood is unchanged (ConflictGraph::DeriveFrom), skipping the
-//     O(V^2/64)-bit allocation that dominates graph construction,
+//     tuples against the per-FD LHS hash index for fresh edges; the
+//     successor graph also shares the adjacency bitsets of every
+//     identity-region tuple whose neighborhood is unchanged
+//     (ConflictGraph::DeriveFrom), skipping the O(V^2/64)-bit allocation
+//     that dominates graph construction — the universes need not match,
+//     shared rows keep the parent's bit length (ragged adjacency, see
+//     conflict_graph.h),
 //   - carries every clean component of the parent decomposition over and
 //     re-runs BFS only on the dirty region,
 //   - records what changed in a SnapshotDeltaInfo so a derived Session can

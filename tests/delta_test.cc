@@ -97,6 +97,62 @@ TEST(DeltaStagingTest, DeleteByValueResolvesThroughIndex) {
   EXPECT_EQ(delta.delete_count(), 1);
 }
 
+TEST(DeltaStagingTest, RemoveInsertUnstagesPendingTuple) {
+  Database db = TwoRelationDb();
+  DatabaseDelta delta(&db);
+  Tuple staged = Tuple::Of(Value::Number(9), Value::Number(9));
+  ASSERT_TRUE(delta.Insert("R", staged).ok());
+  // Nothing pending for these values / this relation.
+  EXPECT_EQ(delta.RemoveInsert("R", Tuple::Of(Value::Number(8),
+                                              Value::Number(8)))
+                .code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(delta.RemoveInsert("Nope", staged).code(), StatusCode::kNotFound);
+  ASSERT_TRUE(delta.RemoveInsert("R", staged).ok());
+  EXPECT_TRUE(delta.empty());
+  // Un-staging frees the duplicate check: the same values stage again.
+  EXPECT_TRUE(delta.Insert("R", staged).ok());
+}
+
+TEST(DeltaStagingTest, DeleteByValueUnstagesPendingInsert) {
+  Database db = TwoRelationDb();
+  DatabaseDelta delta(&db);
+  Tuple staged = Tuple::Of(Value::Number(9), Value::Number(9));
+  ASSERT_TRUE(delta.Insert("R", staged).ok());
+  // Deleting the staged values un-stages the insert rather than failing
+  // with kNotFound; the insert/delete pair is a no-op delta.
+  ASSERT_TRUE(delta.Delete("R", staged).ok());
+  EXPECT_TRUE(delta.empty());
+  EXPECT_EQ(delta.Apply()->tuple_count(), db.tuple_count());
+  // Later pending inserts keep their delta order across an un-stage.
+  Tuple first = Tuple::Of(Value::Number(7), Value::Number(7));
+  Tuple second = Tuple::Of(Value::Number(8), Value::Number(8));
+  ASSERT_TRUE(delta.Insert("R", first).ok());
+  ASSERT_TRUE(delta.Insert("R", staged).ok());
+  ASSERT_TRUE(delta.Insert("R", second).ok());
+  ASSERT_TRUE(delta.Delete("R", staged).ok());
+  ASSERT_EQ(delta.insert_count(), 2);
+  EXPECT_TRUE(delta.inserts()[0].tuple == first);
+  EXPECT_TRUE(delta.inserts()[1].tuple == second);
+}
+
+TEST(DeltaStagingTest, DeleteByValueOnReinsertedTupleUnstagesTheReinsert) {
+  Database db = TwoRelationDb();
+  DatabaseDelta delta(&db);
+  Tuple values = Tuple::Of(Value::Number(0), Value::Number(0));
+  TupleId id = *db.FindTuple("R", values);
+  ASSERT_TRUE(delta.Delete(id).ok());
+  ASSERT_TRUE(delta.Insert("R", values).ok());  // reborn copy
+  // The base copy is already staged for deletion, so delete-by-value must
+  // target the reborn pending insert.
+  ASSERT_TRUE(delta.Delete("R", values).ok());
+  EXPECT_EQ(delta.insert_count(), 0);
+  EXPECT_EQ(delta.delete_count(), 1);
+  // With no pending re-insert left, a second delete-by-value reports the
+  // already-staged deletion.
+  EXPECT_EQ(delta.Delete("R", values).code(), StatusCode::kAlreadyExists);
+}
+
 TEST(DeltaStagingTest, TouchedRelationsSortedUnique) {
   Database db = TwoRelationDb();
   DatabaseDelta delta(&db);

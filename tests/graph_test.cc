@@ -101,12 +101,22 @@ TEST(ConflictGraphTest, EmptyGraph) {
 // -------------------------------------------------------------- DeriveFrom --
 
 // Asserts the two graphs agree on every accessor the engines use.
+// Neighborhoods are compared as sets: a derived graph's shared rows may be
+// ragged (sized to the parent universe), which is representation, not
+// meaning. Vicinity must be universe-sized in both regardless.
 void ExpectSameGraph(const ConflictGraph& got, const ConflictGraph& want) {
   ASSERT_EQ(got.vertex_count(), want.vertex_count());
   EXPECT_EQ(got.edges(), want.edges());
   for (int v = 0; v < want.vertex_count(); ++v) {
-    EXPECT_EQ(got.Neighbors(v), want.Neighbors(v)) << "vertex " << v;
+    EXPECT_EQ(got.Neighbors(v).ToVector(), want.Neighbors(v).ToVector())
+        << "vertex " << v;
+    EXPECT_TRUE(got.Vicinity(v) == want.Vicinity(v)) << "vertex " << v;
+    for (int w = 0; w < want.vertex_count(); ++w) {
+      EXPECT_EQ(got.HasEdge(v, w), want.HasEdge(v, w))
+          << "edge (" << v << "," << w << ")";
+    }
   }
+  EXPECT_EQ(got.ConnectedComponents(), want.ConnectedComponents());
 }
 
 TEST(ConflictGraphDeriveTest, CleanIdentityVerticesShareAdjacency) {
@@ -152,6 +162,52 @@ TEST(ConflictGraphDeriveTest, ZeroIdentityLimitIsAFreshBuild) {
   for (int v = 0; v < 3; ++v) {
     EXPECT_FALSE(derived.SharesAdjacencyWith(parent, v));
   }
+}
+
+TEST(ConflictGraphDeriveTest, LargerUniverseZeroExtendsSharedRows) {
+  // Insert-only shape: the child universe grows from 4 to 6. Vertices 0
+  // and 1 keep their exact (low) neighborhoods, so their parent-sized rows
+  // are shared and read zero-extended.
+  ConflictGraph parent(4, {{0, 1}, {2, 3}});
+  std::vector<std::pair<int, int>> edges = {{0, 1}, {2, 4}, {3, 5}};
+  DynamicBitset dirty(6);
+  dirty.Set(2);
+  dirty.Set(3);
+  ConflictGraph derived =
+      ConflictGraph::DeriveFrom(parent, 6, edges, /*identity_limit=*/4, dirty);
+  ExpectSameGraph(derived, ConflictGraph(6, edges));
+  EXPECT_TRUE(derived.SharesAdjacencyWith(parent, 0));
+  EXPECT_TRUE(derived.SharesAdjacencyWith(parent, 1));
+  EXPECT_FALSE(derived.SharesAdjacencyWith(parent, 2));
+  EXPECT_FALSE(derived.SharesAdjacencyWith(parent, 3));
+  // The shared rows really are ragged (parent-sized), and the normalizing
+  // accessors still size their outputs to the child universe.
+  EXPECT_EQ(derived.Neighbors(0).size(), 4);
+  EXPECT_EQ(derived.Vicinity(0).size(), 6);
+  EXPECT_FALSE(derived.HasEdge(0, 5));  // index past the ragged row: non-edge
+  EXPECT_TRUE(derived.IsMaximalIndependent(
+      DynamicBitset::FromIndices(6, {0, 2, 3})));
+}
+
+TEST(ConflictGraphDeriveTest, SmallerUniverseTruncatesSharedRows) {
+  // Delete-only tail shape: the child universe shrinks from 6 to 4.
+  // Vertices 0-2 had no neighbor at or beyond the cut, so their larger
+  // parent-sized rows are shared and read truncated.
+  ConflictGraph parent(6, {{0, 1}, {1, 2}, {3, 4}, {4, 5}});
+  std::vector<std::pair<int, int>> edges = {{0, 1}, {1, 2}};
+  DynamicBitset dirty(4);
+  dirty.Set(3);
+  ConflictGraph derived =
+      ConflictGraph::DeriveFrom(parent, 4, edges, /*identity_limit=*/4, dirty);
+  ExpectSameGraph(derived, ConflictGraph(4, edges));
+  for (int v = 0; v < 3; ++v) {
+    EXPECT_TRUE(derived.SharesAdjacencyWith(parent, v)) << "vertex " << v;
+  }
+  EXPECT_FALSE(derived.SharesAdjacencyWith(parent, 3));
+  EXPECT_EQ(derived.Neighbors(0).size(), 6);  // ragged: parent-sized
+  EXPECT_EQ(derived.Vicinity(0).size(), 4);
+  EXPECT_TRUE(derived.IsMaximalIndependent(
+      DynamicBitset::FromIndices(4, {0, 2, 3})));
 }
 
 TEST(ConflictGraphDeriveTest, MatchesFromSortedUniqueEdges) {

@@ -76,14 +76,18 @@ void ExpectSameSnapshot(const Snapshot& derived, const Snapshot& rebuilt) {
     ASSERT_TRUE(derived.db().TupleOf(id) == rebuilt.db().TupleOf(id));
   }
   // Conflict graph: the edge list is normalized and sorted in both, so
-  // equality really is bit-for-bit. The adjacency bitsets are compared
+  // equality really is bit-for-bit. The adjacency rows are compared
   // separately because DeriveFrom assembles them from shared parent rows
   // plus fresh rows — the edge list alone would not catch a wrongly
-  // shared (stale) row.
+  // shared (stale) row. Compared as neighbor SETS, not raw bitsets: a
+  // shared row of a derived graph may be RAGGED (sized to the parent
+  // universe); ToVector also flags any stray bit outside the child
+  // universe, which would have no counterpart in the rebuilt row.
   EXPECT_EQ(derived.graph().edges(), rebuilt.graph().edges());
   ASSERT_EQ(derived.graph().vertex_count(), rebuilt.graph().vertex_count());
   for (int v = 0; v < derived.graph().vertex_count(); ++v) {
-    EXPECT_EQ(derived.graph().Neighbors(v), rebuilt.graph().Neighbors(v))
+    EXPECT_EQ(derived.graph().Neighbors(v).ToVector(),
+              rebuilt.graph().Neighbors(v).ToVector())
         << "adjacency mismatch at vertex " << v;
   }
   // Decomposition.
@@ -253,6 +257,212 @@ TEST(SnapshotDeriveTest, BalancedTailDeltaSharesIdentityAdjacency) {
     // region.
     EXPECT_GT(shared, first_shifted / 2);
   }
+}
+
+// Number of identity-region vertices ([0, first_shifted)) whose adjacency
+// bitset is the parent's heap object, plus a per-vertex audit that every
+// NON-shared identity vertex is genuinely dirty (its neighborhood differs
+// between the versions, comparing as sets since rows may be ragged).
+int CountSharedIdentityRows(const Snapshot& derived, const Snapshot& base,
+                            int first_shifted) {
+  int shared = 0;
+  for (int v = 0; v < first_shifted; ++v) {
+    if (derived.graph().SharesAdjacencyWith(base.graph(), v)) {
+      ++shared;
+    } else {
+      EXPECT_NE(base.graph().Neighbors(v).ToVector(),
+                derived.graph().Neighbors(v).ToVector())
+          << "vertex " << v << " rebuilt without cause";
+    }
+  }
+  return shared;
+}
+
+TEST(SnapshotDeriveTest, InsertOnlyDeltaSharesCleanAdjacency) {
+  // Insert-only deltas grow the universe; every pre-existing id is
+  // identity-mapped (first_shifted == old count), so all clean rows must
+  // be shared with the parent and read zero-extended over the larger
+  // child universe.
+  Rng rng(20260810);
+  for (int round = 0; round < 8; ++round) {
+    GeneratedInstance inst = MakeMultiRelationComponentsInstance(
+        rng, /*relations=*/3, /*groups_per_relation=*/4, /*min_size=*/2,
+        /*max_size=*/5);
+    std::shared_ptr<const Snapshot> base = MustSnapshot(inst);
+    const int n = base->db().tuple_count();
+    const int ops = 1 + static_cast<int>(rng.UniformInt(5));
+    DatabaseDelta delta(&base->db());
+    for (int i = 0; i < ops; ++i) {
+      ASSERT_TRUE(delta
+                      .Insert("R1", Tuple::Of(Value::Number(rng.UniformInt(4)),
+                                              Value::Number(0),
+                                              Value::Number(2000 + i)))
+                      .ok());
+    }
+    auto derived = Snapshot::Derive(base, delta);
+    ASSERT_TRUE(derived.ok()) << derived.status().ToString();
+    auto rebuilt = Snapshot::Create(*delta.ApplyNaive(), base->fds());
+    ASSERT_TRUE(rebuilt.ok()) << rebuilt.status().ToString();
+    ExpectSameSnapshot(**derived, **rebuilt);
+
+    ASSERT_EQ((*derived)->graph().vertex_count(), n + ops);
+    const int first_shifted = (*derived)->delta_info()->first_shifted_id;
+    EXPECT_EQ(first_shifted, n);  // nothing deleted, nothing renumbered
+    const int shared = CountSharedIdentityRows(**derived, *base, first_shifted);
+    // The inserts land in one relation's key groups; the two untouched
+    // relations alone keep a clean majority.
+    EXPECT_GT(shared, n / 2);
+  }
+}
+
+TEST(SnapshotDeriveTest, DeleteOnlyTailDeltaSharesCleanAdjacency) {
+  // Tail deletions shrink the universe; ids below the first deleted id
+  // are identity-mapped, and their clean rows — sized to the LARGER
+  // parent universe — are shared and read truncated.
+  Rng rng(20260811);
+  for (int round = 0; round < 8; ++round) {
+    GeneratedInstance inst = MakeMultiRelationComponentsInstance(
+        rng, /*relations=*/3, /*groups_per_relation=*/4, /*min_size=*/2,
+        /*max_size=*/5);
+    std::shared_ptr<const Snapshot> base = MustSnapshot(inst);
+    const int n = base->db().tuple_count();
+    const int ops = 1 + static_cast<int>(rng.UniformInt(5));
+    DatabaseDelta delta(&base->db());
+    for (int i = 0; i < ops; ++i) {
+      ASSERT_TRUE(delta.Delete(static_cast<TupleId>(n - 1 - i)).ok());
+    }
+    auto derived = Snapshot::Derive(base, delta);
+    ASSERT_TRUE(derived.ok()) << derived.status().ToString();
+    auto rebuilt = Snapshot::Create(*delta.ApplyNaive(), base->fds());
+    ASSERT_TRUE(rebuilt.ok()) << rebuilt.status().ToString();
+    ExpectSameSnapshot(**derived, **rebuilt);
+
+    ASSERT_EQ((*derived)->graph().vertex_count(), n - ops);
+    const int first_shifted = (*derived)->delta_info()->first_shifted_id;
+    EXPECT_EQ(first_shifted, n - ops);
+    const int shared = CountSharedIdentityRows(**derived, *base, first_shifted);
+    EXPECT_GT(shared, first_shifted / 2);
+  }
+}
+
+TEST(SnapshotDeriveTest, DeleteOnlyScatteredDeltaSharesPrefixAdjacency) {
+  // Scattered deletions renumber everything past the FIRST deleted id, so
+  // sharing is confined to the prefix before it — keep the deletions in
+  // the upper half to make that prefix (and its sharing) non-trivial, and
+  // let the equivalence check cover the renumbered remainder.
+  Rng rng(20260812);
+  for (int round = 0; round < 8; ++round) {
+    GeneratedInstance inst = MakeMultiRelationComponentsInstance(
+        rng, /*relations=*/3, /*groups_per_relation=*/4, /*min_size=*/2,
+        /*max_size=*/5);
+    std::shared_ptr<const Snapshot> base = MustSnapshot(inst);
+    const int n = base->db().tuple_count();
+    std::vector<TupleId> victims;
+    for (TupleId id = n / 2; id < n; ++id) {
+      if (rng.UniformDouble() < 0.2) victims.push_back(id);
+    }
+    if (victims.empty()) victims.push_back(n / 2 + 1);
+    DatabaseDelta delta(&base->db());
+    for (TupleId id : victims) ASSERT_TRUE(delta.Delete(id).ok());
+    auto derived = Snapshot::Derive(base, delta);
+    ASSERT_TRUE(derived.ok()) << derived.status().ToString();
+    auto rebuilt = Snapshot::Create(*delta.ApplyNaive(), base->fds());
+    ASSERT_TRUE(rebuilt.ok()) << rebuilt.status().ToString();
+    ExpectSameSnapshot(**derived, **rebuilt);
+
+    const int first_shifted = (*derived)->delta_info()->first_shifted_id;
+    EXPECT_EQ(first_shifted, static_cast<int>(victims.front()));
+    const int shared = CountSharedIdentityRows(**derived, *base, first_shifted);
+    EXPECT_GT(shared, 0);
+  }
+}
+
+TEST(SnapshotDeriveTest, SkewedMixedDeltaSharesCleanAdjacency) {
+  // Unequal delete/insert counts (the shapes PR 9 rebuilt from scratch):
+  // a couple of upper-half deletions plus a larger batch of inserts.
+  Rng rng(20260813);
+  for (int round = 0; round < 8; ++round) {
+    GeneratedInstance inst = MakeMultiRelationComponentsInstance(
+        rng, /*relations=*/3, /*groups_per_relation=*/4, /*min_size=*/2,
+        /*max_size=*/5);
+    std::shared_ptr<const Snapshot> base = MustSnapshot(inst);
+    const int n = base->db().tuple_count();
+    DatabaseDelta delta(&base->db());
+    const int deletes = 1 + static_cast<int>(rng.UniformInt(2));
+    for (int i = 0; i < deletes; ++i) {
+      ASSERT_TRUE(delta.Delete(static_cast<TupleId>(n - 1 - 2 * i)).ok());
+    }
+    const int inserts = deletes + 2 + static_cast<int>(rng.UniformInt(3));
+    for (int i = 0; i < inserts; ++i) {
+      ASSERT_TRUE(delta
+                      .Insert("R0", Tuple::Of(Value::Number(rng.UniformInt(4)),
+                                              Value::Number(0),
+                                              Value::Number(3000 + i)))
+                      .ok());
+    }
+    ASSERT_NE(delta.insert_count(), delta.delete_count());
+    auto derived = Snapshot::Derive(base, delta);
+    ASSERT_TRUE(derived.ok()) << derived.status().ToString();
+    auto rebuilt = Snapshot::Create(*delta.ApplyNaive(), base->fds());
+    ASSERT_TRUE(rebuilt.ok()) << rebuilt.status().ToString();
+    ExpectSameSnapshot(**derived, **rebuilt);
+
+    const int first_shifted = (*derived)->delta_info()->first_shifted_id;
+    ASSERT_GT(first_shifted, 0);
+    EXPECT_GT(CountSharedIdentityRows(**derived, *base, first_shifted), 0);
+  }
+}
+
+TEST(SnapshotDeriveTest, FreshEdgeMergingTwoComponentsKeepsCountsSane) {
+  // One inserted tuple conflicting into two distinct parent components
+  // (via two different FDs) merges them: the child has FEWER non-trivial
+  // components than the parent lost. rebuilt_components must count the
+  // child components actually BFS-built (here: the single merged one),
+  // never a negative set difference.
+  Database db;
+  auto r = Schema::Create("R", {Attribute{"A", ValueType::kNumber},
+                                Attribute{"B", ValueType::kNumber},
+                                Attribute{"C", ValueType::kNumber}});
+  CHECK(r.ok());
+  CHECK(db.AddRelation(*r).ok());
+  // Component X: same A=1, differing B (FD A->B).
+  CHECK(db.Insert("R", Tuple::Of(Value::Number(1), Value::Number(0),
+                                 Value::Number(7))).ok());
+  CHECK(db.Insert("R", Tuple::Of(Value::Number(1), Value::Number(1),
+                                 Value::Number(8))).ok());
+  // Component Y: same C=9, differing B (FD C->B).
+  CHECK(db.Insert("R", Tuple::Of(Value::Number(2), Value::Number(0),
+                                 Value::Number(9))).ok());
+  CHECK(db.Insert("R", Tuple::Of(Value::Number(3), Value::Number(1),
+                                 Value::Number(9))).ok());
+  auto fd_ab = FunctionalDependency::CreateByName(*r, {"A"}, {"B"});
+  auto fd_cb = FunctionalDependency::CreateByName(*r, {"C"}, {"B"});
+  ASSERT_TRUE(fd_ab.ok() && fd_cb.ok());
+  auto base = Snapshot::Create(std::move(db), {*fd_ab, *fd_cb});
+  ASSERT_TRUE(base.ok());
+  ASSERT_EQ((*base)->decomposition().components().size(), 2u);
+
+  // Bridges X (A=1, B=2) and Y (C=9, B=2).
+  DatabaseDelta delta(&(*base)->db());
+  ASSERT_TRUE(delta.Insert("R", Tuple::Of(Value::Number(1), Value::Number(2),
+                                          Value::Number(9))).ok());
+  auto derived = Snapshot::Derive(*base, delta);
+  ASSERT_TRUE(derived.ok()) << derived.status().ToString();
+  auto rebuilt = Snapshot::Create(*delta.ApplyNaive(), (*base)->fds());
+  ASSERT_TRUE(rebuilt.ok());
+  ExpectSameSnapshot(**derived, **rebuilt);
+
+  ASSERT_EQ((*derived)->decomposition().components().size(), 1u);
+  EXPECT_EQ((*derived)->decomposition().components()[0].vertices.size(), 5u);
+  const SnapshotDeltaInfo* info = (*derived)->delta_info();
+  ASSERT_NE(info, nullptr);
+  EXPECT_EQ(info->rebuilt_components, 1);
+  EXPECT_EQ(info->carried_components, 0);
+  EXPECT_GE(info->rebuilt_components, 0);
+  EXPECT_EQ(info->dirty_parent_components.size(), 2u);
+  // ToString renders the merge as 1/1 components rebuilt, never negative.
+  EXPECT_NE(info->ToString().find("1/1 components rebuilt"),
+            std::string::npos);
 }
 
 // ------------------------------------------- answer-level equivalence --
@@ -527,6 +737,55 @@ TEST(SnapshotDeriveTest, CancelledDeriveIsCleanAndRerunnable) {
   auto rerun = Snapshot::Derive(base, delta);
   ASSERT_TRUE(rerun.ok());
   ExpectSameSnapshot(**rerun, **rebuilt);
+}
+
+TEST(SnapshotDeriveTest, CancelledUnbalancedDeriveIsCleanAndRerunnable) {
+  // Same poll-point fuzz as above, but through the ragged adjacency
+  // sharing path: insert-only (universe grows) and delete-only tail
+  // (universe shrinks) deltas.
+  Rng rng(53);
+  GeneratedInstance inst = MakeMultiRelationComponentsInstance(
+      rng, /*relations=*/3, /*groups_per_relation=*/4, /*min_size=*/2,
+      /*max_size=*/5);
+  std::shared_ptr<const Snapshot> base = MustSnapshot(inst);
+  const int n = base->db().tuple_count();
+  const std::string base_before = base->Describe();
+
+  std::vector<DatabaseDelta> deltas;
+  DatabaseDelta insert_only(&base->db());
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(insert_only
+                    .Insert("R1", Tuple::Of(Value::Number(i % 4),
+                                            Value::Number(0),
+                                            Value::Number(4000 + i)))
+                    .ok());
+  }
+  deltas.push_back(std::move(insert_only));
+  DatabaseDelta delete_only(&base->db());
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(delete_only.Delete(static_cast<TupleId>(n - 1 - i)).ok());
+  }
+  deltas.push_back(std::move(delete_only));
+
+  for (const DatabaseDelta& delta : deltas) {
+    ASSERT_NE(delta.insert_count(), delta.delete_count());
+    auto rebuilt = Snapshot::Create(*delta.ApplyNaive(), base->fds());
+    ASSERT_TRUE(rebuilt.ok());
+    bool completed = false;
+    for (int polls = 1; polls < 64 && !completed; ++polls) {
+      ExecutionContext context;
+      context.CancelAfterPolls(polls);
+      auto derived = Snapshot::Derive(base, delta, &context);
+      if (derived.ok()) {
+        completed = true;
+        ExpectSameSnapshot(**derived, **rebuilt);
+      } else {
+        EXPECT_EQ(derived.status().code(), StatusCode::kCancelled);
+      }
+      EXPECT_EQ(base->Describe(), base_before);
+    }
+    EXPECT_TRUE(completed);
+  }
 }
 
 }  // namespace

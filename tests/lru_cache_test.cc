@@ -91,6 +91,22 @@ TEST(LruCacheTest, ClearEmptiesButKeepsCapacity) {
   EXPECT_TRUE(cache.Contains("b"));
 }
 
+TEST(LruCacheTest, ClearResetsEvictionCounter) {
+  LruCache<int> cache(1);
+  cache.Put("a", 1);
+  cache.Put("b", 2);  // evicts "a"
+  cache.Put("c", 3);  // evicts "b"
+  ASSERT_EQ(cache.evictions(), 2u);
+  // An emptied cache reports no evictions; the counter restarts from the
+  // clear, not from construction.
+  cache.Clear();
+  EXPECT_EQ(cache.evictions(), 0u);
+  cache.Put("d", 4);
+  EXPECT_EQ(cache.evictions(), 0u);
+  cache.Put("e", 5);  // evicts "d"
+  EXPECT_EQ(cache.evictions(), 1u);
+}
+
 TEST(LruCacheTest, ForEachVisitsLruToMru) {
   LruCache<int> cache(10);
   cache.Put("a", 1);

@@ -213,16 +213,23 @@ TEST(SessionCacheTest, EvictionKeepsAnswersCorrectUnderTinyCap) {
     ASSERT_TRUE(verdict.ok());
     EXPECT_EQ(*verdict, expected[i]) << i;
   }
-  // ClearCache drops the entries (counters are lifetime stats): the next
-  // ask must be a fresh miss, and still correct.
+  // ClearCache drops entries AND counters: an emptied cache reports no
+  // phantom activity, and the next ask is a fresh miss, still correct.
+  ASSERT_GT(session.cache_stats().result_misses, 0u);
   session.ClearCache();
-  uint64_t misses_before = session.cache_stats().result_misses;
+  SessionCacheStats cleared = session.cache_stats();
+  EXPECT_EQ(cleared.prepared_hits, 0u);
+  EXPECT_EQ(cleared.prepared_misses, 0u);
+  EXPECT_EQ(cleared.plan_hits, 0u);
+  EXPECT_EQ(cleared.plan_misses, 0u);
+  EXPECT_EQ(cleared.result_hits, 0u);
+  EXPECT_EQ(cleared.result_misses, 0u);
   bool hit = true;
   auto verdict =
       session.Ask(*queries[0], empty, RepairFamily::kAll, {}, nullptr, &hit);
   ASSERT_TRUE(verdict.ok());
   EXPECT_FALSE(hit);
-  EXPECT_EQ(session.cache_stats().result_misses, misses_before + 1);
+  EXPECT_EQ(session.cache_stats().result_misses, 1u);
   EXPECT_EQ(*verdict, expected[0]);
 }
 
